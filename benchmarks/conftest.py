@@ -1,0 +1,28 @@
+"""Benchmark-harness conventions.
+
+Each benchmark regenerates one of the paper's tables or figures: the
+``benchmark`` fixture times the full experiment (one round — these are
+multi-second simulations, not microbenchmarks), the test body then prints
+the same rows/series the paper reports and asserts the *shape* (who wins,
+directions, rough factors). Absolute simulated watts/seconds are calibrated
+to the paper's anchors but are not expected to match the authors' testbed.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time ``fn`` with a single round/iteration and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture()
+def once():
+    """Expose :func:`run_once` as a fixture for terser benchmarks."""
+    return run_once

@@ -1,0 +1,44 @@
+"""Ablation: aggressive (jump-to-bound) vs gradual (stepped) actuation.
+
+§6.1's fdtd2d remark, quantified. Logic lives in
+:func:`repro.experiments.ablations.ablate_actuation`.
+"""
+
+from repro.analysis.report import format_table
+from repro.experiments.ablations import ablate_actuation
+
+
+def _label(step):
+    return "jump-to-bound (paper)" if step is None else f"step {step:g} GHz"
+
+
+def test_actuation_ablation(benchmark, once):
+    results = once(benchmark, ablate_actuation, seed=1)
+
+    print()
+    print(
+        format_table(
+            ("actuation", "perf loss", "power saving", "energy saving"),
+            [
+                (
+                    _label(step),
+                    f"{c.performance_loss * 100:+.1f}%",
+                    f"{c.power_saving * 100:+.1f}%",
+                    f"{c.energy_saving * 100:+.1f}%",
+                )
+                for step, c in results
+            ],
+            title="Ablation: actuation aggressiveness on fdtd2d",
+        )
+    )
+
+    by_step = dict(results)
+    jump = by_step[None]
+    step_small = by_step[0.1]
+    # Aggressive actuation reaches the floor sooner: more power and energy
+    # saved on a long-compute workload.
+    assert jump.power_saving > step_small.power_saving
+    assert jump.energy_saving > step_small.energy_saving
+    # All variants stay within the paper's performance envelope here.
+    for _step, c in results:
+        assert c.performance_loss <= 0.05

@@ -1,0 +1,43 @@
+"""Ablation: monitoring-interval sweep around the paper's 0.2 s (§6.4).
+
+Logic lives in :func:`repro.experiments.ablations.ablate_interval`.
+"""
+
+from repro.analysis.report import format_table
+from repro.experiments.ablations import ablate_interval
+
+
+def test_interval_ablation(benchmark, once):
+    points = once(benchmark, ablate_interval, seed=1)
+
+    print()
+    print(
+        format_table(
+            ("interval (s)", "perf loss", "energy saving", "monitor energy share"),
+            [
+                (
+                    f"{p.interval_s:.2f}",
+                    f"{p.comparison.performance_loss * 100:+.1f}%",
+                    f"{p.comparison.energy_saving * 100:+.1f}%",
+                    f"{p.monitor_energy_fraction * 100:.2f}%",
+                )
+                for p in points
+            ],
+            title="Ablation: MAGUS monitoring interval on UNet",
+        )
+    )
+
+    by_interval = {p.interval_s: p for p in points}
+    # Monitoring cost falls monotonically as the interval grows.
+    fracs = [p.monitor_energy_fraction for p in points]
+    assert fracs == sorted(fracs, reverse=True)
+    # Oversampling at 50 ms burns measurably more than the paper's 0.2 s.
+    assert by_interval[0.05].monitor_energy_fraction > 1.5 * by_interval[0.2].monitor_energy_fraction
+    # Sluggish sampling loses responsiveness: a 1.2 s interval serves the
+    # loader bursts late and costs more performance than 0.2 s.
+    assert (
+        by_interval[1.2].comparison.performance_loss
+        >= by_interval[0.2].comparison.performance_loss
+    )
+    # The paper's choice stays inside the performance envelope.
+    assert by_interval[0.2].comparison.performance_loss <= 0.05

@@ -1,0 +1,41 @@
+"""Ablation: single-counter (PCM) vs per-core MSR-sweep monitoring.
+
+Holds the MAGUS *policy* fixed and swaps only the monitoring strategy (the
+§2 "selection of uncore metrics" challenge). Logic lives in
+:func:`repro.experiments.ablations.ablate_monitoring`.
+"""
+
+from repro.analysis.report import format_table
+from repro.experiments.ablations import ablate_monitoring
+
+
+def test_monitoring_strategy_ablation(benchmark, once):
+    result = once(benchmark, ablate_monitoring, seed=1, idle_duration_s=120.0)
+
+    print()
+    print(
+        format_table(
+            ("monitoring", "idle power overhead", "invocation (s)", "UNet energy saving"),
+            [
+                (
+                    "PCM (1 counter)",
+                    f"{result.idle_pcm.power_overhead_frac * 100:.2f}%",
+                    f"{result.idle_pcm.mean_invocation_s:.2f}",
+                    f"{result.loaded_pcm.energy_saving * 100:+.1f}%",
+                ),
+                (
+                    "MSR sweep (160 reads)",
+                    f"{result.idle_sweep.power_overhead_frac * 100:.2f}%",
+                    f"{result.idle_sweep.mean_invocation_s:.2f}",
+                    f"{result.loaded_sweep.energy_saving * 100:+.1f}%",
+                ),
+            ],
+            title="Ablation: what the monitoring metric costs (same policy)",
+        )
+    )
+
+    # The sweep multiplies both overhead dimensions...
+    assert result.idle_sweep.power_overhead_frac > 3 * result.idle_pcm.power_overhead_frac
+    assert result.idle_sweep.mean_invocation_s > 2.5 * result.idle_pcm.mean_invocation_s
+    # ...and erodes net energy savings under load.
+    assert result.loaded_sweep.energy_saving < result.loaded_pcm.energy_saving

@@ -1,0 +1,51 @@
+"""Bench: Fig. 1 — UNet profiling under vendor-default management.
+
+Regenerates the three profiling series (core frequencies, GPU SM clock,
+uncore frequency) and prints the headline statistic: the uncore never
+leaves its maximum while core and GPU clocks move freely.
+"""
+
+from repro.analysis.report import format_table
+from repro.experiments.fig1_profiling import run_fig1
+
+
+def test_fig1_profiling(benchmark, once):
+    result = once(benchmark, run_fig1, seed=1)
+
+    print()
+    print(
+        format_table(
+            ("series", "min", "max", "dynamic?"),
+            [
+                (
+                    "core freq (mean of 4 plotted cores, GHz)",
+                    f"{min(t.min() for t in result.core_freq_traces.values()):.2f}",
+                    f"{max(t.max() for t in result.core_freq_traces.values()):.2f}",
+                    "yes",
+                ),
+                (
+                    "GPU SM clock (GHz)",
+                    f"{result.gpu_clock_trace.min():.2f}",
+                    f"{result.gpu_clock_trace.max():.2f}",
+                    "yes",
+                ),
+                (
+                    "uncore freq (GHz, 0.5s samples)",
+                    f"{result.uncore_freq_trace.min():.2f}",
+                    f"{result.uncore_freq_trace.max():.2f}",
+                    "NO — pinned at max",
+                ),
+            ],
+            title="Fig. 1: UNet profiling on Intel+A100 (default management)",
+        )
+    )
+    print(
+        f"uncore at max for {result.uncore_at_max_fraction * 100:.1f}% of samples; "
+        f"peak package power {result.peak_pkg_power_fraction_of_tdp * 100:.0f}% of TDP"
+    )
+
+    # Paper shape: clocks dynamic, uncore pinned, power nowhere near TDP.
+    assert result.uncore_at_max_fraction >= 0.99
+    assert result.core_freq_dynamic_range_ghz > 0.2
+    assert result.gpu_clock_dynamic_range_ghz > 0.2
+    assert result.peak_pkg_power_fraction_of_tdp < 0.8

@@ -1,0 +1,33 @@
+"""Bench: Fig. 2 — UNet power profiles at max vs min uncore.
+
+Paper numbers: ~200 W vs ~120 W CPU power (an ~82 W drop — up to 40 % of
+CPU power), 47 s vs 57 s runtime (~21 % stretch).
+"""
+
+from repro.analysis.report import format_table
+from repro.experiments.fig2_power_profiles import run_fig2
+
+
+def test_fig2_power_profiles(benchmark, once):
+    result = once(benchmark, run_fig2, seed=1)
+
+    print()
+    print(
+        format_table(
+            ("setting", "runtime (s)", "avg CPU power (W)"),
+            [
+                ("max uncore (2.2 GHz)", f"{result.max_run.runtime_s:.1f}", f"{result.max_run.avg_cpu_w:.0f}"),
+                ("min uncore (0.8 GHz)", f"{result.min_run.runtime_s:.1f}", f"{result.min_run.avg_cpu_w:.0f}"),
+            ],
+            title="Fig. 2: UNet power profiles (paper: 47s/200W vs 57s/120W)",
+        )
+    )
+    print(
+        f"power drop {result.cpu_power_drop_w:.0f}W "
+        f"({result.uncore_share_of_cpu_power * 100:.0f}% of CPU power), "
+        f"stretch {result.runtime_stretch_frac * 100:.0f}% (paper: ~82W / ~40% / ~21%)"
+    )
+
+    assert 60.0 <= result.cpu_power_drop_w <= 105.0
+    assert 0.12 <= result.runtime_stretch_frac <= 0.30
+    assert 0.30 <= result.uncore_share_of_cpu_power <= 0.50

@@ -1,0 +1,32 @@
+"""Bench: Fig. 4a — end-to-end on Intel+A100 (full 24-application suite).
+
+Paper shape: MAGUS holds performance loss below ~5 % with positive energy
+savings on every application (up to 27 %); UPS trails on most applications
+and pays larger slowdowns where demand fluctuates.
+"""
+
+from repro.experiments.fig4_end_to_end import format_fig4, run_fig4a, summary_stats
+
+
+def test_fig4a_full_suite(benchmark, once):
+    rows = once(benchmark, run_fig4a, repeats=1, base_seed=1)
+
+    print()
+    print(format_fig4(rows, "Fig. 4a"))
+    magus = summary_stats(rows, "magus")
+    ups = summary_stats(rows, "ups")
+    print(
+        f"MAGUS: max loss {magus['max_performance_loss'] * 100:.1f}%, "
+        f"max energy saving {magus['max_energy_saving'] * 100:.1f}%, "
+        f"min energy saving {magus['min_energy_saving'] * 100:.1f}% | "
+        f"UPS: max loss {ups['max_performance_loss'] * 100:.1f}%, "
+        f"mean energy saving {ups['mean_energy_saving'] * 100:.1f}%"
+    )
+
+    # Paper shape assertions.
+    assert magus["max_performance_loss"] <= 0.05
+    assert magus["min_energy_saving"] > 0.0  # positive on every app
+    assert magus["max_energy_saving"] >= 0.12  # deep double digits at best
+    assert magus["mean_energy_saving"] > ups["mean_energy_saving"]
+    # UPS's worst slowdown exceeds MAGUS's (the srad failure mode).
+    assert ups["max_performance_loss"] > magus["max_performance_loss"]

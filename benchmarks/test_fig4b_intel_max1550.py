@@ -1,0 +1,31 @@
+"""Bench: Fig. 4b — end-to-end on Intel+Max1550 (Altis-SYCL subset).
+
+Paper shape: MAGUS keeps loss below ~4 % with positive savings everywhere;
+UPS's higher monitoring overhead on this system (7.9 % idle) pushes some
+applications to *negative* energy savings.
+"""
+
+from repro.experiments.fig4_end_to_end import format_fig4, run_fig4b, summary_stats
+
+
+def test_fig4b_max1550_suite(benchmark, once):
+    rows = once(benchmark, run_fig4b, repeats=1, base_seed=1)
+
+    print()
+    print(format_fig4(rows, "Fig. 4b"))
+    magus = summary_stats(rows, "magus")
+    ups_rows = [r for r in rows if r.method == "ups"]
+    negatives = [r.workload for r in ups_rows if r.energy_saving < 0]
+    print(
+        f"MAGUS: max loss {magus['max_performance_loss'] * 100:.1f}%, "
+        f"min energy saving {magus['min_energy_saving'] * 100:.1f}% | "
+        f"UPS negative-energy applications: {negatives or 'none'}"
+    )
+
+    assert magus["max_performance_loss"] <= 0.04
+    assert magus["min_energy_saving"] > 0.0
+    # The paper's Fig. 4b headline: UPS fails to achieve positive savings
+    # for some applications on this system.
+    assert len(negatives) >= 1
+    # And several more sit within a whisker of zero.
+    assert sum(1 for r in ups_rows if r.energy_saving < 0.02) >= 3

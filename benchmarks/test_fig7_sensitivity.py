@@ -1,0 +1,36 @@
+"""Bench: Fig. 7 — threshold sensitivity Pareto frontiers.
+
+Runs the full ~40-combination sweep on two representative applications
+(the paper shows SRAD-like and UNet-like cases) and checks that the
+recommended configuration (inc=300, dec=500, hf=0.4) lies on or near every
+application's Pareto frontier.
+"""
+
+from repro.experiments.fig7_sensitivity import run_fig7, threshold_grid
+
+
+def test_fig7_threshold_sensitivity(benchmark, once):
+    result = once(benchmark, run_fig7, workloads=("srad", "unet"), grid=threshold_grid(), seed=1)
+
+    print()
+    for app, pts in result.points.items():
+        front = result.fronts[app]
+        rec = [p for p in pts if p.label == result.recommended_label][0]
+        print(
+            f"{app}: {len(pts)} configs, {len(front)} on frontier; recommended "
+            f"({rec.runtime_s:.2f}s, {rec.energy_j / 1000:.2f}kJ) "
+            f"{'ON' if result.recommended_on_front[app] else 'near'} frontier "
+            f"(norm. distance {result.recommended_distance[app]:.3f})"
+        )
+
+    for app, pts in result.points.items():
+        rec = [p for p in pts if p.label == result.recommended_label][0]
+        # On the frontier, or within 3% of every frontier point that beats it.
+        if not result.recommended_on_front[app]:
+            for q in result.fronts[app]:
+                if q.dominates(rec):
+                    assert q.runtime_s >= rec.runtime_s * 0.97
+                    assert q.energy_j >= rec.energy_j * 0.97
+    # At least one of the applications has the recommended config exactly
+    # on its frontier (the paper's red-circled point).
+    assert any(result.recommended_on_front.values())

@@ -1,0 +1,72 @@
+"""Bench: how close is MAGUS to the clairvoyant upper bound?
+
+The oracle governor sets the cheapest sufficient uncore frequency with
+perfect, free knowledge of instantaneous demand — the ceiling any
+realisable runtime can approach but not reach. The gap quantifies what
+MAGUS's 0.3 s reactive loop costs relative to omniscience, and locates the
+paper's "up to 27 %" headline: on our substrate the oracle tops out near
+28 % (bfs), i.e. the paper's best-case number sits essentially at the
+physical bound.
+"""
+
+from repro.analysis.metrics import compare
+from repro.analysis.report import format_table
+from repro.runtime.session import make_governor, run_application
+
+WORKLOADS = ("bfs", "unet", "lavamd", "srad")
+
+
+def _run():
+    out = {}
+    for wl in WORKLOADS:
+        baseline = run_application("intel_a100", wl, make_governor("default"), seed=1)
+        oracle = run_application("intel_a100", wl, make_governor("oracle"), seed=1)
+        magus = run_application("intel_a100", wl, make_governor("magus"), seed=1)
+        out[wl] = (compare(baseline, oracle), compare(baseline, magus))
+    return out
+
+
+def test_oracle_gap(benchmark, once):
+    results = once(benchmark, _run)
+
+    rows = []
+    for wl, (oracle, magus) in results.items():
+        ratio = magus.energy_saving / oracle.energy_saving if oracle.energy_saving > 0 else 0.0
+        rows.append(
+            (
+                wl,
+                f"{oracle.energy_saving * 100:+.1f}%",
+                f"{magus.energy_saving * 100:+.1f}%",
+                f"{ratio * 100:.0f}%",
+                f"{magus.performance_loss * 100:+.1f}%",
+            )
+        )
+    print()
+    print(
+        format_table(
+            ("workload", "oracle energy", "MAGUS energy", "MAGUS/oracle", "MAGUS loss"),
+            rows,
+            title="Clairvoyant upper bound vs MAGUS (Intel+A100)",
+        )
+    )
+
+    for wl, (oracle, magus) in results.items():
+        # The oracle is an upper bound (within paired-run noise).
+        assert magus.energy_saving <= oracle.energy_saving + 0.01, wl
+        if wl != "srad":
+            # On stable workloads the margin covers demand at negligible
+            # cost, and MAGUS realises most of the clairvoyant bound.
+            assert oracle.performance_loss <= 0.02, wl
+            assert magus.energy_saving >= 0.4 * oracle.energy_saving, wl
+    # SRAD separates the two philosophies. Even clairvoyant *tracking*
+    # loses noticeably — reacting after a millisecond-scale flip is too
+    # late no matter how perfect the information — while it banks energy
+    # at intermediate frequencies. MAGUS's Algorithm 2 makes the opposite
+    # trade: pin max, protect performance, forgo those savings.
+    srad_oracle, srad_magus = results["srad"]
+    assert srad_oracle.performance_loss > 0.02
+    assert srad_magus.performance_loss < srad_oracle.performance_loss
+    assert srad_magus.energy_saving < srad_oracle.energy_saving
+    # The substrate's best-case bound brackets the paper's 27 % headline.
+    best_oracle = max(o.energy_saving for o, _m in results.values())
+    assert 0.2 <= best_oracle <= 0.35

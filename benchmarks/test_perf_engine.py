@@ -1,0 +1,41 @@
+"""Bench: simulator throughput (ticks/second of the core loop).
+
+Not a paper artefact — the harness's own performance budget. The whole
+reproduction depends on the tick loop being cheap enough that full-suite
+sweeps finish in tens of seconds; this bench is the regression guard for
+that property, and the only true micro-benchmark in the harness (multiple
+rounds, statistics meaningful).
+"""
+
+from repro.hw.presets import intel_a100
+from repro.sim.clock import SimClock
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import RngStreams
+from repro.telemetry.hub import TelemetryHub
+from repro.workloads.registry import get_workload
+
+SIM_SECONDS = 5.0
+TICKS = int(SIM_SECONDS / 0.01)
+
+
+def _simulate_five_seconds():
+    preset = intel_a100()
+    node = preset.build_node(RngStreams(0))
+    node.force_uncore_all(preset.uncore_min_ghz)
+    hub = TelemetryHub(node, preset.telemetry)
+    engine = SimulationEngine(node, hub, clock=SimClock(0.01))
+    workload = get_workload("unet", seed=1)
+    return engine.run(workload, max_time_s=SIM_SECONDS)
+
+
+def test_engine_tick_throughput(benchmark):
+    result = benchmark.pedantic(_simulate_five_seconds, rounds=3, iterations=1)
+    assert len(result.recorder) == TICKS
+
+    seconds_per_run = benchmark.stats.stats.mean
+    ticks_per_second = TICKS / seconds_per_run
+    print(f"\nengine throughput: {ticks_per_second:,.0f} ticks/s "
+          f"({ticks_per_second * 0.01:,.0f}x real time on an 80-core node model)")
+    # Budget: a full Fig. 4a sweep (~75 runs x ~30 sim-seconds) must stay
+    # in the tens of seconds, which needs >= 3000 ticks/s.
+    assert ticks_per_second > 3000

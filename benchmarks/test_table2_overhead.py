@@ -1,0 +1,35 @@
+"""Bench: Table 2 — idle power and invocation overheads of MAGUS and UPS.
+
+Paper values:  MAGUS 1.1 %/0.1 s (A100), 1.16 %/0.1 s (Max1550);
+UPS 4.9 %/0.3 s (A100), 7.9 %/0.31 s (Max1550).  Run with the paper's
+10-minute idle duration.
+"""
+
+import pytest
+
+from repro.experiments.table2_overhead import format_table2, run_table2
+
+
+def test_table2_overheads(benchmark, once):
+    rows = once(benchmark, run_table2, duration_s=600.0, seed=1)
+
+    print()
+    print(format_table2(rows))
+    print("paper:  magus 1.1%/0.10s + 1.16%/0.10s;  ups 4.9%/0.30s + 7.9%/0.31s")
+
+    by_cell = {(r.system, r.method): r for r in rows}
+    # MAGUS: ~1% power, 0.1 s invocation on both systems.
+    for system in ("intel_a100", "intel_max1550"):
+        magus = by_cell[(system, "magus")]
+        assert magus.power_overhead_frac <= 0.02
+        assert magus.invocation_s == pytest.approx(0.1, abs=0.02)
+    # UPS: several-percent power, ~0.3 s invocation, worse on Max1550.
+    ups_a100 = by_cell[("intel_a100", "ups")]
+    ups_spr = by_cell[("intel_max1550", "ups")]
+    assert 0.03 <= ups_a100.power_overhead_frac <= 0.08
+    assert 0.05 <= ups_spr.power_overhead_frac <= 0.11
+    assert ups_spr.power_overhead_frac > ups_a100.power_overhead_frac
+    assert ups_a100.invocation_s == pytest.approx(0.3, abs=0.05)
+    assert ups_spr.invocation_s == pytest.approx(0.31, abs=0.05)
+    # The decision periods: MAGUS 0.3 s vs UPS ~0.5 s (§6.5).
+    assert by_cell[("intel_a100", "magus")].decision_period_s < ups_a100.decision_period_s

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Porting MAGUS to AMD: the paper's §6.6 discussion, made runnable.
+
+AMD EPYC parts have no MSR 0x620; the uncore analogue is the Infinity
+Fabric / SoC domain, monitored and adjusted through the HSMP mailbox
+(github.com/amd/amd_hsmp). This example runs the *unchanged* MAGUS policy
+— same thresholds, same algorithms — on the `amd_mi210` preset, where the
+telemetry hub transparently swaps the actuation path to HSMP fabric
+P-state requests and the fabric snaps to coarse 0.4 GHz P-states instead
+of Intel's 0.1 GHz ratio bins.
+
+Run with::
+
+    python examples/amd_adaptation.py
+"""
+
+import numpy as np
+
+from repro import compare, get_preset, make_governor, run_application
+from repro.analysis.report import format_table
+
+
+def main() -> None:
+    rows = []
+    for system in ("intel_a100", "amd_mi210"):
+        preset = get_preset(system)
+        baseline = run_application(system, "unet", make_governor("default"), seed=1)
+        magus = run_application(system, "unet", make_governor("magus"), seed=1)
+        c = compare(baseline, magus)
+        targets = sorted(set(np.round(magus.traces["uncore_target_ghz"].values, 2)))
+        rows.append(
+            (
+                system,
+                preset.vendor,
+                f"{preset.uncore_bin_ghz:.1f} GHz",
+                f"{c.performance_loss * 100:+.1f}%",
+                f"{c.power_saving * 100:+.1f}%",
+                f"{c.energy_saving * 100:+.1f}%",
+                "/".join(f"{t:g}" for t in targets),
+            )
+        )
+
+    print(
+        format_table(
+            ("system", "vendor", "control grain", "perf loss", "power saving", "energy saving", "targets used"),
+            rows,
+            title="Same MAGUS policy, two vendors (UNet, seed 1)",
+        )
+    )
+    print()
+    print(
+        "The identical thresholds work on both parts. The coarse AMD fabric\n"
+        "P-states cost a little precision, and each actuation is a mailbox\n"
+        "transaction rather than an MSR write — but MAGUS's single-counter\n"
+        "design is what makes the port trivial: one DDR-bandwidth query per\n"
+        "socket exists on AMD; a per-core IPC sweep like UPS's does not map\n"
+        "nearly as cleanly."
+    )
+
+
+if __name__ == "__main__":
+    main()

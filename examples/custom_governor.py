@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Writing your own uncore governor against the library's policy API.
+
+Any object satisfying :class:`repro.governors.base.UncoreGovernor` can be
+evaluated with the same harness, telemetry cost accounting and metrics as
+MAGUS and UPS.  This example implements an EWMA-proportional policy — it
+smooths PCM throughput with an exponential moving average and sets the
+uncore *proportionally* to the smoothed demand instead of jumping between
+the bounds — and races it against MAGUS on a bursty workload and on the
+high-frequency SRAD workload.
+
+The outcome is instructive: proportional control looks reasonable on slow
+workloads but lags badly under millisecond-scale fluctuation, where it
+neither serves the bursts (like MAGUS's high-frequency pin does) nor saves
+much power. Run with::
+
+    python examples/custom_governor.py
+"""
+
+from repro import compare, make_governor, run_application
+from repro.analysis.report import format_table
+from repro.governors.base import Decision, UncoreGovernor
+from repro.telemetry.sampling import AccessMeter
+
+
+class EwmaProportionalGovernor(UncoreGovernor):
+    """Uncore ∝ EWMA-smoothed memory throughput.
+
+    Parameters
+    ----------
+    alpha:
+        EWMA smoothing factor in (0, 1]; higher follows demand faster.
+    headroom:
+        Multiplier on the smoothed demand when converting to a frequency,
+        so the ceiling stays above the estimate.
+    """
+
+    name = "ewma"
+    launch_delay_s = 0.5
+
+    def __init__(self, alpha: float = 0.35, headroom: float = 1.3):
+        super().__init__()
+        if not (0 < alpha <= 1):
+            raise ValueError(f"alpha must be in (0, 1], got {alpha!r}")
+        self.alpha = alpha
+        self.headroom = headroom
+        self._ewma_mbps = 0.0
+
+    @property
+    def interval_s(self) -> float:
+        return 0.2
+
+    @property
+    def initial_uncore_ghz(self) -> float:
+        return self.context.uncore_max_ghz
+
+    def sample_and_decide(self, now_s: float, meter: AccessMeter) -> Decision:
+        ctx = self.context
+        throughput = ctx.hub.pcm.read_throughput_mbps(meter)
+        self._ewma_mbps += self.alpha * (throughput - self._ewma_mbps)
+
+        # Invert the memory subsystem's ceiling curve: demand (GB/s) with
+        # headroom -> the lowest frequency whose ceiling covers it.
+        memory = ctx.node.memory
+        want_gbps = (self._ewma_mbps / 1000.0) * self.headroom
+        freq = memory.f_ref_ghz * want_gbps / memory.peak_bw_gbps
+        freq = min(max(freq, ctx.uncore_min_ghz), ctx.uncore_max_ghz)
+        return Decision(now_s, freq, "ewma_track")
+
+
+def race(workload: str, seed: int = 1):
+    """Compare EWMA vs MAGUS vs UPS on one workload; return table rows."""
+    baseline = run_application("intel_a100", workload, make_governor("default"), seed=seed)
+    rows = []
+    for name, gov in (
+        ("magus", make_governor("magus")),
+        ("ups", make_governor("ups")),
+        ("ewma", EwmaProportionalGovernor()),
+    ):
+        run = run_application("intel_a100", workload, gov, seed=seed)
+        c = compare(baseline, run)
+        rows.append(
+            (
+                name,
+                f"{c.performance_loss * 100:+.1f}%",
+                f"{c.power_saving * 100:+.1f}%",
+                f"{c.energy_saving * 100:+.1f}%",
+            )
+        )
+    return rows
+
+
+def main() -> None:
+    headers = ("policy", "perf loss", "power saving", "energy saving")
+    for workload in ("lavamd", "srad"):
+        print(format_table(headers, race(workload), title=f"{workload} on intel_a100"))
+        print()
+    print(
+        "EWMA tracking is competitive on slowly varying workloads but has no\n"
+        "answer to SRAD's millisecond-scale phases: it chases the aliased\n"
+        "signal and pays in performance — the gap MAGUS's Algorithm 2 closes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Auditing what monitoring itself costs (the paper's Table 2 procedure).
+
+Runs MAGUS and UPS on idle nodes of both systems, measures the power each
+runtime adds and how long each invocation takes, and breaks the costs down
+by telemetry access kind — showing *why* a single PCM aggregation beats a
+per-core MSR sweep as core counts grow.
+
+Run with::
+
+    python examples/overhead_audit.py
+"""
+
+from repro import make_governor, measure_overhead
+from repro.analysis.report import format_table
+from repro.hw.presets import get_preset
+
+
+def main() -> None:
+    rows = []
+    for system in ("intel_a100", "intel_max1550"):
+        preset = get_preset(system)
+        for method in ("magus", "ups"):
+            result = measure_overhead(system, make_governor(method), duration_s=120.0)
+            rows.append(
+                (
+                    system,
+                    method,
+                    f"{result.power_overhead_frac * 100:.2f}%",
+                    f"{result.mean_invocation_s:.2f}s",
+                    f"{result.decision_period_s:.2f}s",
+                    f"{result.baseline_idle_cpu_w:.0f}W",
+                )
+            )
+        costs = preset.telemetry
+        sweep_reads = 2 * preset.n_cores
+        print(
+            f"{system}: a UPS sweep is {sweep_reads} MSR reads "
+            f"({sweep_reads * costs.msr_read_time_s:.2f}s, "
+            f"{sweep_reads * costs.msr_read_energy_j:.2f}J idle) vs one PCM "
+            f"aggregation ({costs.pcm_read_time_s:.2f}s, {costs.pcm_read_energy_j:.2f}J)"
+        )
+    print()
+    print(
+        format_table(
+            ("system", "method", "power overhead", "invocation", "period", "idle CPU"),
+            rows,
+            title="Idle-node monitoring overheads (Table 2 procedure)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

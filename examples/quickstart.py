@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Quickstart: run one GPU training workload under MAGUS and see the savings.
+
+This is the 60-second tour of the library:
+
+1. pick a system preset (the paper's Chameleon dual-Xeon + A100 node),
+2. pick a workload (UNet training from MLPerf),
+3. run it under the vendor-default uncore policy and under MAGUS,
+4. compare runtime, power and energy.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import compare, make_governor, run_application
+
+
+def main() -> None:
+    preset = "intel_a100"
+    workload = "unet"
+    seed = 1
+
+    print(f"Running {workload!r} on {preset!r} under the vendor default...")
+    baseline = run_application(preset, workload, make_governor("default"), seed=seed)
+    print(
+        f"  runtime {baseline.runtime_s:.1f}s, CPU power {baseline.avg_cpu_w:.0f}W, "
+        f"total energy {baseline.total_energy_j / 1000:.1f} kJ"
+    )
+
+    print("Running the same workload under MAGUS...")
+    magus = run_application(preset, workload, make_governor("magus"), seed=seed)
+    print(
+        f"  runtime {magus.runtime_s:.1f}s, CPU power {magus.avg_cpu_w:.0f}W, "
+        f"total energy {magus.total_energy_j / 1000:.1f} kJ"
+    )
+
+    result = compare(baseline, magus)
+    print()
+    print(f"Performance loss : {result.performance_loss * 100:+.1f}%")
+    print(f"CPU power saving : {result.power_saving * 100:+.1f}%")
+    print(f"Energy saving    : {result.energy_saving * 100:+.1f}%")
+    print()
+    print(
+        "MAGUS monitored one PCM counter every "
+        f"{magus.decision_period_s:.2f}s and made {len(magus.decisions)} decisions; "
+        f"monitoring itself cost {magus.monitor_energy_j:.0f} J "
+        f"({magus.monitor_energy_j / magus.total_energy_j * 100:.2f}% of the run's energy)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Setup shim: the canonical metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

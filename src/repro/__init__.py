@@ -1,0 +1,88 @@
+"""repro — a full reproduction of MAGUS (SC '25).
+
+"Minimizing Power Waste in Heterogeneous Computing via Adaptive Uncore
+Scaling" (Zheng, Sultanov, Papka, Lan): a model-free, user-transparent
+runtime that scales Intel uncore frequency for GPU-dominant workloads,
+saving up to 27 % energy at <5 % performance loss and <1 % overhead.
+
+Because the paper's hardware (Xeon packages with MSR 0x620, A100 / Max 1550
+GPUs, PCM/RAPL/NVML counters) is not available here, every hardware-facing
+dependency is replaced by a calibrated behavioural model — see DESIGN.md for
+the substitution record.  The decision logic (Algorithms 1–3), the UPS
+baseline, and every experiment of the evaluation section run unchanged on
+top of that substrate.
+
+Quick start
+-----------
+>>> from repro import run_application, make_governor, compare
+>>> base = run_application("intel_a100", "unet", make_governor("default"), seed=1)
+>>> magus = run_application("intel_a100", "unet", make_governor("magus"), seed=1)
+>>> result = compare(base, magus)
+>>> result.energy_saving > 0
+True
+"""
+
+from repro.analysis import (
+    MethodComparison,
+    burst_similarity,
+    compare,
+    energy_saving,
+    jaccard_index,
+    pareto_front,
+    performance_loss,
+    power_saving,
+)
+from repro.core import MagusConfig, MagusGovernor
+from repro.governors import (
+    StaticUncoreGovernor,
+    UPSConfig,
+    UPSGovernor,
+    VendorDefaultGovernor,
+)
+from repro.hw import PRESETS, amd_mi210, get_preset, intel_4a100, intel_a100, intel_max1550
+from repro.runtime import (
+    OverheadResult,
+    RunResult,
+    make_governor,
+    measure_overhead,
+    run_application,
+)
+from repro.workloads import get_workload, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # running
+    "run_application",
+    "make_governor",
+    "RunResult",
+    "measure_overhead",
+    "OverheadResult",
+    # systems
+    "get_preset",
+    "PRESETS",
+    "intel_a100",
+    "intel_4a100",
+    "intel_max1550",
+    "amd_mi210",
+    # workloads
+    "get_workload",
+    "workload_names",
+    # policies
+    "MagusGovernor",
+    "MagusConfig",
+    "UPSGovernor",
+    "UPSConfig",
+    "VendorDefaultGovernor",
+    "StaticUncoreGovernor",
+    # analysis
+    "compare",
+    "MethodComparison",
+    "performance_loss",
+    "power_saving",
+    "energy_saving",
+    "burst_similarity",
+    "jaccard_index",
+    "pareto_front",
+]

@@ -1,0 +1,46 @@
+"""Analysis: the paper's metrics and statistical tooling.
+
+* :mod:`~repro.analysis.metrics` — performance loss, power saving, energy
+  saving (§5's three evaluation metrics);
+* :mod:`~repro.analysis.jaccard` — burst binarisation + Jaccard similarity
+  (Table 1's prediction-accuracy analysis);
+* :mod:`~repro.analysis.pareto` — Pareto-frontier extraction for the
+  threshold sensitivity study (Fig. 7);
+* :mod:`~repro.analysis.report` — plain-text tables for the experiment
+  harness.
+"""
+
+from repro.analysis.metrics import (
+    MethodComparison,
+    performance_loss,
+    power_saving,
+    energy_saving,
+    compare,
+)
+from repro.analysis.jaccard import binarize_bursts, jaccard_index, burst_similarity
+from repro.analysis.pareto import ParetoPoint, pareto_front, is_on_front, distance_to_front
+from repro.analysis.report import format_table
+from repro.analysis.ascii_plot import sparkline, strip_chart
+from repro.analysis.stats import RepeatSummary, remove_outliers, robust_mean, summarize_repeats
+
+__all__ = [
+    "MethodComparison",
+    "performance_loss",
+    "power_saving",
+    "energy_saving",
+    "compare",
+    "binarize_bursts",
+    "jaccard_index",
+    "burst_similarity",
+    "ParetoPoint",
+    "pareto_front",
+    "is_on_front",
+    "distance_to_front",
+    "format_table",
+    "sparkline",
+    "strip_chart",
+    "remove_outliers",
+    "robust_mean",
+    "RepeatSummary",
+    "summarize_repeats",
+]

@@ -1,0 +1,102 @@
+"""ASCII time-series rendering for figure-like terminal output.
+
+No plotting stack is assumed (the reference environment is offline);
+these helpers render the paper's figures as unicode sparklines and
+multi-series strip charts, used by the examples and the experiment
+runner's reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.sim.trace import TimeSeries
+
+__all__ = ["sparkline", "strip_chart"]
+
+_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(
+    values: Sequence[float],
+    *,
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+    width: Optional[int] = None,
+) -> str:
+    """Render a sequence as a unicode sparkline.
+
+    Parameters
+    ----------
+    values:
+        The samples to render.
+    lo / hi:
+        Scale bounds; default to the data's range. Equal bounds render a
+        flat mid-level line.
+    width:
+        Target character count; the data is bucket-averaged down to it
+        (``None`` renders one character per sample).
+
+    >>> sparkline([0, 1, 2, 3], lo=0, hi=3)
+    '▁▃▆█'
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ExperimentError("sparkline needs at least one value")
+    if width is not None:
+        if width < 1:
+            raise ExperimentError(f"width must be >= 1, got {width!r}")
+        if arr.size > width:
+            edges = np.linspace(0, arr.size, width + 1).astype(int)
+            arr = np.array([arr[a:b].mean() if b > a else arr[min(a, arr.size - 1)] for a, b in zip(edges[:-1], edges[1:])])
+    lo_v = float(arr.min()) if lo is None else float(lo)
+    hi_v = float(arr.max()) if hi is None else float(hi)
+    if hi_v <= lo_v:
+        return _LEVELS[len(_LEVELS) // 2] * arr.size
+    idx = np.clip(((arr - lo_v) / (hi_v - lo_v) * (len(_LEVELS) - 1)).round().astype(int), 0, len(_LEVELS) - 1)
+    return "".join(_LEVELS[i] for i in idx)
+
+
+def strip_chart(
+    series: Dict[str, TimeSeries],
+    *,
+    width: int = 72,
+    period_s: Optional[float] = None,
+    label_width: int = 10,
+) -> str:
+    """Render several aligned time series as labelled sparkline rows.
+
+    All series share one vertical scale (the joint min/max), so rows are
+    directly comparable — the property the paper's overlay figures rely on.
+
+    Parameters
+    ----------
+    series:
+        ``label -> TimeSeries``; rendered in insertion order.
+    width:
+        Characters per sparkline.
+    period_s:
+        Optional resample period applied to every series first.
+    label_width:
+        Left-column width for the labels.
+    """
+    if not series:
+        raise ExperimentError("strip_chart needs at least one series")
+    prepared = {
+        label: (ts.resample(period_s) if period_s is not None else ts) for label, ts in series.items()
+    }
+    for label, ts in prepared.items():
+        if len(ts) == 0:
+            raise ExperimentError(f"series {label!r} is empty")
+    lo = min(float(ts.values.min()) for ts in prepared.values())
+    hi = max(float(ts.values.max()) for ts in prepared.values())
+    horizon = max(float(ts.times[-1]) for ts in prepared.values())
+    lines = [
+        f"{'':<{label_width}} scale [{lo:.1f}, {hi:.1f}], 0..{horizon:.1f}s"
+    ]
+    for label, ts in prepared.items():
+        lines.append(f"{label:<{label_width}} {sparkline(ts.values, lo=lo, hi=hi, width=width)}")
+    return "\n".join(lines)

@@ -1,0 +1,126 @@
+"""The paper's three evaluation metrics (§5).
+
+* **Performance loss** — percentage increase in execution time over the
+  baseline run.
+* **Power saving** — average reduction in CPU package + DRAM power.
+* **Energy saving** — reduction in total energy-to-solution including CPU
+  package, DRAM *and GPU board* energy. This is the headline metric: a
+  method can save power yet lose energy if it stretches runtime while the
+  GPUs idle-burn (the Fig. 4c multi-GPU effect), or if its own monitoring
+  power eats the savings (UPS on Intel+Max1550, Fig. 4b).
+
+All functions take two :class:`~repro.runtime.session.RunResult` objects
+from *paired* runs — same workload, same seed, same system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ExperimentError
+from repro.runtime.session import RunResult
+
+__all__ = [
+    "performance_loss",
+    "power_saving",
+    "energy_saving",
+    "MethodComparison",
+    "compare",
+]
+
+
+def _check_paired(baseline: RunResult, method: RunResult) -> None:
+    if baseline.workload_name != method.workload_name:
+        raise ExperimentError(
+            f"unpaired comparison: baseline ran {baseline.workload_name!r}, "
+            f"method ran {method.workload_name!r}"
+        )
+    if baseline.system_name != method.system_name:
+        raise ExperimentError(
+            f"unpaired comparison: baseline on {baseline.system_name!r}, "
+            f"method on {method.system_name!r}"
+        )
+    if not baseline.completed or not method.completed:
+        raise ExperimentError(
+            f"comparison requires completed runs (baseline={baseline.completed}, "
+            f"method={method.completed})"
+        )
+
+
+def performance_loss(baseline: RunResult, method: RunResult) -> float:
+    """Fractional runtime increase of ``method`` over ``baseline``.
+
+    Positive = slower. 0.05 means a 5 % slowdown.
+    """
+    _check_paired(baseline, method)
+    if baseline.runtime_s <= 0:
+        raise ExperimentError("baseline runtime is non-positive")
+    return method.runtime_s / baseline.runtime_s - 1.0
+
+
+def power_saving(baseline: RunResult, method: RunResult) -> float:
+    """Fractional reduction in average CPU (package + DRAM) power.
+
+    Positive = the method drew less CPU power on average.
+    """
+    _check_paired(baseline, method)
+    if baseline.avg_cpu_w <= 0:
+        raise ExperimentError("baseline CPU power is non-positive")
+    return 1.0 - method.avg_cpu_w / baseline.avg_cpu_w
+
+
+def energy_saving(baseline: RunResult, method: RunResult) -> float:
+    """Fractional reduction in total energy-to-solution (CPU+DRAM+GPU).
+
+    Positive = the method used less energy to finish the same work.
+    """
+    _check_paired(baseline, method)
+    if baseline.total_energy_j <= 0:
+        raise ExperimentError("baseline energy is non-positive")
+    return 1.0 - method.total_energy_j / baseline.total_energy_j
+
+
+@dataclass(frozen=True)
+class MethodComparison:
+    """One (workload, method-vs-baseline) cell of a Fig. 4-style plot."""
+
+    workload_name: str
+    system_name: str
+    baseline_name: str
+    method_name: str
+    performance_loss: float
+    power_saving: float
+    energy_saving: float
+    baseline_runtime_s: float
+    method_runtime_s: float
+    baseline_avg_cpu_w: float
+    method_avg_cpu_w: float
+    baseline_total_energy_j: float
+    method_total_energy_j: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.workload_name} [{self.method_name} vs {self.baseline_name}]: "
+            f"perf loss {self.performance_loss * 100:+.1f}%, "
+            f"power saving {self.power_saving * 100:+.1f}%, "
+            f"energy saving {self.energy_saving * 100:+.1f}%"
+        )
+
+
+def compare(baseline: RunResult, method: RunResult) -> MethodComparison:
+    """Compute all three metrics for one paired run."""
+    return MethodComparison(
+        workload_name=baseline.workload_name,
+        system_name=baseline.system_name,
+        baseline_name=baseline.governor_name,
+        method_name=method.governor_name,
+        performance_loss=performance_loss(baseline, method),
+        power_saving=power_saving(baseline, method),
+        energy_saving=energy_saving(baseline, method),
+        baseline_runtime_s=baseline.runtime_s,
+        method_runtime_s=method.runtime_s,
+        baseline_avg_cpu_w=baseline.avg_cpu_w,
+        method_avg_cpu_w=method.avg_cpu_w,
+        baseline_total_energy_j=baseline.total_energy_j,
+        method_total_energy_j=method.total_energy_j,
+    )

@@ -1,0 +1,83 @@
+"""Pareto-frontier extraction for the Fig. 7 sensitivity analysis.
+
+Each threshold configuration of the sensitivity sweep yields one point in
+(runtime, energy) space; both objectives are minimised.  The paper selects
+as defaults the configuration that lies on (or nearest to) the frontier
+across *all* tested applications — :func:`distance_to_front` provides the
+"nearest to" notion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+__all__ = ["ParetoPoint", "pareto_front", "is_on_front", "distance_to_front"]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One configuration's outcome in (runtime, energy) space.
+
+    Attributes
+    ----------
+    runtime_s / energy_j:
+        The two minimised objectives.
+    label:
+        Configuration identity (e.g. ``"inc=300,dec=500,hf=0.4"``).
+    params:
+        The raw configuration mapping, for programmatic consumers.
+    """
+
+    runtime_s: float
+    energy_j: float
+    label: str = ""
+    params: Dict[str, float] = field(default_factory=dict, compare=False, hash=False)
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """True if this point is at least as good on both objectives and
+        strictly better on at least one."""
+        no_worse = self.runtime_s <= other.runtime_s and self.energy_j <= other.energy_j
+        better = self.runtime_s < other.runtime_s or self.energy_j < other.energy_j
+        return no_worse and better
+
+
+def pareto_front(points: Sequence[ParetoPoint]) -> List[ParetoPoint]:
+    """Return the non-dominated subset, sorted by runtime.
+
+    Duplicate coordinates are all retained (they tie on the frontier).
+    """
+    if not points:
+        raise ExperimentError("pareto_front needs at least one point")
+    front = [p for p in points if not any(q.dominates(p) for q in points)]
+    return sorted(front, key=lambda p: (p.runtime_s, p.energy_j))
+
+
+def is_on_front(point: ParetoPoint, points: Sequence[ParetoPoint]) -> bool:
+    """True if ``point`` is non-dominated within ``points``."""
+    return not any(q.dominates(point) for q in points)
+
+
+def distance_to_front(point: ParetoPoint, points: Sequence[ParetoPoint]) -> float:
+    """Normalised Euclidean distance from ``point`` to the frontier.
+
+    Coordinates are normalised by the sweep's per-axis ranges so runtime
+    seconds and energy joules are commensurate. A point on the frontier has
+    distance 0. Used to assert the paper's claim that the recommended
+    thresholds are "on or close to" every application's frontier.
+    """
+    front = pareto_front(points)
+    rts = np.array([p.runtime_s for p in points])
+    ens = np.array([p.energy_j for p in points])
+    rt_range = max(float(rts.max() - rts.min()), 1e-12)
+    en_range = max(float(ens.max() - ens.min()), 1e-12)
+    best = min(
+        ((point.runtime_s - f.runtime_s) / rt_range) ** 2
+        + ((point.energy_j - f.energy_j) / en_range) ** 2
+        for f in front
+    )
+    return float(np.sqrt(best))

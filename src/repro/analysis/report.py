@@ -1,0 +1,69 @@
+"""Plain-text tables for the experiment harness.
+
+The benchmark harness prints the same rows the paper's tables and figures
+report; :func:`format_table` is the single formatting path so every
+experiment's output looks alike.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+from repro.errors import ExperimentError
+
+__all__ = ["format_table"]
+
+Cell = Union[str, float, int]
+
+
+def _render(cell: Cell) -> str:
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, float):
+        return f"{cell:.3f}" if abs(cell) < 1000 else f"{cell:.1f}"
+    return str(cell)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]], title: str = "") -> str:
+    """Render an aligned monospace table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Row cells; every row must match ``headers`` in length.
+    title:
+        Optional title printed above the table.
+
+    Returns
+    -------
+    str
+        The rendered table (no trailing newline).
+    """
+    headers = [str(h) for h in headers]
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = [_render(c) for c in row]
+        if len(cells) != len(headers):
+            raise ExperimentError(
+                f"row has {len(cells)} cells but table has {len(headers)} columns: {cells}"
+            )
+        rendered.append(cells)
+
+    widths = [len(h) for h in headers]
+    for cells in rendered:
+        for i, c in enumerate(cells):
+            widths[i] = max(widths[i], len(c))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(widths[i]) for i, c in enumerate(cells)).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), 8))
+    lines.append(fmt_row(headers))
+    lines.append(fmt_row(["-" * w for w in widths]))
+    lines.extend(fmt_row(cells) for cells in rendered)
+    return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Repetition statistics: the paper's measurement protocol (§6).
+
+"Each experiment was repeated at least five times to account for
+performance variance and outliers when running applications on real
+systems. Outliers were removed, and the average of the remaining results
+was calculated."  These helpers implement that protocol: Tukey-fence
+outlier removal followed by the mean of what remains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+__all__ = ["remove_outliers", "robust_mean", "RepeatSummary", "summarize_repeats"]
+
+
+def remove_outliers(values: Sequence[float], *, k: float = 1.5) -> Tuple[np.ndarray, np.ndarray]:
+    """Split values into (kept, removed) by Tukey's IQR fences.
+
+    Parameters
+    ----------
+    values:
+        The repeated measurements.
+    k:
+        Fence multiplier; 1.5 is the conventional outlier definition.
+
+    Returns
+    -------
+    (kept, removed):
+        Values inside ``[Q1 - k·IQR, Q3 + k·IQR]`` and the rest. With
+        fewer than four samples nothing is removed (quartiles are
+        meaningless).
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ExperimentError("no measurements to filter")
+    if k < 0:
+        raise ExperimentError(f"fence multiplier must be non-negative, got {k!r}")
+    if arr.size < 4:
+        return arr, np.empty(0)
+    q1, q3 = np.percentile(arr, [25, 75])
+    iqr = q3 - q1
+    lo, hi = q1 - k * iqr, q3 + k * iqr
+    keep = (arr >= lo) & (arr <= hi)
+    return arr[keep], arr[~keep]
+
+
+def robust_mean(values: Sequence[float], *, k: float = 1.5) -> float:
+    """The paper's statistic: mean after outlier removal."""
+    kept, _removed = remove_outliers(values, k=k)
+    if kept.size == 0:
+        # Degenerate (every point fenced out): fall back to the median,
+        # the most defensible single number.
+        return float(np.median(np.asarray(list(values), dtype=float)))
+    return float(kept.mean())
+
+
+@dataclass(frozen=True)
+class RepeatSummary:
+    """Summary of one repeated measurement."""
+
+    mean: float
+    std: float
+    n_total: int
+    n_outliers: int
+    minimum: float
+    maximum: float
+
+
+def summarize_repeats(values: Sequence[float], *, k: float = 1.5) -> RepeatSummary:
+    """Full repetition summary (robust mean + dispersion diagnostics)."""
+    arr = np.asarray(list(values), dtype=float)
+    kept, removed = remove_outliers(arr, k=k)
+    basis = kept if kept.size else arr
+    return RepeatSummary(
+        mean=float(basis.mean()),
+        std=float(basis.std(ddof=1)) if basis.size > 1 else 0.0,
+        n_total=int(arr.size),
+        n_outliers=int(removed.size),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+    )

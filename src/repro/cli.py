@@ -1,0 +1,233 @@
+"""Command-line interface.
+
+Installed as ``python -m repro.cli`` (or via ``repro`` when packaged with
+an entry point). Subcommands mirror the library's main workflows::
+
+    repro list                                   # systems, workloads, governors
+    repro run --system intel_a100 --workload unet --governor magus
+    repro compare --system intel_a100 --workload srad --method magus --method ups
+    repro overhead --system intel_a100 --governor ups --duration 120
+    repro suite --figure 4a                      # a Fig. 4 sweep
+    repro experiments --quick                    # the full paper report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.metrics import compare as compare_runs
+from repro.analysis.report import format_table
+from repro.errors import ReproError
+from repro.hw.presets import PRESETS
+from repro.runtime.overhead import measure_overhead
+from repro.runtime.session import make_governor, run_application
+from repro.workloads.registry import workload_names
+
+__all__ = ["main", "build_parser"]
+
+GOVERNORS = ("default", "static_max", "static_min", "ups", "magus")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list systems, workloads and governors")
+
+    run_p = sub.add_parser("run", help="run one workload under one governor")
+    run_p.add_argument("--system", default="intel_a100", choices=sorted(PRESETS))
+    run_p.add_argument("--workload", required=True)
+    run_p.add_argument("--governor", default="magus", choices=GOVERNORS)
+    run_p.add_argument("--seed", type=int, default=1)
+
+    cmp_p = sub.add_parser("compare", help="compare methods against the default baseline")
+    cmp_p.add_argument("--system", default="intel_a100", choices=sorted(PRESETS))
+    cmp_p.add_argument("--workload", required=True)
+    cmp_p.add_argument("--method", action="append", default=None, choices=GOVERNORS)
+    cmp_p.add_argument("--seed", type=int, default=1)
+
+    ovh_p = sub.add_parser("overhead", help="idle overhead measurement (Table 2 procedure)")
+    ovh_p.add_argument("--system", default="intel_a100", choices=sorted(PRESETS))
+    ovh_p.add_argument("--governor", default="magus", choices=("magus", "ups"))
+    ovh_p.add_argument("--duration", type=float, default=120.0)
+    ovh_p.add_argument("--seed", type=int, default=1)
+
+    suite_p = sub.add_parser("suite", help="run one Fig. 4 end-to-end sweep")
+    suite_p.add_argument("--figure", default="4a", choices=("4a", "4b", "4c"))
+    suite_p.add_argument("--repeats", type=int, default=1)
+    suite_p.add_argument("--seed", type=int, default=1)
+
+    exp_p = sub.add_parser("experiments", help="run the full paper report")
+    exp_p.add_argument("--quick", action="store_true")
+    exp_p.add_argument("--seed", type=int, default=1)
+
+    fleet_p = sub.add_parser("fleet", help="aggregate power of a job fleet (§6.1 budget argument)")
+    fleet_p.add_argument("--system", default="intel_a100", choices=sorted(PRESETS))
+    fleet_p.add_argument(
+        "--job",
+        action="append",
+        required=True,
+        metavar="WORKLOAD[@START]",
+        help="workload name with optional start time, e.g. unet@0 bfs@5",
+    )
+    fleet_p.add_argument("--nodes", type=int, default=None, help="fleet size (default: one per job)")
+    fleet_p.add_argument("--governor", default="magus", choices=GOVERNORS)
+    fleet_p.add_argument("--budget", type=float, default=None, help="power budget in watts")
+    fleet_p.add_argument("--seed", type=int, default=1)
+
+    ver_p = sub.add_parser("verify", help="check every encoded paper claim")
+    ver_p.add_argument("--full", action="store_true", help="full Fig. 4a suite + 10-min idle runs")
+    ver_p.add_argument("--seed", type=int, default=1)
+
+    return parser
+
+
+def _cmd_list() -> int:
+    print(format_table(("system",), [(name,) for name in sorted(PRESETS)], title="Systems"))
+    print()
+    print(format_table(("governor",), [(g,) for g in GOVERNORS], title="Governors"))
+    print()
+    print(format_table(("workload",), [(w,) for w in workload_names()], title="Workloads"))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    result = run_application(args.system, args.workload, make_governor(args.governor), seed=args.seed)
+    print(
+        format_table(
+            ("quantity", "value"),
+            [
+                ("workload", result.workload_name),
+                ("system", result.system_name),
+                ("governor", result.governor_name),
+                ("completed", str(result.completed)),
+                ("runtime (s)", f"{result.runtime_s:.2f}"),
+                ("avg CPU power (W)", f"{result.avg_cpu_w:.1f}"),
+                ("avg GPU power (W)", f"{result.avg_gpu_w:.1f}"),
+                ("total energy (kJ)", f"{result.total_energy_j / 1000:.2f}"),
+                ("decisions", str(len(result.decisions))),
+            ],
+            title=f"{args.workload} on {args.system} under {args.governor}",
+        )
+    )
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    methods = args.method or ["magus", "ups"]
+    baseline = run_application(args.system, args.workload, make_governor("default"), seed=args.seed)
+    rows = []
+    for method in methods:
+        run = run_application(args.system, args.workload, make_governor(method), seed=args.seed)
+        c = compare_runs(baseline, run)
+        rows.append(
+            (
+                method,
+                f"{c.performance_loss * 100:+.1f}%",
+                f"{c.power_saving * 100:+.1f}%",
+                f"{c.energy_saving * 100:+.1f}%",
+            )
+        )
+    print(
+        format_table(
+            ("method", "perf loss", "power saving", "energy saving"),
+            rows,
+            title=f"{args.workload} on {args.system} vs default (seed {args.seed})",
+        )
+    )
+    return 0
+
+
+def _cmd_overhead(args) -> int:
+    result = measure_overhead(
+        args.system, make_governor(args.governor), duration_s=args.duration, seed=args.seed
+    )
+    print(str(result))
+    return 0
+
+
+def _cmd_suite(args) -> int:
+    from repro.experiments.fig4_end_to_end import format_fig4, run_fig4a, run_fig4b, run_fig4c
+
+    runner = {"4a": run_fig4a, "4b": run_fig4b, "4c": run_fig4c}[args.figure]
+    rows = runner(repeats=args.repeats, base_seed=args.seed)
+    print(format_fig4(rows, f"Fig. {args.figure}"))
+    return 0
+
+
+def _cmd_fleet(args) -> int:
+    from repro.cluster import ClusterJob, ClusterSimulator, compare_fleets
+
+    jobs = []
+    for i, spec in enumerate(args.job):
+        name, _, start = spec.partition("@")
+        jobs.append(
+            ClusterJob(f"job{i}-{name}", name, float(start) if start else 0.0, seed=args.seed + i)
+        )
+    sim = ClusterSimulator(args.system, jobs, n_nodes=args.nodes)
+    baseline = sim.run_fleet("default")
+    method = sim.run_fleet(args.governor)
+    comparison = compare_fleets(baseline, method, budget_w=args.budget)
+    print(
+        format_table(
+            ("policy", "peak power (W)", "fleet energy (kJ)", "makespan (s)", "queue wait (s)"),
+            [
+                (f.governor, f"{f.peak_power_w:.0f}", f"{f.fleet_energy_j / 1000:.1f}", f"{f.makespan_s:.1f}", f"{f.total_queue_wait_s:.1f}")
+                for f in (baseline, method)
+            ],
+            title=f"{sim.n_nodes}-node fleet on {args.system}",
+        )
+    )
+    print(str(comparison))
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from repro.experiments.paper import format_verification, verify_reproduction
+
+    results = verify_reproduction(seed=args.seed, quick=not args.full)
+    print(format_verification(results))
+    return 0 if all(r.passed for r in results) else 1
+
+
+def _cmd_experiments(args) -> int:
+    from repro.experiments.runner import run_all
+
+    for report in run_all(quick=args.quick, seed=args.seed):
+        print(report)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+        if args.command == "overhead":
+            return _cmd_overhead(args)
+        if args.command == "suite":
+            return _cmd_suite(args)
+        if args.command == "experiments":
+            return _cmd_experiments(args)
+        if args.command == "verify":
+            return _cmd_verify(args)
+        if args.command == "fleet":
+            return _cmd_fleet(args)
+        parser.error(f"unknown command {args.command!r}")
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Cluster-level aggregation: the §6.1 power-budget argument, simulated.
+
+The paper notes that "reducing instantaneous power consumption helps
+prevent the aggregate power consumption of all applications from exceeding
+the system's total power budget if one is in place." This subpackage makes
+that claim measurable: a fleet of nodes each running a scheduled job under
+a chosen uncore policy, with the aggregate power profile, peak demand and
+budget-violation time computed across the fleet.
+"""
+
+from repro.cluster.job import ClusterJob
+from repro.cluster.simulator import (
+    ClusterSimulator,
+    FleetComparison,
+    FleetResult,
+    JobOutcome,
+    Placement,
+    compare_fleets,
+)
+
+__all__ = [
+    "ClusterJob",
+    "ClusterSimulator",
+    "FleetResult",
+    "FleetComparison",
+    "JobOutcome",
+    "Placement",
+    "compare_fleets",
+]

@@ -1,0 +1,43 @@
+"""Cluster job description."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ExperimentError
+
+__all__ = ["ClusterJob"]
+
+
+@dataclass(frozen=True)
+class ClusterJob:
+    """One application scheduled onto one node of the fleet.
+
+    Parameters
+    ----------
+    name:
+        Job identifier, unique within a fleet.
+    workload:
+        Workload registry name.
+    start_time_s:
+        Cluster time at which the job launches on its node; the node idles
+        (min uncore) before that.
+    seed:
+        Workload jitter seed (also the node's hardware-noise seed).
+    gpu_count:
+        GPUs the application spans (must not exceed the preset's count).
+    """
+
+    name: str
+    workload: str
+    start_time_s: float = 0.0
+    seed: int = 0
+    gpu_count: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ExperimentError("job name must be non-empty")
+        if self.start_time_s < 0:
+            raise ExperimentError(f"job {self.name!r}: negative start time {self.start_time_s!r}")
+        if self.gpu_count < 1:
+            raise ExperimentError(f"job {self.name!r}: invalid gpu_count {self.gpu_count!r}")

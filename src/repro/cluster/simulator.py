@@ -1,0 +1,295 @@
+"""Fleet simulation: one node per job, aggregated power accounting.
+
+Each job runs on its own node (the paper's systems are single-application
+nodes) under the chosen governor; job runs are independent, so the fleet
+executes them through the process pool. Aggregation happens on a common
+cluster-time grid: before its job starts and after it completes, a node
+contributes its idle power; during the job, its simulated total power
+profile (shifted by the start time).
+
+The quantities the §6.1 budget argument cares about:
+
+* **peak aggregate power** — what the facility must provision for;
+* **time over budget** — how long a given cap would have been violated;
+* **fleet energy** — the sum the energy-saving metric generalises to.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.cluster.job import ClusterJob
+from repro.hw.presets import SystemPreset, get_preset
+from repro.parallel.pool import map_parallel
+from repro.runtime.session import make_governor, run_application
+
+__all__ = ["JobOutcome", "Placement", "FleetResult", "ClusterSimulator", "FleetComparison", "compare_fleets"]
+
+#: Aggregation grid step (cluster time).
+GRID_S = 0.5
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """One job's slimmed result (picklable across pool workers)."""
+
+    job: ClusterJob
+    governor: str
+    runtime_s: float
+    completed: bool
+    total_energy_j: float
+    power_times_s: np.ndarray
+    power_values_w: np.ndarray
+
+
+def _run_job(preset_name: str, job: ClusterJob, governor_name: str, dt_s: float) -> JobOutcome:
+    """Pool worker: simulate one job and slim the result."""
+    result = run_application(
+        preset_name,
+        None if job.workload is None else job.workload,
+        make_governor(governor_name),
+        seed=job.seed,
+        dt_s=dt_s,
+    )
+    trace = result.traces["total_w"].resample(GRID_S)
+    return JobOutcome(
+        job=job,
+        governor=governor_name,
+        runtime_s=result.runtime_s,
+        completed=result.completed,
+        total_energy_j=result.total_energy_j,
+        power_times_s=trace.times,
+        power_values_w=trace.values,
+    )
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Where and when one job actually ran."""
+
+    node_id: int
+    actual_start_s: float
+    queue_wait_s: float
+
+
+@dataclass
+class FleetResult:
+    """Aggregate outcome of one fleet run."""
+
+    preset_name: str
+    governor: str
+    outcomes: List[JobOutcome]
+    grid_times_s: np.ndarray
+    aggregate_power_w: np.ndarray
+    idle_node_power_w: float
+    #: job name -> placement (node + actual start after any queueing).
+    placements: Dict[str, "Placement"] = field(default_factory=dict)
+
+    def placement(self, job_name: str) -> "Placement":
+        """Look up one job's placement."""
+        try:
+            return self.placements[job_name]
+        except KeyError:
+            raise ExperimentError(f"no placement for job {job_name!r}") from None
+
+    @property
+    def total_queue_wait_s(self) -> float:
+        """Sum of FIFO queue waits across jobs (0 with one node per job)."""
+        return sum(p.queue_wait_s for p in self.placements.values())
+
+    @property
+    def makespan_s(self) -> float:
+        """Cluster time at which the last job completes."""
+        return max(
+            self.placements[o.job.name].actual_start_s + o.runtime_s for o in self.outcomes
+        )
+
+    @property
+    def peak_power_w(self) -> float:
+        """Peak aggregate fleet power."""
+        return float(self.aggregate_power_w.max())
+
+    @property
+    def fleet_energy_j(self) -> float:
+        """Total fleet energy over the aggregation window."""
+        return float(np.trapezoid(self.aggregate_power_w, self.grid_times_s))
+
+    def time_over_budget_s(self, budget_w: float) -> float:
+        """Cluster time spent above a power cap."""
+        if budget_w <= 0:
+            raise ExperimentError(f"budget must be positive, got {budget_w!r}")
+        over = self.aggregate_power_w > budget_w
+        return float(over.sum() * GRID_S)
+
+
+class ClusterSimulator:
+    """A fleet of identical nodes, one scheduled job each.
+
+    Parameters
+    ----------
+    preset:
+        Node type (every node is the same preset, as in the paper's rigs).
+    jobs:
+        The schedule. Job names must be unique.
+    n_nodes:
+        Fleet size. Defaults to one node per job; with fewer nodes, jobs
+        queue FIFO (ordered by requested start time) and run on the first
+        node to free up.
+    """
+
+    def __init__(self, preset, jobs: Sequence[ClusterJob], *, n_nodes: Optional[int] = None):
+        if isinstance(preset, str):
+            preset = get_preset(preset)
+        if not isinstance(preset, SystemPreset):
+            raise ExperimentError(f"invalid preset {preset!r}")
+        if not jobs:
+            raise ExperimentError("fleet needs at least one job")
+        names = [j.name for j in jobs]
+        if len(set(names)) != len(names):
+            raise ExperimentError(f"duplicate job names: {sorted(names)}")
+        for job in jobs:
+            if job.gpu_count > preset.gpu.count:
+                raise ExperimentError(
+                    f"job {job.name!r} wants {job.gpu_count} GPUs but "
+                    f"{preset.name!r} nodes have {preset.gpu.count}"
+                )
+        if n_nodes is not None and n_nodes < 1:
+            raise ExperimentError(f"n_nodes must be >= 1, got {n_nodes!r}")
+        self.preset = preset
+        self.jobs = list(jobs)
+        self._n_nodes = n_nodes if n_nodes is not None else len(jobs)
+        self._idle_power_cache: Optional[float] = None
+
+    @property
+    def n_nodes(self) -> int:
+        """Fleet size (defaults to one node per job)."""
+        return self._n_nodes
+
+    def idle_node_power_w(self, dt_s: float = 0.01) -> float:
+        """Average power of an unmanaged idle node (cached)."""
+        if self._idle_power_cache is None:
+            idle = run_application(self.preset, None, None, seed=0, dt_s=dt_s, max_time_s=5.0)
+            self._idle_power_cache = idle.avg_total_w
+        return self._idle_power_cache
+
+    def run_fleet(
+        self,
+        governor_name: str,
+        *,
+        dt_s: float = 0.01,
+        n_workers: Optional[int] = None,
+    ) -> FleetResult:
+        """Run every job under ``governor_name`` and aggregate.
+
+        Job simulations are independent and run through the process pool;
+        results are deterministic regardless of worker count.
+        """
+        outcomes: List[JobOutcome] = map_parallel(
+            _run_job,
+            [
+                {"preset_name": self.preset.name, "job": job, "governor_name": governor_name, "dt_s": dt_s}
+                for job in self.jobs
+            ],
+            n_workers=n_workers,
+        )
+        idle_w = self.idle_node_power_w(dt_s)
+
+        # FIFO placement: jobs in requested-start order onto the first
+        # node to free up (trivially their requested starts when the fleet
+        # has one node per job).
+        placements: Dict[str, Placement] = {}
+        node_free = [(0.0, node_id) for node_id in range(self._n_nodes)]
+        heapq.heapify(node_free)
+        by_request = sorted(outcomes, key=lambda o: (o.job.start_time_s, o.job.name))
+        for o in by_request:
+            free_at, node_id = heapq.heappop(node_free)
+            actual = max(o.job.start_time_s, free_at)
+            placements[o.job.name] = Placement(
+                node_id=node_id,
+                actual_start_s=actual,
+                queue_wait_s=actual - o.job.start_time_s,
+            )
+            heapq.heappush(node_free, (actual + o.runtime_s, node_id))
+
+        horizon = (
+            max(placements[o.job.name].actual_start_s + o.power_times_s[-1] for o in outcomes)
+            + GRID_S
+        )
+        grid = np.arange(GRID_S, horizon + GRID_S / 2, GRID_S)
+        aggregate = np.full(grid.shape, float(self._n_nodes) * idle_w)
+        for o in outcomes:
+            shifted = placements[o.job.name].actual_start_s + o.power_times_s
+            inside = (grid >= shifted[0]) & (grid <= shifted[-1])
+            # Replace the node's idle contribution with the job's profile.
+            aggregate[inside] += np.interp(grid[inside], shifted, o.power_values_w) - idle_w
+        return FleetResult(
+            preset_name=self.preset.name,
+            governor=governor_name,
+            outcomes=outcomes,
+            grid_times_s=grid,
+            aggregate_power_w=aggregate,
+            idle_node_power_w=idle_w,
+            placements=placements,
+        )
+
+
+@dataclass(frozen=True)
+class FleetComparison:
+    """Method-vs-baseline fleet summary (the §6.1 budget argument)."""
+
+    baseline_governor: str
+    method_governor: str
+    peak_power_reduction_w: float
+    peak_power_reduction_frac: float
+    fleet_energy_saving_frac: float
+    makespan_increase_frac: float
+    budget_w: Optional[float]
+    baseline_time_over_budget_s: Optional[float]
+    method_time_over_budget_s: Optional[float]
+
+    def __str__(self) -> str:
+        text = (
+            f"{self.method_governor} vs {self.baseline_governor}: peak fleet power "
+            f"-{self.peak_power_reduction_w:.0f}W ({self.peak_power_reduction_frac * 100:.1f}%), "
+            f"fleet energy {self.fleet_energy_saving_frac * 100:+.1f}%, "
+            f"makespan {self.makespan_increase_frac * 100:+.1f}%"
+        )
+        if self.budget_w is not None:
+            text += (
+                f"; time over {self.budget_w:.0f}W budget: "
+                f"{self.baseline_time_over_budget_s:.1f}s -> {self.method_time_over_budget_s:.1f}s"
+            )
+        return text
+
+
+def compare_fleets(
+    baseline: FleetResult,
+    method: FleetResult,
+    *,
+    budget_w: Optional[float] = None,
+) -> FleetComparison:
+    """Summarise a paired fleet comparison.
+
+    Both fleets must have run the same schedule on the same preset.
+    """
+    if baseline.preset_name != method.preset_name:
+        raise ExperimentError("fleets ran on different presets")
+    if [o.job for o in baseline.outcomes] != [o.job for o in method.outcomes]:
+        raise ExperimentError("fleets ran different schedules")
+    peak_drop = baseline.peak_power_w - method.peak_power_w
+    return FleetComparison(
+        baseline_governor=baseline.governor,
+        method_governor=method.governor,
+        peak_power_reduction_w=peak_drop,
+        peak_power_reduction_frac=peak_drop / baseline.peak_power_w,
+        fleet_energy_saving_frac=1.0 - method.fleet_energy_j / baseline.fleet_energy_j,
+        makespan_increase_frac=method.makespan_s / baseline.makespan_s - 1.0,
+        budget_w=budget_w,
+        baseline_time_over_budget_s=baseline.time_over_budget_s(budget_w) if budget_w else None,
+        method_time_over_budget_s=method.time_over_budget_s(budget_w) if budget_w else None,
+    )

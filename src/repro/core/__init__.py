@@ -1,0 +1,36 @@
+"""MAGUS: the paper's contribution.
+
+Memory-dynamics-driven, model-free uncore frequency scaling:
+
+* :mod:`~repro.core.dynamics` — the pure kernels of *memory dynamics*
+  (first derivative of memory throughput; frequency of tune events);
+* :mod:`~repro.core.predictor` — Algorithm 1, memory-throughput trend
+  prediction over a sliding FIFO;
+* :mod:`~repro.core.detector` — Algorithm 2, high-frequency fluctuation
+  detection over the tune-event FIFO;
+* :mod:`~repro.core.magus` — Algorithm 3 (MDFS), the runtime gluing the
+  two phases to the PCM counter and the MSR actuation path;
+* :mod:`~repro.core.config` — thresholds and intervals, defaulting to the
+  paper's recommended values.
+"""
+
+from repro.core.config import MagusConfig
+from repro.core.dynamics import first_derivative, tune_event_rate
+from repro.core.predictor import TrendPredictor, TREND_UP, TREND_DOWN, TREND_FLAT
+from repro.core.detector import HighFrequencyDetector
+from repro.core.magus import MagusGovernor
+from repro.core.flowchart import build_flowchart, flowchart_to_dot
+
+__all__ = [
+    "MagusConfig",
+    "first_derivative",
+    "tune_event_rate",
+    "TrendPredictor",
+    "TREND_UP",
+    "TREND_DOWN",
+    "TREND_FLAT",
+    "HighFrequencyDetector",
+    "MagusGovernor",
+    "build_flowchart",
+    "flowchart_to_dot",
+]

@@ -1,0 +1,72 @@
+"""Memory dynamics: the two pure kernels at the heart of MAGUS.
+
+The paper defines *memory dynamics* as (a) the first derivative of memory
+throughput and (b) the frequency of memory-throughput changes.  Both kernels
+here are side-effect-free functions over plain sequences, which is what the
+property-based tests exercise.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigError
+
+__all__ = ["first_derivative", "tune_event_rate"]
+
+
+def first_derivative(values: Sequence[float], window: int) -> float:
+    """First derivative of a throughput history, per sampling interval.
+
+    Implements line 3 of Algorithm 1:
+    ``d = (values[-1] - values[-1 - window]) / window`` — the average change
+    per interval across the last ``window`` intervals.
+
+    Parameters
+    ----------
+    values:
+        Throughput history, oldest first (MB/s).
+    window:
+        Number of trailing intervals to span; must leave at least one
+        sample before the window start.
+
+    Returns
+    -------
+    float
+        Average change per interval (MB/s per sample). Positive means
+        throughput is rising.
+
+    >>> first_derivative([0.0, 100.0, 200.0, 300.0], 3)
+    100.0
+    """
+    if window < 1:
+        raise ConfigError(f"window must be >= 1, got {window!r}")
+    if len(values) < window + 1:
+        raise ConfigError(
+            f"need at least window+1={window + 1} samples, got {len(values)}"
+        )
+    return (float(values[-1]) - float(values[-1 - window])) / window
+
+
+def tune_event_rate(flags: Sequence[int]) -> float:
+    """Fraction of recent cycles that generated an uncore tune event.
+
+    Implements lines 3–4 of Algorithm 2: the mean of the binary
+    ``uncore_tune_ls`` FIFO.
+
+    Parameters
+    ----------
+    flags:
+        Binary history (1 = the predictor wanted to retune that cycle).
+
+    >>> tune_event_rate([1, 0, 1, 0, 1, 0, 1, 0, 1, 0])
+    0.5
+    """
+    if not flags:
+        raise ConfigError("flags must be non-empty")
+    total = 0
+    for f in flags:
+        if f not in (0, 1):
+            raise ConfigError(f"flags must be binary, got {f!r}")
+        total += f
+    return total / len(flags)

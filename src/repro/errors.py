@@ -1,0 +1,101 @@
+"""Exception hierarchy for the MAGUS reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.  The
+sub-classes mirror the major subsystems: simulation, hardware models,
+telemetry, workloads, governors, and the experiment harness.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "SimulationError",
+    "ClockError",
+    "HardwareError",
+    "FrequencyRangeError",
+    "PowerModelError",
+    "TelemetryError",
+    "MSRAccessError",
+    "CounterOverflowError",
+    "WorkloadError",
+    "UnknownWorkloadError",
+    "GovernorError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigError(ReproError):
+    """Raised when a configuration object is internally inconsistent."""
+
+
+class SimulationError(ReproError):
+    """Raised for failures inside the discrete-time simulation engine."""
+
+
+class ClockError(SimulationError):
+    """Raised when simulated time would move backwards or is misaligned."""
+
+
+class HardwareError(ReproError):
+    """Base class for errors raised by hardware component models."""
+
+
+class FrequencyRangeError(HardwareError):
+    """Raised when a frequency request falls outside a component's range."""
+
+    def __init__(self, requested_ghz: float, lo_ghz: float, hi_ghz: float):
+        self.requested_ghz = requested_ghz
+        self.lo_ghz = lo_ghz
+        self.hi_ghz = hi_ghz
+        super().__init__(
+            f"frequency {requested_ghz:.3f} GHz outside supported range "
+            f"[{lo_ghz:.3f}, {hi_ghz:.3f}] GHz"
+        )
+
+
+class PowerModelError(HardwareError):
+    """Raised when a power model produces or is given invalid values."""
+
+
+class TelemetryError(ReproError):
+    """Base class for telemetry (counter/register) errors."""
+
+
+class MSRAccessError(TelemetryError):
+    """Raised on invalid model-specific-register access (bad address/value)."""
+
+    def __init__(self, address: int, reason: str):
+        self.address = address
+        self.reason = reason
+        super().__init__(f"MSR 0x{address:X}: {reason}")
+
+
+class CounterOverflowError(TelemetryError):
+    """Raised when a hardware counter wraps in a way the reader cannot fix."""
+
+
+class WorkloadError(ReproError):
+    """Base class for workload construction/validation errors."""
+
+
+class UnknownWorkloadError(WorkloadError):
+    """Raised when a workload name is not present in the registry."""
+
+    def __init__(self, name: str, known: tuple = ()):  # type: ignore[type-arg]
+        self.name = name
+        hint = f"; known: {', '.join(sorted(known))}" if known else ""
+        super().__init__(f"unknown workload {name!r}{hint}")
+
+
+class GovernorError(ReproError):
+    """Raised when an uncore governor is misused or misconfigured."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the experiment harness (missing artefacts, bad grids...)."""

@@ -1,0 +1,169 @@
+"""Ablations of MAGUS's design choices (DESIGN.md §6).
+
+Each function isolates one decision the paper makes and quantifies what it
+buys, holding everything else fixed:
+
+* :func:`ablate_monitoring` — single PCM counter vs a per-core MSR sweep
+  (§2's "selection of uncore metrics" challenge);
+* :func:`ablate_detector` — Algorithm 2 on vs off on a high-frequency
+  workload;
+* :func:`ablate_actuation` — jump-to-bound vs gradual stepping (§6.1's
+  fdtd2d remark);
+* :func:`ablate_interval` — the 0.2 s monitoring interval vs faster and
+  slower sampling (§6.4).
+
+The benchmark harness (`benchmarks/test_ablation_*.py`) prints and asserts
+over these results; they are equally usable from library code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.metrics import MethodComparison, compare
+from repro.core.config import MagusConfig
+from repro.core.magus import MagusGovernor
+from repro.governors.base import Decision
+from repro.runtime.overhead import OverheadResult, measure_overhead
+from repro.runtime.session import RunResult, make_governor, run_application
+from repro.telemetry.sampling import AccessMeter
+
+__all__ = [
+    "MagusWithSweepMonitoring",
+    "MonitoringAblation",
+    "ablate_monitoring",
+    "DetectorAblation",
+    "ablate_detector",
+    "ablate_actuation",
+    "IntervalPoint",
+    "ablate_interval",
+    "uncore_transitions",
+]
+
+
+def uncore_transitions(run: RunResult) -> int:
+    """Number of uncore-target changes over a run's trace."""
+    values = run.traces["uncore_target_ghz"].values
+    return int((abs(values[1:] - values[:-1]) > 1e-9).sum())
+
+
+class MagusWithSweepMonitoring(MagusGovernor):
+    """MAGUS decisions paid for with a full per-core MSR sweep each cycle.
+
+    The sweep replaces nothing — the policy still reads PCM — it models
+    *choosing an expensive metric set* while holding the policy constant.
+    """
+
+    name = "magus+sweep"
+
+    def sample_and_decide(self, now_s: float, meter: AccessMeter) -> Decision:
+        self.context.hub.msr.read_all_core_counters(meter)
+        return super().sample_and_decide(now_s, meter)
+
+
+@dataclass(frozen=True)
+class MonitoringAblation:
+    """Outcome of the monitoring-strategy ablation."""
+
+    idle_pcm: OverheadResult
+    idle_sweep: OverheadResult
+    loaded_pcm: MethodComparison
+    loaded_sweep: MethodComparison
+
+
+def ablate_monitoring(
+    *, preset: str = "intel_a100", workload: str = "unet", seed: int = 1, idle_duration_s: float = 120.0
+) -> MonitoringAblation:
+    """Quantify PCM-vs-sweep monitoring at identical policy."""
+    idle_pcm = measure_overhead(preset, make_governor("magus"), duration_s=idle_duration_s, seed=seed)
+    idle_sweep = measure_overhead(preset, MagusWithSweepMonitoring(), duration_s=idle_duration_s, seed=seed)
+    baseline = run_application(preset, workload, make_governor("default"), seed=seed)
+    loaded_pcm = run_application(preset, workload, make_governor("magus"), seed=seed)
+    loaded_sweep = run_application(preset, workload, MagusWithSweepMonitoring(), seed=seed)
+    return MonitoringAblation(
+        idle_pcm=idle_pcm,
+        idle_sweep=idle_sweep,
+        loaded_pcm=compare(baseline, loaded_pcm),
+        loaded_sweep=compare(baseline, loaded_sweep),
+    )
+
+
+@dataclass(frozen=True)
+class DetectorAblation:
+    """Outcome of the Algorithm 2 on/off ablation."""
+
+    with_detector: MethodComparison
+    without_detector: MethodComparison
+    with_detector_run: RunResult
+    without_detector_run: RunResult
+    hf_pins_with: int
+    hf_pins_without: int
+
+
+def ablate_detector(
+    *, preset: str = "intel_a100", workload: str = "srad", seed: int = 1
+) -> DetectorAblation:
+    """Run a high-frequency workload with and without Algorithm 2."""
+    baseline = run_application(preset, workload, make_governor("default"), seed=seed)
+    with_det = run_application(preset, workload, MagusGovernor(MagusConfig()), seed=seed)
+    without_det = run_application(
+        preset, workload, MagusGovernor(MagusConfig(detector_enabled=False)), seed=seed
+    )
+    return DetectorAblation(
+        with_detector=compare(baseline, with_det),
+        without_detector=compare(baseline, without_det),
+        with_detector_run=with_det,
+        without_detector_run=without_det,
+        hf_pins_with=sum(1 for d in with_det.decisions if d.reason == "high_freq_pin"),
+        hf_pins_without=sum(1 for d in without_det.decisions if d.reason == "high_freq_pin"),
+    )
+
+
+def ablate_actuation(
+    *,
+    preset: str = "intel_a100",
+    workload: str = "fdtd2d",
+    steps: Sequence[Optional[float]] = (None, 0.3, 0.1),
+    seed: int = 1,
+) -> List[Tuple[Optional[float], MethodComparison]]:
+    """Compare jump-to-bound actuation (step ``None``) against step sizes."""
+    baseline = run_application(preset, workload, make_governor("default"), seed=seed)
+    out: List[Tuple[Optional[float], MethodComparison]] = []
+    for step in steps:
+        gov = MagusGovernor(MagusConfig(step_ghz=step))
+        run = run_application(preset, workload, gov, seed=seed)
+        out.append((step, compare(baseline, run)))
+    return out
+
+
+@dataclass(frozen=True)
+class IntervalPoint:
+    """One sampling-interval sweep point."""
+
+    interval_s: float
+    comparison: MethodComparison
+    monitor_energy_fraction: float
+
+
+def ablate_interval(
+    *,
+    preset: str = "intel_a100",
+    workload: str = "unet",
+    intervals: Sequence[float] = (0.05, 0.2, 0.6, 1.2),
+    seed: int = 1,
+) -> List[IntervalPoint]:
+    """Sweep the monitoring interval around the paper's 0.2 s choice."""
+    baseline = run_application(preset, workload, make_governor("default"), seed=seed)
+    points: List[IntervalPoint] = []
+    for interval in intervals:
+        gov = MagusGovernor(MagusConfig(interval_s=interval))
+        run = run_application(preset, workload, gov, seed=seed)
+        points.append(
+            IntervalPoint(
+                interval_s=interval,
+                comparison=compare(baseline, run),
+                monitor_energy_fraction=run.monitor_energy_j / run.total_energy_j,
+            )
+        )
+    return points

@@ -1,0 +1,131 @@
+"""CSV export of every experiment's data series.
+
+``python -m repro.experiments.runner --outdir results/`` (or
+:func:`export_all`) writes one CSV per paper artefact, so the figures can
+be re-plotted with any external tool: each file carries exactly the series
+the corresponding figure draws or the rows the table lists.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.errors import ExperimentError
+from repro.sim.trace import TimeSeries
+
+__all__ = ["export_series_csv", "export_rows_csv", "export_all"]
+
+
+def export_series_csv(path: Union[str, Path], series: Dict[str, TimeSeries], *, period_s: float = 0.5) -> None:
+    """Write aligned time series (one column per label) to a CSV file.
+
+    Series are resampled to a common ``period_s`` grid; shorter series are
+    padded with empty cells past their end.
+    """
+    if not series:
+        raise ExperimentError("no series to export")
+    resampled = {label: ts.resample(period_s) for label, ts in series.items()}
+    n = max(len(ts) for ts in resampled.values())
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["time_s"] + list(resampled))
+        for i in range(n):
+            row: List[str] = [f"{(i + 1) * period_s:.3f}"]
+            for ts in resampled.values():
+                row.append(f"{ts.values[i]:.6g}" if i < len(ts) else "")
+            writer.writerow(row)
+
+
+def export_rows_csv(path: Union[str, Path], header: List[str], rows: List[List]) -> None:
+    """Write tabular rows to a CSV file."""
+    if len(header) == 0:
+        raise ExperimentError("empty header")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        for row in rows:
+            if len(row) != len(header):
+                raise ExperimentError(f"row width {len(row)} != header width {len(header)}")
+            writer.writerow(row)
+
+
+def export_all(outdir: Union[str, Path], *, seed: int = 1, quick: bool = True) -> List[Path]:
+    """Run every experiment and write one CSV per artefact.
+
+    Returns the list of files written. Reuses the same experiment
+    entry points as the printed reports.
+    """
+    from repro.experiments.fig1_profiling import run_fig1
+    from repro.experiments.fig2_power_profiles import run_fig2
+    from repro.experiments.fig4_end_to_end import run_fig4a, run_fig4b, run_fig4c
+    from repro.experiments.fig5_srad_throughput import run_fig5
+    from repro.experiments.fig6_srad_uncore import run_fig6
+    from repro.experiments.fig7_sensitivity import run_fig7, threshold_grid
+    from repro.experiments.table1_jaccard import PAPER_JACCARD, run_table1
+    from repro.experiments.table2_overhead import run_table2
+
+    outdir = Path(outdir)
+    written: List[Path] = []
+
+    def _series(name: str, series, period_s: float = 0.5) -> None:
+        path = outdir / name
+        export_series_csv(path, series, period_s=period_s)
+        written.append(path)
+
+    def _rows(name: str, header, rows) -> None:
+        path = outdir / name
+        export_rows_csv(path, header, rows)
+        written.append(path)
+
+    fig1 = run_fig1(seed=seed)
+    _series(
+        "fig1_profiling.csv",
+        {**fig1.core_freq_traces, "gpu_clock_ghz": fig1.gpu_clock_trace, "uncore_ghz": fig1.uncore_freq_trace},
+    )
+
+    fig2 = run_fig2(seed=seed)
+    _series("fig2_power_profiles.csv", {"cpu_w_max_uncore": fig2.max_cpu_power_trace, "cpu_w_min_uncore": fig2.min_cpu_power_trace})
+
+    for name, runner in (("fig4a", run_fig4a), ("fig4b", run_fig4b), ("fig4c", run_fig4c)):
+        rows = runner(repeats=1 if quick else 5, base_seed=seed)
+        _rows(
+            f"{name}_end_to_end.csv",
+            ["workload", "method", "performance_loss", "power_saving", "energy_saving"],
+            [[r.workload, r.method, f"{r.performance_loss:.5f}", f"{r.power_saving:.5f}", f"{r.energy_saving:.5f}"] for r in rows],
+        )
+
+    fig5 = run_fig5(seed=seed)
+    _series("fig5_srad_throughput.csv", fig5.throughput_traces, period_s=0.2)
+
+    fig6 = run_fig6(seed=seed)
+    _series("fig6_srad_uncore.csv", fig6.uncore_traces, period_s=0.2)
+
+    table1 = run_table1(seed=seed)
+    _rows(
+        "table1_jaccard.csv",
+        ["application", "jaccard_measured", "jaccard_paper"],
+        [[r.workload, f"{r.jaccard:.3f}", PAPER_JACCARD.get(r.workload, "")] for r in table1],
+    )
+
+    grid = threshold_grid() if not quick else threshold_grid()[::4]
+    fig7 = run_fig7(seed=seed, grid=grid)
+    fig7_rows = []
+    for app, points in fig7.points.items():
+        front = set(id(p) for p in fig7.fronts[app])
+        for p in points:
+            fig7_rows.append([app, p.label, f"{p.runtime_s:.4f}", f"{p.energy_j:.1f}", int(id(p) in front)])
+    _rows("fig7_sensitivity.csv", ["application", "config", "runtime_s", "energy_j", "on_front"], fig7_rows)
+
+    table2 = run_table2(duration_s=120.0 if quick else 600.0, seed=seed)
+    _rows(
+        "table2_overhead.csv",
+        ["system", "method", "power_overhead_frac", "invocation_s", "decision_period_s"],
+        [[r.system, r.method, f"{r.power_overhead_frac:.5f}", f"{r.invocation_s:.4f}", f"{r.decision_period_s:.4f}"] for r in table2],
+    )
+    return written

@@ -1,0 +1,95 @@
+"""Figure 1 — UNet profiling under vendor-default management.
+
+The paper's motivating observation: while CPU core frequencies (Fig. 1a)
+and the GPU SM clock (Fig. 1b) are dynamically adjusted by default, the
+uncore frequency (Fig. 1c) sits pinned at its maximum for the entire run,
+because package power never approaches TDP on a GPU-dominant workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.runtime.session import make_governor, run_application
+from repro.sim.trace import TimeSeries
+
+__all__ = ["Fig1Result", "run_fig1"]
+
+#: Fig. 1c samples the uncore at 0.5 s intervals.
+SAMPLE_PERIOD_S = 0.5
+
+
+@dataclass
+class Fig1Result:
+    """Profiling traces and headline statistics for Fig. 1.
+
+    Attributes
+    ----------
+    core_freq_traces:
+        Per-core frequency traces for four representative cores (Fig. 1a).
+    gpu_clock_trace:
+        GPU SM clock over time (Fig. 1b).
+    uncore_freq_trace:
+        Uncore frequency sampled at 0.5 s (Fig. 1c).
+    uncore_at_max_fraction:
+        Fraction of samples at the hardware max — the paper's point is
+        that this is ~1.0.
+    core_freq_dynamic_range_ghz:
+        Max-minus-min of the mean core frequency (shows cores *do* move).
+    gpu_clock_dynamic_range_ghz:
+        Max-minus-min of the SM clock (shows the GPU *does* move).
+    peak_pkg_power_fraction_of_tdp:
+        Peak package power over node TDP — far below 1.0, which is why the
+        TDP-reactive default never downscales the uncore.
+    """
+
+    core_freq_traces: Dict[str, TimeSeries]
+    gpu_clock_trace: TimeSeries
+    uncore_freq_trace: TimeSeries
+    uncore_at_max_fraction: float
+    core_freq_dynamic_range_ghz: float
+    gpu_clock_dynamic_range_ghz: float
+    peak_pkg_power_fraction_of_tdp: float
+    runtime_s: float
+
+
+def run_fig1(
+    *,
+    preset: str = "intel_a100",
+    workload: str = "unet",
+    seed: int = 1,
+    dt_s: float = 0.01,
+) -> Fig1Result:
+    """Reproduce the Fig. 1 profiling run.
+
+    Returns
+    -------
+    Fig1Result
+    """
+    result = run_application(preset, workload, make_governor("default"), seed=seed, dt_s=dt_s)
+    from repro.hw.presets import get_preset  # local import: avoid cycles
+
+    sys_preset = get_preset(preset)
+    tdp_total = sys_preset.tdp_w_per_socket * sys_preset.n_sockets
+
+    uncore = result.traces["uncore_effective_ghz"].resample(SAMPLE_PERIOD_S)
+    at_max = (uncore.values >= sys_preset.uncore_max_ghz - 1e-6).mean()
+
+    core_traces = {
+        name: result.traces[name].resample(SAMPLE_PERIOD_S)
+        for name in ("core0_freq_ghz", "core1_freq_ghz", "core2_freq_ghz", "core3_freq_ghz")
+    }
+    mean_core = result.traces["mean_core_freq_ghz"]
+    gpu_clock = result.traces["gpu_sm_clock_ghz"].resample(SAMPLE_PERIOD_S)
+
+    return Fig1Result(
+        core_freq_traces=core_traces,
+        gpu_clock_trace=gpu_clock,
+        uncore_freq_trace=uncore,
+        uncore_at_max_fraction=float(at_max),
+        core_freq_dynamic_range_ghz=mean_core.max() - mean_core.min(),
+        gpu_clock_dynamic_range_ghz=gpu_clock.max() - gpu_clock.min(),
+        peak_pkg_power_fraction_of_tdp=result.traces["pkg_w"].max() / tdp_total,
+        runtime_s=result.runtime_s,
+    )

@@ -1,0 +1,59 @@
+"""Figure 2 — UNet power profiles at max vs min uncore frequency.
+
+The paper's quantification of the waste: pinning the uncore at min cuts
+CPU (package + DRAM) power from ~200 W to ~120 W (an ~82 W / ~40 % drop)
+while stretching runtime from 47 s to 57 s (~21 %).  Both static runs use
+the same workload seed, so the comparison is paired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.session import RunResult, make_governor, run_application
+from repro.sim.trace import TimeSeries
+
+__all__ = ["Fig2Result", "run_fig2"]
+
+
+@dataclass
+class Fig2Result:
+    """Fig. 2's two power profiles and the headline deltas."""
+
+    max_run: RunResult
+    min_run: RunResult
+    max_cpu_power_trace: TimeSeries
+    min_cpu_power_trace: TimeSeries
+    cpu_power_drop_w: float
+    runtime_stretch_frac: float
+    uncore_share_of_cpu_power: float
+
+    def __str__(self) -> str:
+        return (
+            f"UNet @ max uncore: {self.max_run.runtime_s:.1f}s, {self.max_run.avg_cpu_w:.0f}W CPU; "
+            f"@ min uncore: {self.min_run.runtime_s:.1f}s, {self.min_run.avg_cpu_w:.0f}W CPU "
+            f"(drop {self.cpu_power_drop_w:.0f}W, stretch {self.runtime_stretch_frac * 100:.0f}%)"
+        )
+
+
+def run_fig2(
+    *,
+    preset: str = "intel_a100",
+    workload: str = "unet",
+    seed: int = 1,
+    dt_s: float = 0.01,
+    resample_period_s: float = 0.5,
+) -> Fig2Result:
+    """Reproduce the Fig. 2 static-endpoint comparison."""
+    max_run = run_application(preset, workload, make_governor("static_max"), seed=seed, dt_s=dt_s)
+    min_run = run_application(preset, workload, make_governor("static_min"), seed=seed, dt_s=dt_s)
+    drop_w = max_run.avg_cpu_w - min_run.avg_cpu_w
+    return Fig2Result(
+        max_run=max_run,
+        min_run=min_run,
+        max_cpu_power_trace=max_run.traces["cpu_w"].resample(resample_period_s),
+        min_cpu_power_trace=min_run.traces["cpu_w"].resample(resample_period_s),
+        cpu_power_drop_w=drop_w,
+        runtime_stretch_frac=min_run.runtime_s / max_run.runtime_s - 1.0,
+        uncore_share_of_cpu_power=drop_w / max_run.avg_cpu_w,
+    )

@@ -1,0 +1,157 @@
+"""Figure 4 — end-to-end performance, power and energy on all systems.
+
+One row per (workload, method): performance loss, power saving and energy
+saving of MAGUS and UPS versus the vendor-default baseline.  Fig. 4a is
+the full single-GPU suite on Intel+A100, Fig. 4b the Altis-SYCL subset on
+Intel+Max1550, Fig. 4c the multi-GPU workloads on Intel+4A100.
+
+Per §6 the paper repeats each measurement at least five times and averages
+after outlier removal; ``repeats`` reproduces that protocol (distinct
+seeds; the simulator has no outliers to remove, but the averaging path is
+the same).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.metrics import compare
+from repro.analysis.stats import robust_mean
+from repro.analysis.report import format_table
+from repro.errors import ExperimentError
+from repro.runtime.session import make_governor, run_application
+from repro.workloads.registry import (
+    SUITE_INTEL_4A100,
+    SUITE_INTEL_A100,
+    SUITE_INTEL_MAX1550,
+    get_workload,
+)
+
+__all__ = ["Fig4Row", "run_suite", "run_fig4a", "run_fig4b", "run_fig4c", "format_fig4"]
+
+#: Methods compared against the default baseline, as in the paper.
+METHODS: Tuple[str, ...] = ("magus", "ups")
+
+
+@dataclass(frozen=True)
+class Fig4Row:
+    """One (workload, method) cell, averaged over repeats."""
+
+    system: str
+    workload: str
+    method: str
+    performance_loss: float
+    power_saving: float
+    energy_saving: float
+    repeats: int
+
+
+def run_suite(
+    preset: str,
+    workloads: Sequence[str],
+    *,
+    methods: Sequence[str] = METHODS,
+    gpu_count: int = 1,
+    repeats: int = 1,
+    base_seed: int = 1,
+    dt_s: float = 0.01,
+) -> List[Fig4Row]:
+    """Run a full method-vs-baseline sweep over a workload suite.
+
+    Parameters
+    ----------
+    preset:
+        System preset name.
+    workloads:
+        Workload registry names.
+    methods:
+        Governor names compared against ``default``.
+    gpu_count:
+        GPUs the workloads are launched across (4 for Fig. 4c).
+    repeats:
+        Paired repetitions with distinct seeds, averaged per the paper's
+        protocol.
+    """
+    if repeats < 1:
+        raise ExperimentError(f"repeats must be >= 1, got {repeats!r}")
+    rows: List[Fig4Row] = []
+    for wl_name in workloads:
+        per_method: Dict[str, List[Tuple[float, float, float]]] = {m: [] for m in methods}
+        for r in range(repeats):
+            seed = base_seed + r
+            workload = get_workload(wl_name, seed=seed, gpu_count=gpu_count)
+            baseline = run_application(preset, workload, make_governor("default"), seed=seed, dt_s=dt_s)
+            for method in methods:
+                run = run_application(preset, workload, make_governor(method), seed=seed, dt_s=dt_s)
+                c = compare(baseline, run)
+                per_method[method].append((c.performance_loss, c.power_saving, c.energy_saving))
+        for method in methods:
+            arr = np.array(per_method[method])
+            # The paper's protocol: outliers removed, then averaged (§6).
+            rows.append(
+                Fig4Row(
+                    system=preset,
+                    workload=wl_name,
+                    method=method,
+                    performance_loss=robust_mean(arr[:, 0]),
+                    power_saving=robust_mean(arr[:, 1]),
+                    energy_saving=robust_mean(arr[:, 2]),
+                    repeats=repeats,
+                )
+            )
+    return rows
+
+
+def run_fig4a(*, repeats: int = 1, base_seed: int = 1, dt_s: float = 0.01) -> List[Fig4Row]:
+    """Fig. 4a: every single-GPU workload on Intel+A100."""
+    return run_suite("intel_a100", SUITE_INTEL_A100, repeats=repeats, base_seed=base_seed, dt_s=dt_s)
+
+
+def run_fig4b(*, repeats: int = 1, base_seed: int = 1, dt_s: float = 0.01) -> List[Fig4Row]:
+    """Fig. 4b: the Altis-SYCL subset on Intel+Max1550."""
+    return run_suite("intel_max1550", SUITE_INTEL_MAX1550, repeats=repeats, base_seed=base_seed, dt_s=dt_s)
+
+
+def run_fig4c(*, repeats: int = 1, base_seed: int = 1, dt_s: float = 0.01) -> List[Fig4Row]:
+    """Fig. 4c: multi-GPU workloads on Intel+4A100."""
+    return run_suite(
+        "intel_4a100", SUITE_INTEL_4A100, gpu_count=4, repeats=repeats, base_seed=base_seed, dt_s=dt_s
+    )
+
+
+def format_fig4(rows: Sequence[Fig4Row], title: str = "Fig. 4") -> str:
+    """Render Fig. 4 rows as the three-metric table the paper plots."""
+    if not rows:
+        raise ExperimentError("no rows to format")
+    table_rows = [
+        (
+            r.workload,
+            r.method,
+            f"{r.performance_loss * 100:+.1f}%",
+            f"{r.power_saving * 100:+.1f}%",
+            f"{r.energy_saving * 100:+.1f}%",
+        )
+        for r in rows
+    ]
+    return format_table(
+        ("workload", "method", "perf loss", "power saving", "energy saving"),
+        table_rows,
+        title=f"{title} ({rows[0].system})",
+    )
+
+
+def summary_stats(rows: Sequence[Fig4Row], method: str) -> Dict[str, float]:
+    """Aggregate one method's rows into the paper's headline statistics."""
+    sel = [r for r in rows if r.method == method]
+    if not sel:
+        raise ExperimentError(f"no rows for method {method!r}")
+    return {
+        "max_performance_loss": max(r.performance_loss for r in sel),
+        "max_power_saving": max(r.power_saving for r in sel),
+        "max_energy_saving": max(r.energy_saving for r in sel),
+        "mean_energy_saving": float(np.mean([r.energy_saving for r in sel])),
+        "min_energy_saving": min(r.energy_saving for r in sel),
+    }

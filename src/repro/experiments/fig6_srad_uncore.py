@@ -1,0 +1,98 @@
+"""Figure 6 — SRAD uncore-frequency traces under baseline, UPS and MAGUS.
+
+The discriminating behaviour: MAGUS's high-frequency detector pins the
+uncore at max during SRAD's fluctuation windows, whereas UPS (unable to
+see through its window-averaged signals) keeps stepping the uncore down
+into the bursts; the baseline never leaves max at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.runtime.session import RunResult, make_governor, run_application
+from repro.sim.trace import TimeSeries
+from repro.workloads.registry import get_workload
+
+__all__ = ["Fig6Result", "run_fig6", "pinned_intervals"]
+
+
+def pinned_intervals(
+    uncore_trace: TimeSeries, max_ghz: float, *, min_duration_s: float = 0.5
+) -> List[Tuple[float, float]]:
+    """Extract the [start, end) intervals where the uncore target sat at max.
+
+    Used to check that MAGUS pins during the fluctuation windows (the grey
+    bands of Fig. 6).
+    """
+    times = uncore_trace.times
+    at_max = uncore_trace.values >= max_ghz - 1e-6
+    intervals: List[Tuple[float, float]] = []
+    start = None
+    for i, flag in enumerate(at_max):
+        if flag and start is None:
+            start = times[i]
+        elif not flag and start is not None:
+            if times[i] - start >= min_duration_s:
+                intervals.append((float(start), float(times[i])))
+            start = None
+    if start is not None and times[-1] - start >= min_duration_s:
+        intervals.append((float(start), float(times[-1])))
+    return intervals
+
+
+@dataclass
+class Fig6Result:
+    """Uncore traces for the three policies plus derived statistics."""
+
+    runs: Dict[str, RunResult]
+    uncore_traces: Dict[str, TimeSeries]
+    magus_high_freq_cycles: int
+    magus_pinned_intervals: List[Tuple[float, float]]
+    baseline_at_max_fraction: float
+    ups_mean_uncore_ghz: float
+    magus_mean_uncore_ghz: float
+
+    def __str__(self) -> str:
+        return (
+            f"SRAD uncore: baseline at max {self.baseline_at_max_fraction * 100:.0f}% of time; "
+            f"MAGUS pinned max in {len(self.magus_pinned_intervals)} interval(s) "
+            f"({self.magus_high_freq_cycles} high-freq cycles); "
+            f"mean uncore MAGUS {self.magus_mean_uncore_ghz:.2f} GHz vs UPS {self.ups_mean_uncore_ghz:.2f} GHz"
+        )
+
+
+def run_fig6(
+    *,
+    preset: str = "intel_a100",
+    seed: int = 1,
+    dt_s: float = 0.01,
+    resample_period_s: float = 0.2,
+) -> Fig6Result:
+    """Reproduce the Fig. 6 uncore-frequency comparison."""
+    workload = get_workload("srad", seed=seed)
+    runs = {
+        "default": run_application(preset, workload, make_governor("default"), seed=seed, dt_s=dt_s),
+        "ups": run_application(preset, workload, make_governor("ups"), seed=seed, dt_s=dt_s),
+        "magus": run_application(preset, workload, make_governor("magus"), seed=seed, dt_s=dt_s),
+    }
+    traces = {
+        name: run.traces["uncore_target_ghz"].resample(resample_period_s)
+        for name, run in runs.items()
+    }
+    from repro.hw.presets import get_preset  # local import: avoid cycles
+
+    max_ghz = get_preset(preset).uncore_max_ghz
+    high_freq_cycles = sum(1 for d in runs["magus"].decisions if d.reason == "high_freq_pin")
+    baseline = traces["default"]
+    at_max_fraction = float((baseline.values >= max_ghz - 1e-6).mean())
+    return Fig6Result(
+        runs=runs,
+        uncore_traces=traces,
+        magus_high_freq_cycles=high_freq_cycles,
+        magus_pinned_intervals=pinned_intervals(traces["magus"], max_ghz),
+        baseline_at_max_fraction=at_max_fraction,
+        ups_mean_uncore_ghz=traces["ups"].mean(),
+        magus_mean_uncore_ghz=traces["magus"].mean(),
+    )

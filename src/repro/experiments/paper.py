@@ -1,0 +1,177 @@
+"""The paper's reference numbers, encoded, with a structured checker.
+
+`PAPER` holds every quantitative claim the reproduction targets, each with
+the tolerance band DESIGN.md assigns it (calibration anchors are tight;
+emergent quantities get direction/band checks). :func:`verify_reproduction`
+runs the minimal set of experiments needed to evaluate every claim and
+returns a pass/fail report — the programmatic form of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis.report import format_table
+from repro.errors import ExperimentError
+
+__all__ = ["PaperClaim", "ClaimResult", "PAPER", "verify_reproduction", "format_verification"]
+
+
+@dataclass(frozen=True)
+class PaperClaim:
+    """One checkable claim from the paper.
+
+    Attributes
+    ----------
+    claim_id:
+        Stable identifier (``"fig2.power_drop_w"``).
+    artefact:
+        The table/figure it belongs to.
+    description:
+        The claim in words.
+    paper_value:
+        The number the paper reports (None for qualitative claims).
+    lo / hi:
+        Acceptance band for the measured value.
+    """
+
+    claim_id: str
+    artefact: str
+    description: str
+    paper_value: Optional[float]
+    lo: float
+    hi: float
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    """A claim evaluated against a measured value."""
+
+    claim: PaperClaim
+    measured: float
+    passed: bool
+
+
+#: Every claim the verification pass checks. Bands mirror the test suite's.
+PAPER: List[PaperClaim] = [
+    PaperClaim("fig1.uncore_at_max", "Fig. 1", "uncore pinned at max under default (fraction of samples)", 1.0, 0.99, 1.0),
+    PaperClaim("fig1.pkg_vs_tdp", "Fig. 1", "peak package power / TDP under a GPU workload", None, 0.0, 0.8),
+    PaperClaim("fig2.power_drop_w", "Fig. 2", "CPU power drop max->min uncore (W)", 82.0, 60.0, 105.0),
+    PaperClaim("fig2.stretch", "Fig. 2", "runtime stretch at min uncore", 0.21, 0.12, 0.30),
+    PaperClaim("fig2.uncore_share", "Fig. 2", "uncore share of CPU power at max", 0.40, 0.30, 0.50),
+    PaperClaim("fig4a.magus_max_loss", "Fig. 4a", "MAGUS max performance loss", 0.05, 0.0, 0.05),
+    PaperClaim("fig4a.magus_min_energy", "Fig. 4a", "MAGUS min energy saving (positive everywhere)", None, 1e-9, 1.0),
+    PaperClaim("fig4a.magus_max_energy", "Fig. 4a", "MAGUS best-app energy saving", 0.27, 0.12, 0.35),
+    PaperClaim("fig5.magus_loss", "Fig. 5", "SRAD: MAGUS performance loss", 0.03, 0.0, 0.05),
+    PaperClaim("fig5.ups_loss_ratio", "Fig. 5", "SRAD: UPS loss / MAGUS loss", 2.6, 1.5, 10.0),
+    PaperClaim("fig6.magus_hf_cycles", "Fig. 6", "SRAD: MAGUS high-frequency cycles detected", None, 3.0, 1e9),
+    PaperClaim("table2.magus_power_a100", "Table 2", "MAGUS idle power overhead, Intel+A100", 0.011, 0.002, 0.02),
+    PaperClaim("table2.ups_power_a100", "Table 2", "UPS idle power overhead, Intel+A100", 0.049, 0.03, 0.08),
+    PaperClaim("table2.ups_power_max1550", "Table 2", "UPS idle power overhead, Intel+Max1550", 0.079, 0.05, 0.11),
+    PaperClaim("table2.magus_invocation", "Table 2", "MAGUS invocation time (s)", 0.10, 0.08, 0.12),
+    PaperClaim("table2.ups_invocation", "Table 2", "UPS invocation time, Intel+A100 (s)", 0.30, 0.25, 0.35),
+]
+
+
+def _measurements(seed: int, quick: bool) -> Dict[str, float]:
+    """Run the minimal experiment set and extract every claim's value."""
+    from repro.analysis.metrics import compare
+    from repro.experiments.fig1_profiling import run_fig1
+    from repro.experiments.fig2_power_profiles import run_fig2
+    from repro.experiments.fig4_end_to_end import run_suite, summary_stats
+    from repro.experiments.table2_overhead import run_table2
+    from repro.runtime.session import make_governor, run_application
+
+    values: Dict[str, float] = {}
+
+    fig1 = run_fig1(seed=seed)
+    values["fig1.uncore_at_max"] = fig1.uncore_at_max_fraction
+    values["fig1.pkg_vs_tdp"] = fig1.peak_pkg_power_fraction_of_tdp
+
+    fig2 = run_fig2(seed=seed)
+    values["fig2.power_drop_w"] = fig2.cpu_power_drop_w
+    values["fig2.stretch"] = fig2.runtime_stretch_frac
+    values["fig2.uncore_share"] = fig2.uncore_share_of_cpu_power
+
+    workloads = ("bfs", "srad", "unet") if quick else None
+    from repro.workloads.registry import SUITE_INTEL_A100
+
+    rows = run_suite("intel_a100", workloads or SUITE_INTEL_A100, base_seed=seed)
+    stats = summary_stats(rows, "magus")
+    values["fig4a.magus_max_loss"] = stats["max_performance_loss"]
+    values["fig4a.magus_min_energy"] = stats["min_energy_saving"]
+    values["fig4a.magus_max_energy"] = stats["max_energy_saving"]
+
+    baseline = run_application("intel_a100", "srad", make_governor("default"), seed=seed)
+    magus = run_application("intel_a100", "srad", make_governor("magus"), seed=seed)
+    ups = run_application("intel_a100", "srad", make_governor("ups"), seed=seed)
+    magus_cmp, ups_cmp = compare(baseline, magus), compare(baseline, ups)
+    values["fig5.magus_loss"] = magus_cmp.performance_loss
+    values["fig5.ups_loss_ratio"] = ups_cmp.performance_loss / max(magus_cmp.performance_loss, 1e-9)
+    values["fig6.magus_hf_cycles"] = float(
+        sum(1 for d in magus.decisions if d.reason == "high_freq_pin")
+    )
+
+    table2 = run_table2(duration_s=60.0 if quick else 600.0, seed=seed)
+    by_cell = {(r.system, r.method): r for r in table2}
+    values["table2.magus_power_a100"] = by_cell[("intel_a100", "magus")].power_overhead_frac
+    values["table2.ups_power_a100"] = by_cell[("intel_a100", "ups")].power_overhead_frac
+    values["table2.ups_power_max1550"] = by_cell[("intel_max1550", "ups")].power_overhead_frac
+    values["table2.magus_invocation"] = by_cell[("intel_a100", "magus")].invocation_s
+    values["table2.ups_invocation"] = by_cell[("intel_a100", "ups")].invocation_s
+    return values
+
+
+def verify_reproduction(
+    *,
+    seed: int = 1,
+    quick: bool = True,
+    measure: Optional[Callable[[int, bool], Dict[str, float]]] = None,
+) -> List[ClaimResult]:
+    """Evaluate every encoded claim; return per-claim results.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for all runs.
+    quick:
+        Use a representative Fig. 4a subset and short idle runs.
+    measure:
+        Test seam: replaces the measurement function.
+    """
+    values = (measure or _measurements)(seed, quick)
+    results: List[ClaimResult] = []
+    for claim in PAPER:
+        if claim.claim_id not in values:
+            raise ExperimentError(f"no measurement produced for claim {claim.claim_id!r}")
+        measured = values[claim.claim_id]
+        results.append(
+            ClaimResult(claim=claim, measured=measured, passed=claim.lo <= measured <= claim.hi)
+        )
+    return results
+
+
+def format_verification(results: List[ClaimResult]) -> str:
+    """Render the verification report."""
+    if not results:
+        raise ExperimentError("no claim results to format")
+    rows = []
+    for r in results:
+        paper = f"{r.claim.paper_value:g}" if r.claim.paper_value is not None else "-"
+        rows.append(
+            (
+                r.claim.artefact,
+                r.claim.description,
+                paper,
+                f"{r.measured:.3f}",
+                "PASS" if r.passed else "FAIL",
+            )
+        )
+    n_pass = sum(1 for r in results if r.passed)
+    table = format_table(
+        ("artefact", "claim", "paper", "measured", "status"),
+        rows,
+        title="Reproduction verification",
+    )
+    return f"{table}\n{n_pass}/{len(results)} claims within band"

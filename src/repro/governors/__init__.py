@@ -1,0 +1,31 @@
+"""Uncore frequency governors: the policies under comparison.
+
+* :mod:`~repro.governors.default` — the vendor-default behaviour (uncore
+  pinned at max unless package power approaches TDP);
+* :mod:`~repro.governors.static` — uncore pinned at an arbitrary frequency
+  (the max/min endpoints of the paper's Fig. 2 case study);
+* :mod:`~repro.governors.ups` — a reimplementation of UPScavenger
+  [Gholkar et al., SC '19], the state-of-the-art baseline;
+* MAGUS itself lives in :mod:`repro.core` (it is the paper's contribution,
+  not a baseline), but satisfies the same
+  :class:`~repro.governors.base.UncoreGovernor` interface.
+"""
+
+from repro.governors.base import Decision, GovernorContext, UncoreGovernor
+from repro.governors.default import VendorDefaultGovernor
+from repro.governors.static import StaticUncoreGovernor
+from repro.governors.oracle import OracleGovernor
+from repro.governors.powercap import PowerCapGovernor
+from repro.governors.ups import UPSGovernor, UPSConfig
+
+__all__ = [
+    "Decision",
+    "GovernorContext",
+    "UncoreGovernor",
+    "VendorDefaultGovernor",
+    "StaticUncoreGovernor",
+    "UPSGovernor",
+    "UPSConfig",
+    "PowerCapGovernor",
+    "OracleGovernor",
+]

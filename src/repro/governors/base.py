@@ -1,0 +1,133 @@
+"""The governor interface shared by MAGUS and every baseline.
+
+A governor is a *policy object*: the :class:`~repro.runtime.daemon.MonitorDaemon`
+wakes it on its chosen schedule, hands it a metered view of the telemetry
+hub, and executes whatever uncore target it returns.  All cost accounting
+(invocation time, monitoring energy) happens in the daemon from the meter —
+a governor cannot cheat its own overhead.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import GovernorError
+from repro.hw.node import HeterogeneousNode
+from repro.telemetry.hub import TelemetryHub
+from repro.telemetry.sampling import AccessMeter
+
+__all__ = ["Decision", "GovernorContext", "UncoreGovernor"]
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One decision-cycle outcome.
+
+    Attributes
+    ----------
+    time_s:
+        Simulated time of the decision.
+    target_ghz:
+        New uncore target to program, or ``None`` to leave it unchanged.
+    reason:
+        Short machine-greppable tag ("init", "trend_up", "high_freq",
+        "tdp_cap", "step_down", ...), used by the case-study analyses.
+    """
+
+    time_s: float
+    target_ghz: Optional[float]
+    reason: str = ""
+
+
+@dataclass
+class GovernorContext:
+    """Everything a governor may touch, bound once at attach time."""
+
+    hub: TelemetryHub
+    node: HeterogeneousNode
+
+    @property
+    def uncore_min_ghz(self) -> float:
+        """Hardware uncore floor."""
+        return self.node.uncore_min_ghz
+
+    @property
+    def uncore_max_ghz(self) -> float:
+        """Hardware uncore ceiling."""
+        return self.node.uncore_max_ghz
+
+
+class UncoreGovernor(abc.ABC):
+    """Abstract uncore-scaling policy.
+
+    Lifecycle: ``attach(context)`` once, then ``sample_and_decide(now,
+    meter)`` every cycle. The daemon separately asks for
+    :attr:`initial_uncore_ghz` (the state the governor establishes when it
+    takes over the node) and :attr:`interval_s` (sleep between the end of
+    one invocation and the start of the next).
+    """
+
+    #: Human-readable policy name, used in reports.
+    name: str = "governor"
+
+    #: True for behaviour implemented in hardware/firmware (the vendor
+    #: default): the daemon then charges no monitoring time or energy.
+    hardware: bool = False
+
+    #: Delay between daemon launch and the first invocation, modelling the
+    #: time a user-space runtime needs to detect the application and come
+    #: up. Hardware policies are active from t=0.
+    launch_delay_s: float = 0.0
+
+    def __init__(self) -> None:
+        self._context: Optional[GovernorContext] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def attach(self, context: GovernorContext) -> None:
+        """Bind the governor to a node's telemetry. Called exactly once."""
+        if self._context is not None:
+            raise GovernorError(f"governor {self.name!r} is already attached")
+        self._context = context
+        self.on_attach(context)
+
+    def on_attach(self, context: GovernorContext) -> None:
+        """Subclass hook for post-attach initialisation (optional)."""
+
+    @property
+    def context(self) -> GovernorContext:
+        """The bound context.
+
+        Raises
+        ------
+        GovernorError
+            If the governor has not been attached yet.
+        """
+        if self._context is None:
+            raise GovernorError(f"governor {self.name!r} is not attached to a node")
+        return self._context
+
+    # ------------------------------------------------------------------
+    # Policy surface
+    # ------------------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def interval_s(self) -> float:
+        """Sleep between invocations (monitoring period)."""
+
+    @property
+    @abc.abstractmethod
+    def initial_uncore_ghz(self) -> float:
+        """Uncore frequency the governor establishes at launch."""
+
+    @abc.abstractmethod
+    def sample_and_decide(self, now_s: float, meter: AccessMeter) -> Decision:
+        """Read whatever telemetry the policy needs and decide.
+
+        Implementations must route *every* counter access through
+        ``meter`` — that is the contract that makes overhead comparisons
+        honest.
+        """

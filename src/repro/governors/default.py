@@ -1,0 +1,88 @@
+"""The vendor-default uncore behaviour (the paper's "baseline").
+
+Per the paper (§2, citing André et al.): with default settings the uncore
+frequency is reduced *only when CPU package power approaches the thermal
+design power*.  GPU-dominant applications rarely get near TDP, so the
+uncore sits at max for the whole run — exactly the stuck-at-max trace of
+Fig. 1c, and the energy waste MAGUS recovers.
+
+This policy lives in the package firmware (RAPL power-limiting loop), so it
+is flagged ``hardware = True``: the daemon charges no monitoring time or
+energy for it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GovernorError
+from repro.governors.base import Decision, UncoreGovernor
+from repro.telemetry.sampling import AccessMeter
+
+__all__ = ["VendorDefaultGovernor"]
+
+
+class VendorDefaultGovernor(UncoreGovernor):
+    """TDP-reactive firmware loop: uncore at max unless power-limited.
+
+    Parameters
+    ----------
+    cap_fraction:
+        Fraction of node TDP above which the firmware starts stepping the
+        uncore down (hysteresis releases at ``release_fraction``).
+    release_fraction:
+        Fraction of node TDP below which the uncore steps back up.
+    interval_s:
+        Firmware evaluation period (fast — this is a hardware loop).
+    """
+
+    name = "default"
+    hardware = True
+
+    def __init__(
+        self,
+        cap_fraction: float = 0.92,
+        release_fraction: float = 0.85,
+        interval_s: float = 0.1,
+    ):
+        super().__init__()
+        if not (0 < release_fraction < cap_fraction <= 1.0):
+            raise GovernorError(
+                f"need 0 < release ({release_fraction!r}) < cap ({cap_fraction!r}) <= 1"
+            )
+        if interval_s <= 0:
+            raise GovernorError(f"interval must be positive, got {interval_s!r}")
+        self.cap_fraction = float(cap_fraction)
+        self.release_fraction = float(release_fraction)
+        self._interval_s = float(interval_s)
+
+    @property
+    def interval_s(self) -> float:
+        """Firmware evaluation period."""
+        return self._interval_s
+
+    @property
+    def initial_uncore_ghz(self) -> float:
+        """Default parts come up with the uncore limit at max."""
+        return self.context.uncore_max_ghz
+
+    def sample_and_decide(self, now_s: float, meter: AccessMeter) -> Decision:
+        """Step the uncore down near TDP, back up when comfortably below.
+
+        Reads package power through RAPL but — being firmware — without
+        charging the meter (the daemon ignores costs for hardware policies
+        anyway; we simply do not route the read through it).
+        """
+        ctx = self.context
+        node = ctx.node
+        state = node.last_state
+        pkg_w = state.power.package_w if state is not None else 0.0
+        tdp_total = node.tdp_w_per_socket * node.n_sockets
+        unc = node.uncore(0)
+        if pkg_w >= self.cap_fraction * tdp_total:
+            target = max(ctx.uncore_min_ghz, unc.target_ghz - unc.bin_ghz)
+            if target < unc.target_ghz - 1e-12:
+                return Decision(now_s, target, "tdp_cap")
+            return Decision(now_s, None, "tdp_cap_floor")
+        if pkg_w <= self.release_fraction * tdp_total and unc.target_ghz < ctx.uncore_max_ghz - 1e-12:
+            target = min(ctx.uncore_max_ghz, unc.target_ghz + unc.bin_ghz)
+            return Decision(now_s, target, "tdp_release")
+        return Decision(now_s, None, "hold")

@@ -1,0 +1,79 @@
+"""Oracle governor: the upper bound on uncore-scaling savings.
+
+A clairvoyant policy with perfect, free knowledge of the application's
+*instantaneous demand* (not just delivered throughput): each cycle it sets
+the lowest uncore frequency whose bandwidth ceiling covers the demand with
+a safety margin. It pays no monitoring cost and suffers no detection lag.
+
+No real runtime can implement this — demand is unobservable while the
+uncore clips it, and reading anything costs time and energy — which is
+exactly why it is useful: the gap between MAGUS and the oracle is the
+price of *realisable* monitoring, quantified in
+``benchmarks/test_oracle_gap.py``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GovernorError
+from repro.governors.base import Decision, UncoreGovernor
+from repro.telemetry.sampling import AccessMeter
+
+__all__ = ["OracleGovernor"]
+
+
+class OracleGovernor(UncoreGovernor):
+    """Clairvoyant demand-following uncore policy (analysis upper bound).
+
+    Parameters
+    ----------
+    margin:
+        Multiplier on the observed demand when sizing the ceiling, so the
+        chosen frequency retains headroom (1.0 = exact fit).
+    interval_s:
+        Decision period. The oracle defaults to a fast 50 ms loop — it
+        pays nothing for it, by construction.
+    """
+
+    name = "oracle"
+    #: Flagged as hardware so the daemon charges no monitoring cost: the
+    #: oracle's omniscience is free by definition.
+    hardware = True
+
+    def __init__(self, margin: float = 1.1, interval_s: float = 0.05):
+        super().__init__()
+        if margin < 1.0:
+            raise GovernorError(f"margin must be >= 1, got {margin!r}")
+        if interval_s <= 0:
+            raise GovernorError(f"interval must be positive, got {interval_s!r}")
+        self.margin = float(margin)
+        self._interval_s = float(interval_s)
+
+    @property
+    def interval_s(self) -> float:
+        """Decision period."""
+        return self._interval_s
+
+    @property
+    def initial_uncore_ghz(self) -> float:
+        """Start at max (no demand has been observed yet)."""
+        return self.context.uncore_max_ghz
+
+    def sample_and_decide(self, now_s: float, meter: AccessMeter) -> Decision:
+        """Pick the cheapest frequency whose ceiling covers true demand."""
+        ctx = self.context
+        state = ctx.node.last_state
+        demand = state.demand_gbps if state is not None else 0.0
+        memory = ctx.node.memory
+        # Invert ceiling(f) = peak * min(1, f/f_ref) for the wanted rate.
+        wanted = demand * self.margin
+        if wanted <= 0:
+            freq = ctx.uncore_min_ghz
+        elif wanted >= memory.peak_bw_gbps:
+            freq = ctx.uncore_max_ghz
+        else:
+            freq = memory.f_ref_ghz * wanted / memory.peak_bw_gbps
+        freq = min(max(freq, ctx.uncore_min_ghz), ctx.uncore_max_ghz)
+        snapped = ctx.node.uncore(0).snap(freq)
+        if abs(snapped - ctx.node.uncore(0).target_ghz) < 1e-12:
+            return Decision(now_s, None, "oracle_hold")
+        return Decision(now_s, snapped, "oracle_track")

@@ -1,0 +1,101 @@
+"""Power-cap governor: uncore scaling in service of a package power cap.
+
+Related work the paper positions against (Guermouche '22 combines uncore
+frequency with dynamic power capping; RAPL capping appears throughout §7):
+instead of minimising energy, this policy holds CPU (package + DRAM) power
+under a cap by scaling the uncore — the knob with the best power-per-
+performance gradient on GPU-dominant nodes.
+
+The policy is a simple hysteretic controller over windowed RAPL power:
+above the cap, step the uncore down; comfortably below, step back up. Its
+monitoring cost is two RAPL energy reads per cycle — cheap, like MAGUS.
+Useful both as a library feature (facilities run caps) and as another
+policy exercising the governor API.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import GovernorError
+from repro.governors.base import Decision, UncoreGovernor
+from repro.telemetry.rapl import RAPL_DRAM, RAPL_PKG
+from repro.telemetry.sampling import AccessMeter
+
+__all__ = ["PowerCapGovernor"]
+
+
+class PowerCapGovernor(UncoreGovernor):
+    """Hold CPU (package + DRAM) power under a cap via uncore scaling.
+
+    Parameters
+    ----------
+    cap_w:
+        The CPU power cap in watts.
+    hysteresis:
+        Fraction below the cap at which the uncore may step back up
+        (prevents limit cycling at the cap).
+    step_ghz:
+        Uncore adjustment per decision.
+    interval_s:
+        Sleep between decisions.
+    """
+
+    name = "powercap"
+    hardware = False
+    launch_delay_s = 0.5
+
+    def __init__(
+        self,
+        cap_w: float,
+        *,
+        hysteresis: float = 0.06,
+        step_ghz: float = 0.2,
+        interval_s: float = 0.2,
+    ):
+        super().__init__()
+        if cap_w <= 0:
+            raise GovernorError(f"cap must be positive, got {cap_w!r}")
+        if not (0.0 < hysteresis < 0.5):
+            raise GovernorError(f"hysteresis must be in (0, 0.5), got {hysteresis!r}")
+        if step_ghz <= 0 or interval_s <= 0:
+            raise GovernorError("step_ghz and interval_s must be positive")
+        self.cap_w = float(cap_w)
+        self.hysteresis = float(hysteresis)
+        self.step_ghz = float(step_ghz)
+        self._interval_s = float(interval_s)
+        self._prev_energy_j: Optional[float] = None
+        self._prev_time_s: Optional[float] = None
+
+    @property
+    def interval_s(self) -> float:
+        """Sleep between decisions."""
+        return self._interval_s
+
+    @property
+    def initial_uncore_ghz(self) -> float:
+        """Start at max; the controller will pull down if the cap demands."""
+        return self.context.uncore_max_ghz
+
+    def sample_and_decide(self, now_s: float, meter: AccessMeter) -> Decision:
+        """One capping cycle: windowed CPU power vs the cap."""
+        ctx = self.context
+        rapl = ctx.hub.rapl
+        energy = rapl.energy_j(RAPL_PKG, meter) + rapl.energy_j(RAPL_DRAM, meter)
+        if self._prev_energy_j is None or self._prev_time_s is None:
+            self._prev_energy_j, self._prev_time_s = energy, now_s
+            return Decision(now_s, None, "warmup")
+        elapsed = now_s - self._prev_time_s
+        power_w = (energy - self._prev_energy_j) / elapsed if elapsed > 0 else 0.0
+        self._prev_energy_j, self._prev_time_s = energy, now_s
+
+        unc = ctx.node.uncore(0)
+        if power_w > self.cap_w:
+            target = max(ctx.uncore_min_ghz, unc.target_ghz - self.step_ghz)
+            if target < unc.target_ghz - 1e-12:
+                return Decision(now_s, target, "cap_enforce")
+            return Decision(now_s, None, "cap_floor")
+        if power_w < self.cap_w * (1.0 - self.hysteresis) and unc.target_ghz < ctx.uncore_max_ghz - 1e-12:
+            target = min(ctx.uncore_max_ghz, unc.target_ghz + self.step_ghz)
+            return Decision(now_s, target, "cap_release")
+        return Decision(now_s, None, "hold")

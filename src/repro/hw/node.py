@@ -1,0 +1,232 @@
+"""The heterogeneous compute node: sockets + memory + GPUs assembled.
+
+:class:`HeterogeneousNode` is the object everything else touches: the
+simulation engine steps it, telemetry devices read it, and governors actuate
+it (through the MSR layer).  It owns no policy — the uncore target is
+whatever was last written, exactly like real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import HardwareError
+from repro.hw.cpu import CPUCoreModel
+from repro.hw.gpu import GPUGroup
+from repro.hw.memory import MemorySubsystem
+from repro.hw.power import PowerBreakdown
+from repro.hw.uncore import UncoreModel
+
+if TYPE_CHECKING:  # imported for typing only; avoids an hw <-> workloads cycle
+    from repro.workloads.base import Segment
+
+__all__ = ["NodeTickState", "HeterogeneousNode"]
+
+
+@dataclass(frozen=True)
+class NodeTickState:
+    """Everything observable about the node after one tick."""
+
+    time_s: float
+    demand_gbps: float
+    delivered_gbps: float
+    stretch: float
+    power: PowerBreakdown
+    uncore_target_ghz: float
+    uncore_effective_ghz: float
+    mean_ipc: float
+    mean_core_freq_ghz: float
+    gpu_sm_clock_ghz: float
+    served_fraction: float
+
+
+class HeterogeneousNode:
+    """A CPU-GPU node assembled from component models.
+
+    Parameters
+    ----------
+    sockets:
+        ``(cpu, uncore)`` pairs, one per socket. All sockets are assumed
+        identical parts (as in every system the paper evaluates).
+    memory:
+        The node-level memory subsystem.
+    gpus:
+        The GPU group.
+    tdp_w_per_socket:
+        Thermal design power of each socket; the vendor-default governor
+        keys on package power approaching this.
+    cpu_mem_coupling:
+        Fraction of a phase's unmet memory demand that shows up as CPU
+        core stalls (depressing IPC). Low for GPU-dominant workloads,
+        whose memory-bound path is DMA/staging rather than CPU loads.
+    name:
+        Preset name, carried into reports.
+    """
+
+    def __init__(
+        self,
+        sockets: Sequence[Tuple[CPUCoreModel, UncoreModel]],
+        memory: MemorySubsystem,
+        gpus: GPUGroup,
+        *,
+        tdp_w_per_socket: float = 270.0,
+        cpu_mem_coupling: float = 0.2,
+        name: str = "node",
+    ):
+        if not sockets:
+            raise HardwareError("node needs at least one socket")
+        if tdp_w_per_socket <= 0:
+            raise HardwareError(f"TDP must be positive, got {tdp_w_per_socket!r}")
+        if not (0.0 <= cpu_mem_coupling <= 1.0):
+            raise HardwareError(f"cpu_mem_coupling must be in [0, 1], got {cpu_mem_coupling!r}")
+        self.cpu_mem_coupling = float(cpu_mem_coupling)
+        self.sockets: List[Tuple[CPUCoreModel, UncoreModel]] = list(sockets)
+        self.memory = memory
+        self.gpus = gpus
+        self.tdp_w_per_socket = float(tdp_w_per_socket)
+        self.name = name
+        #: Average power of the monitoring runtime, set by the active daemon
+        #: each decision cycle (energy of its counter reads amortised over
+        #: the cycle). Charged to the package domain.
+        self.monitor_power_w = 0.0
+        self._last_state: Optional[NodeTickState] = None
+        self._time_s = 0.0
+
+    # ------------------------------------------------------------------
+    # Uncore control surface (what MSR 0x620 writes reach)
+    # ------------------------------------------------------------------
+    @property
+    def n_sockets(self) -> int:
+        """Number of sockets."""
+        return len(self.sockets)
+
+    @property
+    def n_cores(self) -> int:
+        """Total core count across sockets."""
+        return sum(cpu.n_cores for cpu, _ in self.sockets)
+
+    def uncore(self, socket: int = 0) -> UncoreModel:
+        """The uncore model of one socket."""
+        if not (0 <= socket < len(self.sockets)):
+            raise HardwareError(f"no such socket {socket!r} (node has {len(self.sockets)})")
+        return self.sockets[socket][1]
+
+    def cpu(self, socket: int = 0) -> CPUCoreModel:
+        """The core-complex model of one socket."""
+        if not (0 <= socket < len(self.sockets)):
+            raise HardwareError(f"no such socket {socket!r} (node has {len(self.sockets)})")
+        return self.sockets[socket][0]
+
+    def set_uncore_target_all(self, freq_ghz: float) -> float:
+        """Set every socket's uncore target; returns the snapped value."""
+        snapped = freq_ghz
+        for _, unc in self.sockets:
+            snapped = unc.set_target(freq_ghz)
+        return snapped
+
+    def force_uncore_all(self, freq_ghz: float) -> None:
+        """Instantly pin every socket's uncore (initial conditions only)."""
+        for _, unc in self.sockets:
+            unc.force(freq_ghz)
+
+    def uncore_effective_ghz(self) -> float:
+        """Mean effective uncore frequency across sockets."""
+        return float(np.mean([unc.effective_ghz for _, unc in self.sockets]))
+
+    def uncore_target_ghz(self) -> float:
+        """Mean target uncore frequency across sockets."""
+        return float(np.mean([unc.target_ghz for _, unc in self.sockets]))
+
+    @property
+    def uncore_min_ghz(self) -> float:
+        """Lower bound of the uncore range (socket 0; sockets are identical)."""
+        return self.sockets[0][1].min_ghz
+
+    @property
+    def uncore_max_ghz(self) -> float:
+        """Upper bound of the uncore range."""
+        return self.sockets[0][1].max_ghz
+
+    # ------------------------------------------------------------------
+    # Simulation step
+    # ------------------------------------------------------------------
+    def step(self, dt_s: float, segment: Optional["Segment"]) -> NodeTickState:
+        """Advance the node by ``dt_s`` under the given workload segment.
+
+        Passing ``segment=None`` models an idle node (no application), used
+        by the Table 2 overhead experiments.
+        """
+        if dt_s <= 0:
+            raise HardwareError(f"dt must be positive, got {dt_s!r}")
+        self._time_s += dt_s
+
+        for _, unc in self.sockets:
+            unc.step(dt_s)
+        eff_unc = self.uncore_effective_ghz()
+        unc_ratio = eff_unc / self.uncore_max_ghz
+
+        if segment is None:
+            demand, mem_intensity, cpu_util, gpu_util = 0.0, 0.0, 0.0, 0.0
+        else:
+            demand = segment.mem_bw_gbps
+            mem_intensity = segment.mem_intensity
+            cpu_util = segment.cpu_util
+            gpu_util = segment.gpu_util
+
+        svc = self.memory.service(demand, mem_intensity, eff_unc)
+        # IPC stall factor. In GPU-dominant phases most of the memory-bound
+        # critical path is DMA/staging traffic, not CPU load-stalls, so CPU
+        # IPC reflects only a weakly coupled share of unmet demand. This
+        # asymmetry is why an IPC-guarded policy (UPS) misjudges GPU
+        # workloads while throughput-guided MAGUS does not (§2 challenge 2).
+        stall_factor = 1.0 - self.cpu_mem_coupling * mem_intensity * (1.0 - svc.served_fraction)
+
+        core_w = 0.0
+        uncore_w = 0.0
+        ipc_values = []
+        freq_values = []
+        for cpu, unc in self.sockets:
+            cpu.step(cpu_util, stall_factor, unc_ratio)
+            core_w += cpu.power_w()
+            uncore_w += unc.power_w(svc.traffic_util)
+            ipc_values.append(cpu.mean_ipc())
+            freq_values.append(float(cpu.core_freqs_ghz.mean()))
+
+        self.gpus.step(gpu_util)
+
+        power = PowerBreakdown(
+            core_w=core_w,
+            uncore_w=uncore_w,
+            dram_w=self.memory.dram_power_w(svc.delivered_gbps),
+            gpu_w=self.gpus.power_w(),
+            monitor_w=self.monitor_power_w,
+        )
+        state = NodeTickState(
+            time_s=self._time_s,
+            demand_gbps=demand,
+            delivered_gbps=svc.delivered_gbps,
+            stretch=svc.stretch,
+            power=power,
+            uncore_target_ghz=self.uncore_target_ghz(),
+            uncore_effective_ghz=eff_unc,
+            mean_ipc=float(np.mean(ipc_values)),
+            mean_core_freq_ghz=float(np.mean(freq_values)),
+            gpu_sm_clock_ghz=self.gpus.mean_sm_clock_ghz(),
+            served_fraction=svc.served_fraction,
+        )
+        self._last_state = state
+        return state
+
+    @property
+    def last_state(self) -> Optional[NodeTickState]:
+        """The most recent tick state (``None`` before the first step)."""
+        return self._last_state
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HeterogeneousNode({self.name!r}, sockets={len(self.sockets)}, "
+            f"cores={self.n_cores}, gpus={len(self.gpus)})"
+        )

@@ -1,0 +1,329 @@
+"""System presets for the three testbeds in the paper's evaluation.
+
+==================  =====================================================
+Preset              Paper testbed
+==================  =====================================================
+``intel_a100``      Chameleon node: 2× Xeon Platinum 8380 (40 cores each,
+                    uncore 0.8–2.2 GHz, TDP 270 W) + 1× A100-40GB
+``intel_4a100``     Same CPU complex + 4× A100-80GB (PCIe)
+``intel_max1550``   2× Xeon Max 9462 (32 cores each, uncore 0.8–2.5 GHz)
+                    + Intel Data Center GPU Max 1550
+==================  =====================================================
+
+Each preset also carries the telemetry *cost model* — how long a single MSR
+or PCM read takes and how much energy it burns.  These costs are what turn
+the architectural difference between MAGUS (one PCM counter) and UPS
+(2 MSRs × every core + DRAM power) into Table 2's overhead numbers; see the
+calibration notes in DESIGN.md §5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.errors import ConfigError
+from repro.hw.cpu import CPUCoreModel, CPUPowerParams
+from repro.hw.gpu import GPUGroup, GPUModel
+from repro.hw.memory import MemorySubsystem
+from repro.hw.node import HeterogeneousNode
+from repro.hw.uncore import UncoreModel, UncorePowerParams
+from repro.sim.rng import RngStreams
+
+__all__ = [
+    "TelemetryCosts",
+    "GPUSpec",
+    "SystemPreset",
+    "intel_a100",
+    "intel_4a100",
+    "intel_max1550",
+    "amd_mi210",
+    "PRESETS",
+    "get_preset",
+]
+
+
+@dataclass(frozen=True)
+class TelemetryCosts:
+    """Per-access time and energy of the monitoring interfaces.
+
+    ``msr_read_*`` is the cost of one per-core MSR read (the UPS path);
+    ``pcm_read_*`` is the cost of one PCM memory-throughput aggregation (the
+    MAGUS path — a fixed ~0.1 s sampling window regardless of core count).
+    MSR *writes* (the actuation path) are near-free, as the paper notes.
+    """
+
+    msr_read_time_s: float = 0.0018
+    msr_read_energy_j: float = 0.0135
+    msr_write_time_s: float = 1e-5
+    msr_write_energy_j: float = 1e-4
+    pcm_read_time_s: float = 0.1
+    pcm_read_energy_j: float = 0.25
+    rapl_read_time_s: float = 0.002
+    rapl_read_energy_j: float = 0.02
+    #: Per-read energy multiplier slope vs mean core utilisation for the
+    #: per-core MSR sweep: each read IPI-wakes a possibly busy core, so
+    #: sweeping under load costs more than the idle Table 2 measurement.
+    #: Much steeper on Sapphire Rapids Max, whose compute-tile mesh makes
+    #: cross-tile register access expensive -- the mechanism behind UPS's
+    #: negative energy savings on Intel+Max1550 (Fig. 4b).
+    msr_busy_energy_slope: float = 1.5
+
+    def __post_init__(self) -> None:
+        for name in (
+            "msr_read_time_s",
+            "msr_read_energy_j",
+            "msr_write_time_s",
+            "msr_write_energy_j",
+            "pcm_read_time_s",
+            "pcm_read_energy_j",
+            "rapl_read_time_s",
+            "rapl_read_energy_j",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of the GPU complement of a preset."""
+
+    model_name: str
+    count: int
+    idle_w: float
+    max_w: float
+    base_clock_ghz: float
+    max_clock_ghz: float
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ConfigError(f"GPU count must be >= 1, got {self.count!r}")
+
+
+@dataclass(frozen=True)
+class SystemPreset:
+    """A complete, buildable description of one testbed."""
+
+    name: str
+    n_sockets: int
+    cores_per_socket: int
+    core_min_ghz: float
+    core_max_ghz: float
+    cpu_power: CPUPowerParams
+    uncore_min_ghz: float
+    uncore_max_ghz: float
+    uncore_power: UncorePowerParams
+    tdp_w_per_socket: float
+    peak_bw_gbps: float
+    bw_f_ref_ghz: float
+    dram_base_w: float
+    dram_w_per_gbps: float
+    gpu: GPUSpec
+    telemetry: TelemetryCosts = field(default_factory=TelemetryCosts)
+    #: CPU vendor: "intel" actuates the uncore through MSR 0x620; "amd"
+    #: actuates the Infinity Fabric clock through an HSMP-style mailbox
+    #: (the §6.6 adaptation).
+    vendor: str = "intel"
+    #: Uncore/fabric control granularity. Intel ratio registers step in
+    #: 0.1 GHz; AMD fabric P-states are far coarser.
+    uncore_bin_ghz: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.vendor not in ("intel", "amd"):
+            raise ConfigError(f"unknown vendor {self.vendor!r}; expected 'intel' or 'amd'")
+        if self.uncore_bin_ghz <= 0:
+            raise ConfigError(f"uncore_bin_ghz must be positive, got {self.uncore_bin_ghz!r}")
+        if self.n_sockets < 1 or self.cores_per_socket < 1:
+            raise ConfigError("preset needs at least one socket and one core")
+        if not (0 < self.uncore_min_ghz < self.uncore_max_ghz):
+            raise ConfigError(
+                f"invalid uncore range [{self.uncore_min_ghz}, {self.uncore_max_ghz}]"
+            )
+
+    @property
+    def n_cores(self) -> int:
+        """Total core count of the node."""
+        return self.n_sockets * self.cores_per_socket
+
+    def build_node(self, rng: Optional[RngStreams] = None) -> HeterogeneousNode:
+        """Instantiate a fresh :class:`~repro.hw.node.HeterogeneousNode`.
+
+        Parameters
+        ----------
+        rng:
+            Seed source for per-core utilisation jitter; a fixed default is
+            used when omitted (still deterministic).
+        """
+        streams = rng if rng is not None else RngStreams(0)
+        sockets = []
+        for s in range(self.n_sockets):
+            cpu = CPUCoreModel(
+                self.cores_per_socket,
+                min_ghz=self.core_min_ghz,
+                max_ghz=self.core_max_ghz,
+                power=self.cpu_power,
+                rng=streams.get(f"cpu.socket{s}"),
+            )
+            unc = UncoreModel(
+                self.uncore_min_ghz,
+                self.uncore_max_ghz,
+                bin_ghz=self.uncore_bin_ghz,
+                power=self.uncore_power,
+            )
+            sockets.append((cpu, unc))
+        memory = MemorySubsystem(
+            self.peak_bw_gbps,
+            f_ref_ghz=self.bw_f_ref_ghz,
+            f_max_ghz=self.uncore_max_ghz,
+            dram_base_w=self.dram_base_w,
+            dram_w_per_gbps=self.dram_w_per_gbps,
+        )
+        gpus = GPUGroup(
+            [
+                GPUModel(
+                    self.gpu.model_name,
+                    idle_w=self.gpu.idle_w,
+                    max_w=self.gpu.max_w,
+                    base_clock_ghz=self.gpu.base_clock_ghz,
+                    max_clock_ghz=self.gpu.max_clock_ghz,
+                )
+                for _ in range(self.gpu.count)
+            ]
+        )
+        return HeterogeneousNode(
+            sockets,
+            memory,
+            gpus,
+            tdp_w_per_socket=self.tdp_w_per_socket,
+            name=self.name,
+        )
+
+
+def intel_a100() -> SystemPreset:
+    """Chameleon dual Xeon 8380 + single A100-40GB (the paper's primary rig)."""
+    return SystemPreset(
+        name="intel_a100",
+        n_sockets=2,
+        cores_per_socket=40,
+        core_min_ghz=0.8,
+        core_max_ghz=3.4,
+        cpu_power=CPUPowerParams(static_w=20.0, idle_core_w=0.30, peak_core_w=3.5),
+        uncore_min_ghz=0.8,
+        uncore_max_ghz=2.2,
+        uncore_power=UncorePowerParams(static_w=4.0, span_w=72.0, exponent=2.3, activity_floor=0.55),
+        tdp_w_per_socket=270.0,
+        peak_bw_gbps=35.0,
+        bw_f_ref_ghz=1.8,
+        dram_base_w=10.0,
+        dram_w_per_gbps=0.35,
+        gpu=GPUSpec("A100-40GB", 1, idle_w=30.0, max_w=400.0, base_clock_ghz=0.765, max_clock_ghz=1.41),
+        telemetry=TelemetryCosts(msr_read_time_s=0.0018, msr_read_energy_j=0.0135),
+    )
+
+
+def intel_4a100() -> SystemPreset:
+    """Same CPU complex with four A100-80GB (PCIe) — the multi-GPU rig."""
+    base = intel_a100()
+    return SystemPreset(
+        name="intel_4a100",
+        n_sockets=base.n_sockets,
+        cores_per_socket=base.cores_per_socket,
+        core_min_ghz=base.core_min_ghz,
+        core_max_ghz=base.core_max_ghz,
+        cpu_power=base.cpu_power,
+        uncore_min_ghz=base.uncore_min_ghz,
+        uncore_max_ghz=base.uncore_max_ghz,
+        uncore_power=base.uncore_power,
+        tdp_w_per_socket=base.tdp_w_per_socket,
+        # Four GPUs stage through the same host: higher aggregate traffic.
+        peak_bw_gbps=60.0,
+        bw_f_ref_ghz=base.bw_f_ref_ghz,
+        dram_base_w=base.dram_base_w,
+        dram_w_per_gbps=base.dram_w_per_gbps,
+        gpu=GPUSpec("A100-80GB", 4, idle_w=50.0, max_w=300.0, base_clock_ghz=0.765, max_clock_ghz=1.41),
+        telemetry=base.telemetry,
+    )
+
+
+def intel_max1550() -> SystemPreset:
+    """Dual Xeon Max 9462 (Sapphire Rapids, HBM) + Data Center GPU Max 1550."""
+    return SystemPreset(
+        name="intel_max1550",
+        n_sockets=2,
+        cores_per_socket=32,
+        core_min_ghz=0.8,
+        core_max_ghz=3.5,
+        cpu_power=CPUPowerParams(static_w=18.0, idle_core_w=0.35, peak_core_w=4.0),
+        uncore_min_ghz=0.8,
+        uncore_max_ghz=2.5,
+        uncore_power=UncorePowerParams(static_w=4.0, span_w=62.0, exponent=2.3, activity_floor=0.55),
+        tdp_w_per_socket=350.0,
+        peak_bw_gbps=50.0,
+        bw_f_ref_ghz=2.0,
+        dram_base_w=8.0,
+        dram_w_per_gbps=0.25,
+        gpu=GPUSpec("Max-1550", 1, idle_w=120.0, max_w=600.0, base_clock_ghz=0.9, max_clock_ghz=1.6),
+        # Sapphire Rapids MSR access is measurably costlier per read; with
+        # fewer (but costlier) cores the UPS sweep lands at ~0.31 s and ~8 %
+        # idle-power overhead — the paper's Table 2 asymmetry.
+        telemetry=TelemetryCosts(
+            msr_read_time_s=0.0024, msr_read_energy_j=0.022, msr_busy_energy_slope=5.0
+        ),
+    )
+
+
+def amd_mi210() -> SystemPreset:
+    """Dual AMD EPYC 7713 + MI210 — the §6.6 adaptation target.
+
+    AMD parts have no MSR ``0x620``; the "uncore" analogue is the Infinity
+    Fabric / SoC domain, monitored and (on recent parts) adjusted through
+    the HSMP mailbox (github.com/amd/amd_hsmp). Two differences matter for
+    the runtime: fabric P-states are coarse (0.4 GHz bins here vs Intel's
+    0.1 GHz), and each HSMP mailbox transaction is slower than an MSR
+    access but still one request per socket — so MAGUS's single-counter
+    design ports cleanly while a per-core sweep would not even exist.
+    """
+    return SystemPreset(
+        name="amd_mi210",
+        n_sockets=2,
+        cores_per_socket=64,
+        core_min_ghz=1.5,
+        core_max_ghz=3.7,
+        cpu_power=CPUPowerParams(static_w=22.0, idle_core_w=0.25, peak_core_w=2.6),
+        uncore_min_ghz=0.8,
+        uncore_max_ghz=2.0,
+        uncore_power=UncorePowerParams(static_w=5.0, span_w=60.0, exponent=2.2, activity_floor=0.55),
+        tdp_w_per_socket=225.0,
+        peak_bw_gbps=32.0,
+        bw_f_ref_ghz=1.6,
+        dram_base_w=12.0,
+        dram_w_per_gbps=0.4,
+        gpu=GPUSpec("MI210", 1, idle_w=40.0, max_w=300.0, base_clock_ghz=0.8, max_clock_ghz=1.7),
+        telemetry=TelemetryCosts(pcm_read_time_s=0.1, pcm_read_energy_j=0.22),
+        vendor="amd",
+        uncore_bin_ghz=0.4,
+    )
+
+
+#: Registry of buildable presets by name.
+PRESETS: Dict[str, Callable[[], SystemPreset]] = {
+    "intel_a100": intel_a100,
+    "intel_4a100": intel_4a100,
+    "intel_max1550": intel_max1550,
+    "amd_mi210": amd_mi210,
+}
+
+
+def get_preset(name: str) -> SystemPreset:
+    """Look up a preset by name.
+
+    Raises
+    ------
+    ConfigError
+        If the name is unknown.
+    """
+    try:
+        factory = PRESETS[name]
+    except KeyError:
+        raise ConfigError(f"unknown preset {name!r}; known: {sorted(PRESETS)}") from None
+    return factory()

@@ -1,0 +1,5 @@
+"""Process-parallel sweep execution for experiment grids."""
+
+from repro.parallel.pool import map_parallel, run_grid
+
+__all__ = ["map_parallel", "run_grid"]

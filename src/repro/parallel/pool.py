@@ -1,0 +1,109 @@
+"""Process-pool helpers for embarrassingly parallel experiment sweeps.
+
+Simulated runs are independent, CPU-bound Python — the textbook case for
+process pools rather than threads.  These helpers wrap
+:class:`concurrent.futures.ProcessPoolExecutor` with the conventions the
+experiment harness needs:
+
+* **Determinism** — results are returned in submission order regardless of
+  completion order, so a parallel sweep is bit-identical to a serial one.
+* **Top-level callables only** — workers receive picklable (function,
+  kwargs) pairs; passing a lambda raises immediately with a clear message
+  instead of a cryptic pickling error from inside the pool.
+* **Graceful degradation** — ``n_workers=1`` (or a single task) runs
+  serially in-process, which keeps coverage tools and debuggers usable.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ExperimentError
+
+__all__ = ["map_parallel", "run_grid"]
+
+
+def _check_picklable(func: Callable[..., Any]) -> None:
+    try:
+        pickle.dumps(func)
+    except Exception as exc:  # pickling failures vary by type
+        raise ExperimentError(
+            f"{func!r} is not picklable (lambdas/closures cannot cross process "
+            f"boundaries); define it at module top level"
+        ) from exc
+
+
+def default_workers() -> int:
+    """A sensible worker count: physical parallelism minus one, at least 1."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def _invoke(task: Tuple[Callable[..., Any], Dict[str, Any]]) -> Any:
+    func, kwargs = task
+    return func(**kwargs)
+
+
+def map_parallel(
+    func: Callable[..., Any],
+    kwargs_list: Sequence[Dict[str, Any]],
+    *,
+    n_workers: Optional[int] = None,
+) -> List[Any]:
+    """Run ``func(**kwargs)`` for every kwargs dict, preserving order.
+
+    Parameters
+    ----------
+    func:
+        A module-top-level callable (must be picklable).
+    kwargs_list:
+        One kwargs dict per task.
+    n_workers:
+        Pool size; default :func:`default_workers`. ``1`` runs serially.
+
+    Returns
+    -------
+    list
+        Results in the order of ``kwargs_list``.
+    """
+    tasks = [(func, dict(kw)) for kw in kwargs_list]
+    if not tasks:
+        return []
+    workers = n_workers if n_workers is not None else default_workers()
+    if workers < 1:
+        raise ExperimentError(f"n_workers must be >= 1, got {workers!r}")
+    if workers == 1 or len(tasks) == 1:
+        return [_invoke(t) for t in tasks]
+    _check_picklable(func)
+    with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+        return list(pool.map(_invoke, tasks))
+
+
+def run_grid(
+    func: Callable[..., Any],
+    grid: Sequence[Dict[str, Any]],
+    *,
+    common: Optional[Dict[str, Any]] = None,
+    n_workers: Optional[int] = None,
+) -> List[Tuple[Dict[str, Any], Any]]:
+    """Evaluate ``func`` over a parameter grid, pairing params with results.
+
+    Parameters
+    ----------
+    func:
+        Module-top-level callable.
+    grid:
+        Per-point parameter dicts.
+    common:
+        Parameters merged into every point (grid values win on conflict).
+
+    Returns
+    -------
+    list of (params, result)
+        In grid order.
+    """
+    merged = [{**(common or {}), **point} for point in grid]
+    results = map_parallel(func, merged, n_workers=n_workers)
+    return list(zip([dict(p) for p in grid], results))

@@ -1,0 +1,159 @@
+"""MonitorDaemon: the scheduling + accounting shell around a governor.
+
+The daemon owns everything a policy should not be trusted with:
+
+* **Scheduling.** The next invocation fires ``invocation_time +
+  governor.interval_s`` after the current one begins — exactly the paper's
+  cadence (§6.5: MAGUS's 0.1 s invocation + 0.2 s sleep = 0.3 s decision
+  period; UPS's 0.3 s + 0.2 s = 0.5 s).
+* **Cost accounting.** Every counter access a governor makes is charged to
+  a per-cycle :class:`~repro.telemetry.sampling.AccessMeter`; the meter's
+  time total *is* the invocation time, and its energy total, amortised
+  over the cycle, becomes the node's monitoring power — the quantity
+  Table 2 reports as power overhead.
+* **Actuation.** A returned target is programmed through the MSR device
+  (the write is metered too, though near-free).
+* **Launch semantics.** Software runtimes come up ``launch_delay_s`` after
+  the application starts and only then establish their initial uncore
+  frequency; until that moment the node sits in its idle state (min
+  uncore, per §4). Hardware policies are active from t=0.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import GovernorError
+from repro.governors.base import Decision, GovernorContext, UncoreGovernor
+from repro.hw.node import HeterogeneousNode
+from repro.telemetry.hub import TelemetryHub
+from repro.telemetry.sampling import AccessMeter
+
+__all__ = ["MonitorDaemon"]
+
+
+class MonitorDaemon:
+    """Drives one governor against one node (implements ScheduledRuntime).
+
+    Parameters
+    ----------
+    governor:
+        The policy to run. Must be freshly constructed (attach-once).
+    hub:
+        The node's telemetry.
+    node:
+        The node itself.
+    app_present:
+        True for application runs (the governor establishes its initial
+        uncore frequency at launch); False for the idle overhead runs of
+        Table 2, where no application ever arrives and the node stays in
+        its idle state while monitoring continues.
+    """
+
+    def __init__(
+        self,
+        governor: UncoreGovernor,
+        hub: TelemetryHub,
+        node: HeterogeneousNode,
+        *,
+        app_present: bool = True,
+    ):
+        governor.attach(GovernorContext(hub=hub, node=node))
+        self.governor = governor
+        self.hub = hub
+        self.node = node
+        self.app_present = app_present
+        self._next_fire_s = float("inf")
+        self._initialised = False
+        #: Per-cycle invocation times (meter time totals), for Table 2.
+        self.invocation_times_s: List[float] = []
+        #: Total monitoring energy charged, joules.
+        self.monitor_energy_j = 0.0
+        #: Every decision the governor made, in order.
+        self.decisions: List[Decision] = []
+
+    # ------------------------------------------------------------------
+    # ScheduledRuntime protocol
+    # ------------------------------------------------------------------
+    def start(self, now_s: float) -> None:
+        """Begin the daemon's schedule at simulated time ``now_s``."""
+        gov = self.governor
+        if gov.hardware:
+            # Firmware behaviour exists from power-on: establish the
+            # initial state immediately and poll on the policy's interval.
+            if self.app_present:
+                self.node.force_uncore_all(gov.initial_uncore_ghz)
+            self._initialised = True
+            interval = gov.interval_s
+            self._next_fire_s = now_s + (interval if interval != float("inf") else float("inf"))
+        else:
+            if not self.app_present:
+                # Idle overhead run: there is no application arrival, so the
+                # runtime never establishes its initial uncore state — it
+                # just monitors (the Table 2 procedure).
+                self._initialised = True
+            self._next_fire_s = now_s + max(gov.launch_delay_s, 1e-9)
+
+    def next_fire_s(self) -> float:
+        """Simulated time of the next invocation."""
+        return self._next_fire_s
+
+    def invoke(self, now_s: float) -> None:
+        """One monitoring/decision cycle."""
+        gov = self.governor
+        meter = AccessMeter()
+
+        if not self._initialised:
+            # Software runtime launch: program the governor's initial
+            # uncore frequency through the normal MSR path.
+            self.hub.set_uncore_max_ghz(gov.initial_uncore_ghz, meter)
+            self._initialised = True
+
+        decision = gov.sample_and_decide(now_s, meter)
+        self.decisions.append(decision)
+        if decision.target_ghz is not None:
+            self.hub.set_uncore_max_ghz(decision.target_ghz, meter)
+
+        if gov.hardware:
+            # Firmware: no software cost.
+            invocation_s = 0.0
+            cycle_s = gov.interval_s
+            self.node.monitor_power_w = 0.0
+        else:
+            invocation_s = meter.time_s
+            cycle_s = invocation_s + gov.interval_s
+            if cycle_s <= 0:
+                raise GovernorError(
+                    f"governor {gov.name!r} produced a non-positive cycle ({cycle_s!r}s)"
+                )
+            self.invocation_times_s.append(invocation_s)
+            self.monitor_energy_j += meter.energy_j
+            # The cycle's measurement energy, spread over the cycle, is the
+            # monitoring power the node carries until the next decision.
+            self.node.monitor_power_w = meter.energy_j / cycle_s
+
+        if cycle_s == float("inf"):
+            self._next_fire_s = float("inf")
+        else:
+            self._next_fire_s = now_s + cycle_s
+
+    # ------------------------------------------------------------------
+    # Reporting helpers
+    # ------------------------------------------------------------------
+    @property
+    def mean_invocation_s(self) -> Optional[float]:
+        """Mean invocation time across cycles (None before any cycle)."""
+        if not self.invocation_times_s:
+            return None
+        return sum(self.invocation_times_s) / len(self.invocation_times_s)
+
+    @property
+    def decision_period_s(self) -> Optional[float]:
+        """Mean time between decision starts (invocation + sleep)."""
+        mean_inv = self.mean_invocation_s
+        if mean_inv is None:
+            return None
+        return mean_inv + self.governor.interval_s
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MonitorDaemon({self.governor.name!r}, cycles={len(self.decisions)})"

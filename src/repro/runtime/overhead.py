@@ -1,0 +1,108 @@
+"""Table 2 procedure: idle-node overhead measurement.
+
+Per §6.5 of the paper: run each runtime for a fixed duration *without any
+application*, measure (a) the relative increase in CPU (package + DRAM)
+power versus an unmanaged idle node and (b) the time each invocation takes
+(counter retrieval + phase detection, excluding actuation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import ExperimentError
+from repro.governors.base import UncoreGovernor
+from repro.hw.presets import SystemPreset, get_preset
+from repro.runtime.session import run_application
+
+__all__ = ["OverheadResult", "measure_overhead"]
+
+
+@dataclass(frozen=True)
+class OverheadResult:
+    """One runtime's idle overheads on one system (one Table 2 cell pair).
+
+    Attributes
+    ----------
+    power_overhead_frac:
+        Relative CPU-power increase over the unmanaged idle node
+        (0.011 = 1.1 %).
+    mean_invocation_s:
+        Mean time per monitoring invocation.
+    decision_period_s:
+        Mean invocation + sleep (the runtime's effective decision period).
+    """
+
+    governor_name: str
+    system_name: str
+    baseline_idle_cpu_w: float
+    managed_idle_cpu_w: float
+    power_overhead_frac: float
+    mean_invocation_s: float
+    decision_period_s: float
+    duration_s: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.governor_name} on {self.system_name}: "
+            f"power overhead {self.power_overhead_frac * 100:.2f}%, "
+            f"invocation {self.mean_invocation_s:.2f}s "
+            f"(period {self.decision_period_s:.2f}s)"
+        )
+
+
+def measure_overhead(
+    preset: Union[SystemPreset, str],
+    governor: UncoreGovernor,
+    *,
+    duration_s: float = 600.0,
+    seed: int = 0,
+    dt_s: float = 0.01,
+) -> OverheadResult:
+    """Measure one runtime's idle overheads (one row-pair of Table 2).
+
+    Parameters
+    ----------
+    preset:
+        System to measure on.
+    governor:
+        Freshly constructed runtime under test (MAGUS or UPS).
+    duration_s:
+        Idle run length; the paper uses 10 minutes (600 s).
+
+    Raises
+    ------
+    ExperimentError
+        If the governor never ran a monitoring cycle within the duration
+        (e.g. a static policy, for which "overhead" is meaningless).
+    """
+    if isinstance(preset, str):
+        preset = get_preset(preset)
+    if governor.hardware:
+        raise ExperimentError(
+            f"governor {governor.name!r} is a hardware policy; idle software "
+            "overhead is not defined for it"
+        )
+
+    baseline = run_application(preset, None, None, seed=seed, dt_s=dt_s, max_time_s=duration_s)
+    managed = run_application(preset, None, governor, seed=seed, dt_s=dt_s, max_time_s=duration_s)
+
+    if managed.mean_invocation_s is None or managed.decision_period_s is None:
+        raise ExperimentError(
+            f"governor {governor.name!r} never completed a monitoring cycle "
+            f"in {duration_s}s"
+        )
+    base_w = baseline.avg_cpu_w
+    if base_w <= 0:
+        raise ExperimentError("baseline idle power is non-positive; check the power model")
+    return OverheadResult(
+        governor_name=governor.name,
+        system_name=preset.name,
+        baseline_idle_cpu_w=base_w,
+        managed_idle_cpu_w=managed.avg_cpu_w,
+        power_overhead_frac=managed.avg_cpu_w / base_w - 1.0,
+        mean_invocation_s=managed.mean_invocation_s,
+        decision_period_s=managed.decision_period_s,
+        duration_s=duration_s,
+    )

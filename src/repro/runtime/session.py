@@ -1,0 +1,231 @@
+"""run_application: one workload × one governor × one system → RunResult.
+
+This is the library's main entry point.  It builds a fresh node from the
+preset, wires telemetry, wraps the governor in a
+:class:`~repro.runtime.daemon.MonitorDaemon`, simulates to completion and
+condenses the traces into the quantities the paper's metrics are defined
+over (runtime, per-domain energy, average powers).
+
+Paired comparisons (the heart of every figure) are simply two calls with
+the same ``workload`` and ``seed`` and different governors: the workload's
+demand trace and the node's stochastic jitter are identical by
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.errors import ConfigError, GovernorError
+from repro.core.config import MagusConfig
+from repro.core.magus import MagusGovernor
+from repro.governors.base import Decision, UncoreGovernor
+from repro.governors.default import VendorDefaultGovernor
+from repro.governors.oracle import OracleGovernor
+from repro.governors.powercap import PowerCapGovernor
+from repro.governors.static import StaticUncoreGovernor
+from repro.governors.ups import UPSConfig, UPSGovernor
+from repro.hw.presets import SystemPreset, get_preset
+from repro.runtime.daemon import MonitorDaemon
+from repro.sim.clock import SimClock
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import RngStreams
+from repro.sim.trace import TimeSeries
+from repro.telemetry.hub import TelemetryHub
+from repro.workloads.base import Workload
+from repro.workloads.registry import get_workload
+
+__all__ = ["RunResult", "run_application", "make_governor"]
+
+
+def make_governor(name: str, **options) -> UncoreGovernor:
+    """Construct a governor by name.
+
+    Recognised names: ``"default"``, ``"static_max"``, ``"static_min"``,
+    ``"ups"``, ``"magus"``, ``"powercap"``. Options are forwarded to the
+    policy's config (e.g. ``make_governor("magus", inc_threshold=300)`` or
+    ``make_governor("powercap", cap_w=150.0)``).
+    """
+    if name == "default":
+        return VendorDefaultGovernor(**options)
+    if name == "static_max":
+        if options:
+            raise ConfigError(f"static_max takes no options, got {sorted(options)}")
+        return StaticUncoreGovernor.at_max()
+    if name == "static_min":
+        if options:
+            raise ConfigError(f"static_min takes no options, got {sorted(options)}")
+        return StaticUncoreGovernor.at_min()
+    if name == "ups":
+        return UPSGovernor(UPSConfig(**options)) if options else UPSGovernor()
+    if name == "powercap":
+        return PowerCapGovernor(**options)
+    if name == "oracle":
+        return OracleGovernor(**options)
+    if name == "magus":
+        return MagusGovernor(MagusConfig(**options)) if options else MagusGovernor()
+    raise ConfigError(
+        f"unknown governor {name!r}; known: default, static_max, static_min, ups, magus, powercap, oracle"
+    )
+
+
+@dataclass
+class RunResult:
+    """Everything measured during one run.
+
+    Energy domains follow the paper's definitions (§5): *CPU energy* is
+    package (core + uncore + monitoring) plus DRAM; *total energy* adds the
+    GPU board — the quantity behind the headline "energy saving" metric.
+    """
+
+    workload_name: str
+    governor_name: str
+    system_name: str
+    seed: int
+    runtime_s: float
+    completed: bool
+    pkg_energy_j: float
+    dram_energy_j: float
+    gpu_energy_j: float
+    avg_pkg_w: float
+    avg_dram_w: float
+    avg_gpu_w: float
+    monitor_energy_j: float
+    mean_invocation_s: Optional[float]
+    decision_period_s: Optional[float]
+    traces: Dict[str, TimeSeries] = field(repr=False, default_factory=dict)
+    decisions: List[Decision] = field(repr=False, default_factory=list)
+
+    @property
+    def cpu_energy_j(self) -> float:
+        """Package + DRAM energy (the paper's "CPU power" domain)."""
+        return self.pkg_energy_j + self.dram_energy_j
+
+    @property
+    def total_energy_j(self) -> float:
+        """Package + DRAM + GPU board energy (the energy-saving domain)."""
+        return self.cpu_energy_j + self.gpu_energy_j
+
+    @property
+    def avg_cpu_w(self) -> float:
+        """Average package + DRAM power over the run."""
+        return self.avg_pkg_w + self.avg_dram_w
+
+    @property
+    def avg_total_w(self) -> float:
+        """Average node power over the run."""
+        return self.avg_cpu_w + self.avg_gpu_w
+
+    def export_traces_csv(self, path, channels=None) -> None:
+        """Write the run's traces to a CSV file (one row per tick).
+
+        Parameters
+        ----------
+        path:
+            Destination file.
+        channels:
+            Channel subset to export; defaults to every recorded channel.
+            All exported channels share the engine's common time base, so
+            the file loads straight into pandas/spreadsheets.
+        """
+        import csv as _csv
+
+        if not self.traces:
+            raise ConfigError("run has no traces to export")
+        names = list(channels) if channels is not None else sorted(self.traces)
+        for name in names:
+            if name not in self.traces:
+                raise ConfigError(f"unknown trace channel {name!r}; have {sorted(self.traces)}")
+        base = self.traces[names[0]]
+        with open(path, "w", newline="") as fh:
+            writer = _csv.writer(fh)
+            writer.writerow(["time_s"] + names)
+            columns = [self.traces[n].values for n in names]
+            for i, t in enumerate(base.times):
+                writer.writerow([f"{t:.4f}"] + [f"{col[i]:.6g}" for col in columns])
+
+
+def run_application(
+    preset: Union[SystemPreset, str],
+    workload: Union[Workload, str, None],
+    governor: Optional[UncoreGovernor],
+    *,
+    seed: int = 0,
+    dt_s: float = 0.01,
+    max_time_s: float = 600.0,
+) -> RunResult:
+    """Simulate one workload under one governor on one system.
+
+    Parameters
+    ----------
+    preset:
+        A :class:`~repro.hw.presets.SystemPreset` or its registry name.
+    workload:
+        A :class:`~repro.workloads.base.Workload`, a registry name, or
+        ``None`` for an idle run (overhead measurement).
+    governor:
+        A freshly constructed governor, or ``None`` to run with no uncore
+        management at all (the node stays in its idle min-uncore state).
+    seed:
+        Master seed for workload jitter and hardware noise streams.
+    dt_s:
+        Simulation tick width.
+    max_time_s:
+        Horizon; idle runs last exactly this long.
+
+    Returns
+    -------
+    RunResult
+
+    Raises
+    ------
+    GovernorError
+        If the governor instance was already used in a previous run.
+    """
+    if isinstance(preset, str):
+        preset = get_preset(preset)
+    if isinstance(workload, str):
+        workload = get_workload(workload, seed=seed)
+
+    rng = RngStreams(seed)
+    node = preset.build_node(rng)
+    # Idle deployment state (§4): nodes conserve power at min uncore until
+    # a management policy takes over.
+    node.force_uncore_all(preset.uncore_min_ghz)
+    hub = TelemetryHub(node, preset.telemetry, vendor=preset.vendor)
+
+    runtimes = []
+    daemon: Optional[MonitorDaemon] = None
+    if governor is not None:
+        daemon = MonitorDaemon(governor, hub, node, app_present=workload is not None)
+        runtimes.append(daemon)
+
+    engine = SimulationEngine(node, hub, runtimes, SimClock(dt_s))
+    result = engine.run(workload, max_time_s=max_time_s)
+
+    traces = result.recorder.as_dict()
+    pkg_energy = traces["pkg_w"].integral()
+    dram_energy = traces["dram_w"].integral()
+    gpu_energy = traces["gpu_w"].integral()
+    duration = max(result.runtime_s, 1e-9)
+
+    return RunResult(
+        workload_name=workload.name if workload is not None else "<idle>",
+        governor_name=governor.name if governor is not None else "<none>",
+        system_name=preset.name,
+        seed=seed,
+        runtime_s=result.runtime_s,
+        completed=result.completed,
+        pkg_energy_j=pkg_energy,
+        dram_energy_j=dram_energy,
+        gpu_energy_j=gpu_energy,
+        avg_pkg_w=pkg_energy / duration,
+        avg_dram_w=dram_energy / duration,
+        avg_gpu_w=gpu_energy / duration,
+        monitor_energy_j=daemon.monitor_energy_j if daemon is not None else 0.0,
+        mean_invocation_s=daemon.mean_invocation_s if daemon is not None else None,
+        decision_period_s=daemon.decision_period_s if daemon is not None else None,
+        traces=traces,
+        decisions=list(daemon.decisions) if daemon is not None else [],
+    )

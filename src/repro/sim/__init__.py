@@ -1,0 +1,25 @@
+"""Deterministic discrete-time simulation core.
+
+This subpackage provides the small, generic pieces the hardware and runtime
+models are built on:
+
+* :class:`~repro.sim.clock.SimClock` — quantised simulated time,
+* :mod:`~repro.sim.rng` — named, seeded random streams,
+* :class:`~repro.sim.trace.TraceRecorder` — append-only time-series traces,
+* :class:`~repro.sim.engine.SimulationEngine` — the tick loop that couples a
+  workload, a hardware node and any number of scheduled runtimes (daemons).
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.rng import RngStreams
+from repro.sim.trace import TimeSeries, TraceRecorder
+from repro.sim.engine import ScheduledRuntime, SimulationEngine
+
+__all__ = [
+    "SimClock",
+    "RngStreams",
+    "TimeSeries",
+    "TraceRecorder",
+    "ScheduledRuntime",
+    "SimulationEngine",
+]

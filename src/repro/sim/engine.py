@@ -1,0 +1,226 @@
+"""The tick loop: couples a workload, a hardware node and scheduled runtimes.
+
+Each tick the engine:
+
+1. asks the workload execution for the active segment (or idle),
+2. steps the node (uncore slew → memory service → DVFS → power),
+3. advances every telemetry accumulator,
+4. advances workload progress by ``dt / stretch`` nominal seconds (the
+   roofline stretch is where an underfed uncore costs runtime),
+5. records one trace sample,
+6. fires any scheduled runtime (governor daemon) whose time has come.
+
+Everything above this module is policy; everything below is physics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Protocol, Sequence
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+from repro.sim.trace import TraceRecorder
+
+if TYPE_CHECKING:  # typing-only: sim is the bottom layer and must not
+    # runtime-import the hardware/telemetry/workload packages built on it.
+    from repro.hw.node import HeterogeneousNode
+    from repro.telemetry.hub import TelemetryHub
+    from repro.workloads.base import Workload, WorkloadExecution
+
+__all__ = ["ScheduledRuntime", "EngineResult", "SimulationEngine", "TRACE_CHANNELS"]
+
+#: Channels recorded every tick. Kept as a module constant so analysis code
+#: and tests can assert trace completeness against a single source of truth.
+TRACE_CHANNELS = (
+    "demand_gbps",
+    "delivered_gbps",
+    "stretch",
+    "uncore_target_ghz",
+    "uncore_effective_ghz",
+    "core_w",
+    "uncore_w",
+    "dram_w",
+    "gpu_w",
+    "monitor_w",
+    "pkg_w",
+    "cpu_w",
+    "total_w",
+    "mean_ipc",
+    "mean_core_freq_ghz",
+    "gpu_sm_clock_ghz",
+    "served_fraction",
+    "progress",
+    "core0_freq_ghz",
+    "core1_freq_ghz",
+    "core2_freq_ghz",
+    "core3_freq_ghz",
+)
+
+
+class ScheduledRuntime(Protocol):
+    """A daemon that wakes at self-chosen times (a governor's monitor loop)."""
+
+    def start(self, now_s: float) -> None:
+        """Called once when the simulation begins."""
+
+    def next_fire_s(self) -> float:
+        """Simulated time of the next wanted invocation (``inf`` = never)."""
+
+    def invoke(self, now_s: float) -> None:
+        """Perform one monitoring/decision cycle at ``now_s``."""
+
+
+@dataclass
+class EngineResult:
+    """Outcome of one simulated run.
+
+    Attributes
+    ----------
+    recorder:
+        The per-tick trace of every :data:`TRACE_CHANNELS` channel.
+    runtime_s:
+        Simulated time at which the workload completed (equals the horizon
+        for idle runs or timeouts).
+    completed:
+        Whether the workload ran to completion before the horizon.
+    horizon_s:
+        The configured maximum simulated time.
+    """
+
+    recorder: TraceRecorder
+    runtime_s: float
+    completed: bool
+    horizon_s: float
+
+
+class SimulationEngine:
+    """Drives one node through one (optional) workload under some runtimes.
+
+    Parameters
+    ----------
+    node:
+        The hardware node.
+    telemetry:
+        The node's telemetry hub (advanced each tick).
+    runtimes:
+        Zero or more scheduled runtimes (governor daemons).
+    clock:
+        The simulation clock; a fresh 10 ms clock is created if omitted.
+    """
+
+    def __init__(
+        self,
+        node: "HeterogeneousNode",
+        telemetry: "TelemetryHub",
+        runtimes: Sequence[ScheduledRuntime] = (),
+        clock: Optional[SimClock] = None,
+    ):
+        if telemetry.node is not node:
+            raise SimulationError("telemetry hub is bound to a different node")
+        self.node = node
+        self.telemetry = telemetry
+        self.runtimes = list(runtimes)
+        self.clock = clock if clock is not None else SimClock()
+
+    def run(
+        self,
+        workload: Optional["Workload"] = None,
+        *,
+        max_time_s: float = 600.0,
+        safety_factor: float = 4.0,
+    ) -> EngineResult:
+        """Simulate until the workload completes or the horizon is reached.
+
+        Parameters
+        ----------
+        workload:
+            The application to execute, or ``None`` for an idle run (used by
+            the overhead experiments) — idle runs last exactly
+            ``max_time_s``.
+        max_time_s:
+            Hard simulated-time horizon.
+        safety_factor:
+            For workload runs, the horizon is additionally capped at
+            ``safety_factor × nominal duration``; a run hitting that cap
+            signals a governor pathologically starving the workload, which
+            is surfaced via ``completed=False`` rather than an exception so
+            experiments can report it.
+        """
+        if max_time_s <= 0:
+            raise SimulationError(f"max_time_s must be positive, got {max_time_s!r}")
+        execution: Optional["WorkloadExecution"] = workload.execution() if workload is not None else None
+        horizon = max_time_s
+        if workload is not None:
+            horizon = min(max_time_s, workload.nominal_duration_s * safety_factor)
+
+        recorder = TraceRecorder(TRACE_CHANNELS)
+        for rt in self.runtimes:
+            rt.start(self.clock.now)
+
+        dt = self.clock.dt
+        completed = execution is None
+        runtime_s = horizon
+        while True:
+            now = self.clock.now
+            if now >= horizon:
+                break
+            if execution is not None and execution.done:
+                completed = True
+                runtime_s = now
+                break
+
+            segment = execution.current() if execution is not None else None
+            state = self.node.step(dt, segment)
+            self.telemetry.on_tick(dt)
+            if execution is not None:
+                execution.advance(dt / state.stretch)
+
+            cpu0 = self.node.cpu(0)
+            freqs = cpu0.core_freqs_ghz
+            recorder.record(
+                state.time_s,
+                demand_gbps=state.demand_gbps,
+                delivered_gbps=state.delivered_gbps,
+                stretch=state.stretch,
+                uncore_target_ghz=state.uncore_target_ghz,
+                uncore_effective_ghz=state.uncore_effective_ghz,
+                core_w=state.power.core_w,
+                uncore_w=state.power.uncore_w,
+                dram_w=state.power.dram_w,
+                gpu_w=state.power.gpu_w,
+                monitor_w=state.power.monitor_w,
+                pkg_w=state.power.package_w,
+                cpu_w=state.power.cpu_w,
+                total_w=state.power.total_w,
+                mean_ipc=state.mean_ipc,
+                mean_core_freq_ghz=state.mean_core_freq_ghz,
+                gpu_sm_clock_ghz=state.gpu_sm_clock_ghz,
+                served_fraction=state.served_fraction,
+                progress=execution.progress if execution is not None else 0.0,
+                core0_freq_ghz=float(freqs[0]),
+                core1_freq_ghz=float(freqs[min(1, len(freqs) - 1)]),
+                core2_freq_ghz=float(freqs[min(2, len(freqs) - 1)]),
+                core3_freq_ghz=float(freqs[min(3, len(freqs) - 1)]),
+            )
+
+            next_now = self.clock.advance()
+            for rt in self.runtimes:
+                # Fire every runtime whose schedule elapsed during this tick.
+                while rt.next_fire_s() <= next_now:
+                    due = rt.next_fire_s()
+                    rt.invoke(due)
+                    if rt.next_fire_s() <= due:
+                        raise SimulationError(
+                            f"runtime {rt!r} did not advance its schedule past {due!r}"
+                        )
+
+        if execution is not None and execution.done:
+            completed = True
+            runtime_s = min(runtime_s, self.clock.now)
+        return EngineResult(
+            recorder=recorder,
+            runtime_s=runtime_s,
+            completed=completed,
+            horizon_s=horizon,
+        )

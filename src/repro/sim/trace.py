@@ -1,0 +1,226 @@
+"""Append-only time-series traces.
+
+The simulation engine records one sample per tick for a configurable set of
+channels (delivered memory throughput, uncore frequency, power domains, ...).
+:class:`TraceRecorder` keeps the hot path cheap — one float assignment per
+channel per tick into pre-grown numpy buffers — and exposes the result as
+immutable :class:`TimeSeries` views for the analysis layer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["TimeSeries", "TraceRecorder"]
+
+_INITIAL_CAPACITY = 1024
+
+
+class TimeSeries:
+    """An immutable (time, value) series with convenience reductions.
+
+    Parameters
+    ----------
+    times:
+        Sample timestamps in seconds, strictly increasing.
+    values:
+        Sample values, same length as ``times``.
+    name:
+        Channel name, used in reports and error messages.
+    """
+
+    __slots__ = ("_times", "_values", "name")
+
+    def __init__(self, times: np.ndarray, values: np.ndarray, name: str = ""):
+        times = np.asarray(times, dtype=float)
+        values = np.asarray(values, dtype=float)
+        if times.shape != values.shape or times.ndim != 1:
+            raise SimulationError(
+                f"times {times.shape} and values {values.shape} must be equal-length 1-D arrays"
+            )
+        if times.size > 1 and not np.all(np.diff(times) > 0):
+            raise SimulationError(f"trace {name!r}: timestamps must be strictly increasing")
+        self._times = times
+        self._values = values
+        self.name = name
+        self._times.setflags(write=False)
+        self._values.setflags(write=False)
+
+    @property
+    def times(self) -> np.ndarray:
+        """Read-only timestamp array (seconds)."""
+        return self._times
+
+    @property
+    def values(self) -> np.ndarray:
+        """Read-only value array."""
+        return self._values
+
+    def __len__(self) -> int:
+        return self._times.size
+
+    @property
+    def duration(self) -> float:
+        """Time span covered by the series (0 for < 2 samples)."""
+        if len(self) < 2:
+            return 0.0
+        return float(self._times[-1] - self._times[0])
+
+    def mean(self) -> float:
+        """Time-weighted mean of the series.
+
+        Uses trapezoidal integration so irregular sampling (e.g. a trace
+        resampled to decision boundaries) is handled correctly. Falls back
+        to the plain mean for fewer than two samples.
+        """
+        if len(self) == 0:
+            raise SimulationError(f"trace {self.name!r} is empty")
+        if len(self) == 1 or self.duration == 0.0:
+            return float(self._values.mean())
+        return float(np.trapezoid(self._values, self._times) / self.duration)
+
+    def integral(self) -> float:
+        """Trapezoidal integral of the series over time.
+
+        For a power trace in watts this is the energy in joules.
+        """
+        if len(self) < 2:
+            return 0.0
+        return float(np.trapezoid(self._values, self._times))
+
+    def max(self) -> float:
+        """Maximum sample value."""
+        if len(self) == 0:
+            raise SimulationError(f"trace {self.name!r} is empty")
+        return float(self._values.max())
+
+    def min(self) -> float:
+        """Minimum sample value."""
+        if len(self) == 0:
+            raise SimulationError(f"trace {self.name!r} is empty")
+        return float(self._values.min())
+
+    def slice(self, t0: float, t1: float) -> "TimeSeries":
+        """Return the sub-series with ``t0 <= t < t1``."""
+        if t1 < t0:
+            raise SimulationError(f"invalid slice [{t0}, {t1})")
+        mask = (self._times >= t0) & (self._times < t1)
+        return TimeSeries(self._times[mask].copy(), self._values[mask].copy(), self.name)
+
+    def resample(self, period_s: float) -> "TimeSeries":
+        """Bucket-average the series onto a regular grid of ``period_s``.
+
+        Each output sample at time ``(k + 1) * period_s`` is the mean of the
+        input samples falling in ``[k*period, (k+1)*period)``. Empty buckets
+        carry the previous bucket's value (zero-order hold), which matches
+        how a hardware counter sampled at a slower rate would appear.
+        """
+        if period_s <= 0:
+            raise SimulationError(f"period must be positive, got {period_s!r}")
+        if len(self) == 0:
+            return TimeSeries(np.empty(0), np.empty(0), self.name)
+        n_buckets = int(np.ceil((self._times[-1] - 1e-12) / period_s))
+        n_buckets = max(n_buckets, 1)
+        # Timestamps mark the *end* of the interval they describe (the
+        # recorder stamps each tick at its completion), so a sample at
+        # exactly k*period belongs to bucket k-1, i.e. (.., k*period].
+        idx = np.clip(((self._times - 1e-12) / period_s).astype(int), 0, n_buckets - 1)
+        sums = np.bincount(idx, weights=self._values, minlength=n_buckets)
+        counts = np.bincount(idx, minlength=n_buckets)
+        out = np.empty(n_buckets)
+        hold = self._values[0]
+        for k in range(n_buckets):
+            if counts[k] > 0:
+                hold = sums[k] / counts[k]
+            out[k] = hold
+        times = (np.arange(n_buckets) + 1) * period_s
+        return TimeSeries(times, out, self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TimeSeries(name={self.name!r}, n={len(self)}, duration={self.duration:.3f}s)"
+
+
+class TraceRecorder:
+    """Fixed-schema, chunk-grown multi-channel trace recorder.
+
+    Parameters
+    ----------
+    channels:
+        The channel names that every sample must provide.
+
+    Notes
+    -----
+    The recorder is deliberately strict: every call to :meth:`record` must
+    supply exactly the declared channels. This catches hardware-model
+    refactors that silently stop reporting a power domain.
+    """
+
+    def __init__(self, channels: Iterable[str]):
+        self._channels: Tuple[str, ...] = tuple(channels)
+        if len(set(self._channels)) != len(self._channels):
+            raise SimulationError(f"duplicate channel names: {self._channels}")
+        if not self._channels:
+            raise SimulationError("at least one channel is required")
+        self._capacity = _INITIAL_CAPACITY
+        self._n = 0
+        self._times = np.empty(self._capacity)
+        self._data: Dict[str, np.ndarray] = {c: np.empty(self._capacity) for c in self._channels}
+
+    @property
+    def channels(self) -> Tuple[str, ...]:
+        """The declared channel names, in declaration order."""
+        return self._channels
+
+    def __len__(self) -> int:
+        return self._n
+
+    def _grow(self) -> None:
+        self._capacity *= 2
+        new_times = np.empty(self._capacity)
+        new_times[: self._n] = self._times[: self._n]
+        self._times = new_times
+        for c in self._channels:
+            buf = np.empty(self._capacity)
+            buf[: self._n] = self._data[c][: self._n]
+            self._data[c] = buf
+
+    def record(self, time_s: float, **values: float) -> None:
+        """Append one sample at ``time_s`` with a value for every channel."""
+        if self._n and time_s <= self._times[self._n - 1]:
+            raise SimulationError(
+                f"non-increasing timestamp {time_s!r} after {self._times[self._n - 1]!r}"
+            )
+        if set(values) != set(self._channels):
+            missing = set(self._channels) - set(values)
+            extra = set(values) - set(self._channels)
+            raise SimulationError(f"channel mismatch: missing={sorted(missing)} extra={sorted(extra)}")
+        if self._n == self._capacity:
+            self._grow()
+        self._times[self._n] = time_s
+        for c, v in values.items():
+            self._data[c][self._n] = v
+        self._n += 1
+
+    def series(self, channel: str) -> TimeSeries:
+        """Return channel ``channel`` as an immutable :class:`TimeSeries`."""
+        if channel not in self._data:
+            raise SimulationError(f"unknown channel {channel!r}; have {sorted(self._data)}")
+        return TimeSeries(
+            self._times[: self._n].copy(), self._data[channel][: self._n].copy(), channel
+        )
+
+    def as_dict(self) -> Dict[str, TimeSeries]:
+        """Return every channel as a ``name -> TimeSeries`` mapping."""
+        return {c: self.series(c) for c in self._channels}
+
+    def last(self, channel: str) -> Optional[float]:
+        """Most recent value of ``channel``, or ``None`` if empty."""
+        if self._n == 0:
+            return None
+        if channel not in self._data:
+            raise SimulationError(f"unknown channel {channel!r}")
+        return float(self._data[channel][self._n - 1])

@@ -1,0 +1,47 @@
+"""Telemetry: the monitoring/actuation interfaces the runtimes use.
+
+These modules mirror the real software stack the paper's runtimes sit on:
+
+* :mod:`~repro.telemetry.msr` — model-specific registers, including the
+  uncore ratio-limit register ``0x620`` (actuation) and per-core fixed
+  counters (the expensive path UPS monitors);
+* :mod:`~repro.telemetry.pcm` — Intel PCM-style system memory throughput
+  (the single cheap counter MAGUS monitors);
+* :mod:`~repro.telemetry.rapl` — RAPL PKG/DRAM energy counters;
+* :mod:`~repro.telemetry.nvml` — GPU board power/clock queries;
+* :mod:`~repro.telemetry.sampling` — access metering: every read charges
+  simulated time and energy, which is how the Table 2 overhead asymmetry
+  between MAGUS and UPS arises.
+"""
+
+from repro.telemetry.sampling import AccessMeter
+from repro.telemetry.msr import (
+    MSR_UNCORE_RATIO_LIMIT,
+    IA32_FIXED_CTR0,
+    IA32_FIXED_CTR1,
+    MSRDevice,
+    encode_uncore_ratio_limit,
+    decode_uncore_ratio_limit,
+)
+from repro.telemetry.pcm import PCMCounters
+from repro.telemetry.rapl import RAPLCounters, RAPL_PKG, RAPL_DRAM
+from repro.telemetry.nvml import NVMLDevice
+from repro.telemetry.hsmp import HSMPDevice
+from repro.telemetry.hub import TelemetryHub
+
+__all__ = [
+    "AccessMeter",
+    "MSR_UNCORE_RATIO_LIMIT",
+    "IA32_FIXED_CTR0",
+    "IA32_FIXED_CTR1",
+    "MSRDevice",
+    "encode_uncore_ratio_limit",
+    "decode_uncore_ratio_limit",
+    "PCMCounters",
+    "RAPLCounters",
+    "RAPL_PKG",
+    "RAPL_DRAM",
+    "NVMLDevice",
+    "HSMPDevice",
+    "TelemetryHub",
+]

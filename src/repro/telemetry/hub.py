@@ -1,0 +1,72 @@
+"""TelemetryHub: one object bundling every telemetry device for a node.
+
+The simulation engine advances the hub once per tick; runtimes receive the
+hub and use whichever interfaces their design calls for (MAGUS: PCM + the
+uncore control path; UPS: per-core MSR reads + RAPL + control path; the
+vendor default: RAPL only).
+
+The hub also provides the **vendor-neutral actuation path**: on Intel the
+uncore limit is programmed through MSR ``0x620``, on AMD through HSMP
+fabric P-state requests (§6.6). Governors never need to know which — the
+daemon calls :meth:`TelemetryHub.set_uncore_max_ghz`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import TelemetryError
+from repro.hw.node import HeterogeneousNode
+from repro.hw.presets import TelemetryCosts
+from repro.telemetry.hsmp import HSMPDevice
+from repro.telemetry.msr import MSRDevice
+from repro.telemetry.nvml import NVMLDevice
+from repro.telemetry.pcm import PCMCounters
+from repro.telemetry.rapl import RAPLCounters
+from repro.telemetry.sampling import AccessMeter
+
+__all__ = ["TelemetryHub"]
+
+
+class TelemetryHub:
+    """All telemetry devices of one node, advanced together.
+
+    Parameters
+    ----------
+    node:
+        The node being observed/actuated.
+    costs:
+        The preset's per-access cost model.
+    vendor:
+        ``"intel"`` (MSR actuation; HSMP absent) or ``"amd"`` (HSMP
+        actuation; the MSR uncore-limit register absent, per-core counters
+        still available for completeness).
+    """
+
+    def __init__(self, node: HeterogeneousNode, costs: TelemetryCosts, vendor: str = "intel"):
+        if vendor not in ("intel", "amd"):
+            raise TelemetryError(f"unknown vendor {vendor!r}; expected 'intel' or 'amd'")
+        self.node = node
+        self.costs = costs
+        self.vendor = vendor
+        self.msr = MSRDevice(node, costs)
+        self.pcm = PCMCounters(node, costs)
+        self.rapl = RAPLCounters(node, costs)
+        self.nvml = NVMLDevice(node)
+        self.hsmp: Optional[HSMPDevice] = HSMPDevice(node, costs) if vendor == "amd" else None
+
+    def on_tick(self, dt_s: float) -> None:
+        """Advance every device's accumulators by one tick."""
+        self.msr.on_tick(dt_s)
+        self.pcm.on_tick(dt_s)
+        self.rapl.on_tick(dt_s)
+        self.nvml.on_tick(dt_s)
+        if self.hsmp is not None:
+            self.hsmp.on_tick(dt_s)
+
+    def set_uncore_max_ghz(self, freq_ghz: float, meter: Optional[AccessMeter] = None) -> None:
+        """Program the uncore/fabric ceiling through the vendor's path."""
+        if self.hsmp is not None:
+            self.hsmp.set_fabric_clock_ghz(freq_ghz, meter)
+        else:
+            self.msr.set_uncore_max_ghz(freq_ghz, meter)

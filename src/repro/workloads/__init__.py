@@ -1,0 +1,61 @@
+"""Workload models for every application evaluated in the MAGUS paper.
+
+A *workload* is a phase-structured demand model: an ordered list of
+:class:`~repro.workloads.base.Segment` objects, each declaring how much host
+memory throughput the application wants, how memory-bound its critical path
+is, and how busy the CPU cores and GPUs are.  This is exactly the surface the
+MAGUS runtime observes (system memory throughput via PCM) and the surface
+that determines the power/performance consequences of an uncore decision —
+so a demand model with the right phase structure exercises the identical
+decision logic as the real binary.
+
+Sub-modules
+-----------
+``base``
+    Core datatypes (:class:`Segment`, :class:`Workload`,
+    :class:`WorkloadExecution`).
+``synthesis``
+    Reusable generators (steady phases, burst trains, ramps, fast
+    alternation) used to compose the named applications.
+``altis`` / ``ecp`` / ``apps`` / ``mlperf``
+    The named applications from the paper's evaluation.
+``registry``
+    Name → factory mapping plus the per-system suites used by the
+    experiment harness.
+"""
+
+from repro.workloads.base import Segment, Workload, WorkloadExecution
+from repro.workloads.traces import workload_from_trace, workload_from_csv, trace_to_csv
+from repro.workloads.registry import (
+    ALL_WORKLOADS,
+    SUITE_ALTIS,
+    SUITE_ECP,
+    SUITE_APPS,
+    SUITE_MLPERF,
+    SUITE_INTEL_A100,
+    SUITE_INTEL_MAX1550,
+    SUITE_INTEL_4A100,
+    SUITE_TABLE1,
+    get_workload,
+    workload_names,
+)
+
+__all__ = [
+    "Segment",
+    "workload_from_trace",
+    "workload_from_csv",
+    "trace_to_csv",
+    "Workload",
+    "WorkloadExecution",
+    "ALL_WORKLOADS",
+    "SUITE_ALTIS",
+    "SUITE_ECP",
+    "SUITE_APPS",
+    "SUITE_MLPERF",
+    "SUITE_INTEL_A100",
+    "SUITE_INTEL_MAX1550",
+    "SUITE_INTEL_4A100",
+    "SUITE_TABLE1",
+    "get_workload",
+    "workload_names",
+]

@@ -1,0 +1,342 @@
+"""Altis GPU benchmark suite (Level 1 + Level 2) demand models.
+
+The paper uses 14 Altis benchmarks on the CUDA systems and an 11-benchmark
+Altis-SYCL subset on Intel+Max1550.  Each model reproduces the *phase
+structure* that drives the paper's per-application observations:
+
+* **bfs / gemm / pathfinder** — long GPU-compute gaps between transfer
+  bursts → the biggest CPU-power savers under MAGUS (§6.1);
+* **particlefilter_naive / srad** — sustained or rapidly fluctuating
+  memory traffic → the smallest savers;
+* **fdtd2d / cfd_double / gemm / particlefilter_float** — trains of brief
+  bursts right at application launch, before the runtime attaches →
+  the low Jaccard scores of Table 1 (§6.3);
+* **srad** — millisecond-scale high/low alternation in two mid-run windows
+  (≈10–12.5 s and after 15 s) → the Fig. 5/6 high-frequency case study.
+
+All durations are nominal (at fully satisfied demand) and sized so a full
+suite simulates in seconds while preserving the paper's burst cadences.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.sim.rng import RngStreams
+from repro.workloads.base import Segment, Workload
+from repro.workloads.synthesis import (
+    alternating,
+    burst,
+    burst_train,
+    compute_phase,
+    concat,
+    jittered,
+    ramp,
+    steady,
+)
+
+__all__ = [
+    "bfs",
+    "gemm",
+    "pathfinder",
+    "sort",
+    "where",
+    "cfd",
+    "cfd_double",
+    "fdtd2d",
+    "kmeans",
+    "lavamd",
+    "nw",
+    "particlefilter_float",
+    "particlefilter_naive",
+    "raytracing",
+    "srad",
+]
+
+
+def _rng(seed: int, name: str) -> np.random.Generator:
+    return RngStreams(seed).get(f"workload.{name}")
+
+
+def _launch_burst_train(n: int, total_s: float, bw: float, name: str, duty: float = 0.85) -> List[Segment]:
+    """Brief initialisation bursts inside the runtime's launch window.
+
+    These land before a user-space runtime has attached (~0.5 s), so they
+    execute at the node's idle min-uncore state — the paper's explanation
+    for the depressed Jaccard scores of several benchmarks.
+    """
+    # Bursts dominate the window (high duty), so the paper's Jaccard
+    # analysis sees the window as burst bins that the method misses.
+    burst_s = total_s * duty / n
+    gap_s = total_s * (1.0 - duty) / n
+    segs: List[Segment] = []
+    for i in range(n):
+        segs.extend(burst(burst_s, bw, mem_intensity=0.3, name=f"{name}:launch{i}"))
+        segs.extend(compute_phase(gap_s, gpu_util=0.4, name=f"{name}:launchgap{i}"))
+    return segs
+
+
+def bfs(seed: int = 0, gpu_count: int = 1) -> Workload:
+    """Breadth-first search: frontier expansions staged from the host.
+
+    Long compute gaps between well-separated transfer bursts make BFS one
+    of the highest CPU-power savers under MAGUS (Fig. 4a) and a
+    near-perfect prediction case (Jaccard 0.99, Table 1).
+    """
+    g = _rng(seed, "bfs")
+    scale = 1.0 + 0.25 * (gpu_count - 1)
+    segs = concat(
+        steady(1.5, 1.0, mem_intensity=0.2, cpu_util=0.15, gpu_util=0.2, name="bfs:init"),
+        *[
+            concat(
+                burst(1.1, 22.0 * scale, mem_intensity=0.8, gpu_util=0.15, name=f"bfs:frontier{i}"),
+                compute_phase(5.6, gpu_util=0.22, cpu_util=0.08, name=f"bfs:expand{i}"),
+            )
+            for i in range(5)
+        ],
+    )
+    return Workload("bfs", jittered(segs, g, bw_sigma=0.04), "Altis L1 breadth-first search", ("altis", "level1"))
+
+
+def gemm(seed: int = 0, gpu_count: int = 1) -> Workload:
+    """Dense matrix multiply: tile uploads at launch, then long compute.
+
+    The launch-window upload train is clipped by the idle-state uncore,
+    producing the depressed Jaccard score (0.71) the paper attributes to
+    initialisation bursts; the long compute stretches make it a top
+    power saver.
+    """
+    g = _rng(seed, "gemm")
+    scale = 1.0 + 0.25 * (gpu_count - 1)
+    segs = concat(
+        _launch_burst_train(3, 0.45, 28.0 * scale, "gemm"),
+        compute_phase(8.0, gpu_util=0.98, name="gemm:compute0"),
+        burst(1.5, 25.0 * scale, mem_intensity=0.85, name="gemm:swap"),
+        compute_phase(8.0, gpu_util=0.98, name="gemm:compute1"),
+        burst(1.0, 24.0 * scale, mem_intensity=0.8, name="gemm:readback"),
+    )
+    return Workload("gemm", jittered(segs, g, bw_sigma=0.03), "Altis L1 dense GEMM", ("altis", "level1"))
+
+
+def pathfinder(seed: int = 0, gpu_count: int = 1) -> Workload:
+    """Dynamic-programming grid traversal: row blocks staged periodically."""
+    g = _rng(seed, "pathfinder")
+    scale = 1.0 + 0.25 * (gpu_count - 1)
+    segs = concat(
+        steady(2.5, 1.2, mem_intensity=0.2, cpu_util=0.12, gpu_util=0.3, name="pf:init"),
+        burst_train(6, 1.0, 2.6, 20.0 * scale, gpu_util=0.9, name="pf"),
+    )
+    return Workload("pathfinder", jittered(segs, g, bw_sigma=0.04), "Altis L1 pathfinder", ("altis", "level1"))
+
+
+def sort(seed: int = 0, gpu_count: int = 1) -> Workload:
+    """Radix sort: periodic bucket exchange bursts between scan passes."""
+    g = _rng(seed, "sort")
+    scale = 1.0 + 0.25 * (gpu_count - 1)
+    segs = concat(
+        steady(1.8, 1.5, mem_intensity=0.25, cpu_util=0.12, gpu_util=0.35, name="sort:init"),
+        burst_train(8, 0.8, 2.0, 26.0 * scale, gpu_util=0.85, name="sort"),
+    )
+    return Workload("sort", jittered(segs, g, bw_sigma=0.05), "Altis L1 radix sort", ("altis", "level1"))
+
+
+def where(seed: int = 0, gpu_count: int = 1) -> Workload:
+    """Predicate filter (`where`): stream-through with periodic compaction."""
+    g = _rng(seed, "where")
+    scale = 1.0 + 0.25 * (gpu_count - 1)
+    segs = concat(
+        steady(1.6, 1.0, mem_intensity=0.2, cpu_util=0.1, gpu_util=0.3, name="where:init"),
+        *[
+            concat(
+                burst(0.9, 21.0 * scale, mem_intensity=0.75, name=f"where:scan{i}"),
+                compute_phase(2.4, gpu_util=0.8, name=f"where:compact{i}"),
+            )
+            for i in range(6)
+        ],
+    )
+    return Workload("where", jittered(segs, g, bw_sigma=0.05), "Altis L1 where filter", ("altis", "level1"))
+
+
+def cfd(seed: int = 0, gpu_count: int = 1) -> Workload:
+    """Unstructured CFD solver: ramped flux phases with staging bursts."""
+    g = _rng(seed, "cfd")
+    scale = 1.0 + 0.25 * (gpu_count - 1)
+    segs = concat(
+        steady(2.2, 2.0, mem_intensity=0.3, cpu_util=0.15, gpu_util=0.4, name="cfd:init"),
+        *[
+            concat(
+                ramp(1.2, 4.0, 19.0 * scale, steps=4, name=f"cfd:ramp{i}"),
+                burst(0.9, 22.0 * scale, mem_intensity=0.8, name=f"cfd:flux{i}"),
+                compute_phase(2.6, gpu_util=0.9, name=f"cfd:step{i}"),
+            )
+            for i in range(4)
+        ],
+    )
+    return Workload("cfd", jittered(segs, g, bw_sigma=0.05), "Altis L2 CFD (float)", ("altis", "level2"))
+
+
+def cfd_double(seed: int = 0, gpu_count: int = 1) -> Workload:
+    """Double-precision CFD: like :func:`cfd` with a launch-window burst
+    train (its Table 1 Jaccard is 0.63 for exactly that reason) and heavier
+    traffic from the wider element type."""
+    g = _rng(seed, "cfd_double")
+    scale = 1.0 + 0.25 * (gpu_count - 1)
+    segs = concat(
+        _launch_burst_train(4, 0.48, 30.0 * scale, "cfdd"),
+        steady(1.4, 2.5, mem_intensity=0.3, cpu_util=0.15, gpu_util=0.4, name="cfdd:init"),
+        *[
+            concat(
+                ramp(1.2, 5.0, 24.0 * scale, steps=4, name=f"cfdd:ramp{i}"),
+                burst(1.1, 27.0 * scale, mem_intensity=0.85, name=f"cfdd:flux{i}"),
+                compute_phase(2.2, gpu_util=0.92, name=f"cfdd:step{i}"),
+            )
+            for i in range(4)
+        ],
+    )
+    return Workload("cfd_double", jittered(segs, g, bw_sigma=0.05), "Altis L2 CFD (double)", ("altis", "level2"))
+
+
+def fdtd2d(seed: int = 0, gpu_count: int = 1) -> Workload:
+    """2-D finite-difference time domain: dense train of brief launch
+    bursts (the Table 1 outlier at Jaccard 0.40), then mostly on-device
+    stencil sweeps with only occasional host traffic."""
+    g = _rng(seed, "fdtd2d")
+    scale = 1.0 + 0.25 * (gpu_count - 1)
+    segs = concat(
+        _launch_burst_train(6, 0.48, 30.0 * scale, "fdtd"),
+        compute_phase(9.0, gpu_util=0.95, name="fdtd:sweepA"),
+        burst(0.5, 26.0 * scale, mem_intensity=0.7, name="fdtd:snapshot0"),
+        compute_phase(9.0, gpu_util=0.95, name="fdtd:sweepB"),
+    )
+    return Workload("fdtd2d", jittered(segs, g, bw_sigma=0.04), "Altis L2 FDTD-2D", ("altis", "level2"))
+
+
+def kmeans(seed: int = 0, gpu_count: int = 1) -> Workload:
+    """k-means clustering: per-iteration centroid gathers."""
+    g = _rng(seed, "kmeans")
+    scale = 1.0 + 0.25 * (gpu_count - 1)
+    segs = concat(
+        steady(2.0, 1.8, mem_intensity=0.25, cpu_util=0.14, gpu_util=0.35, name="km:init"),
+        burst_train(7, 0.9, 2.4, 23.0 * scale, gpu_util=0.88, name="km"),
+    )
+    return Workload("kmeans", jittered(segs, g, bw_sigma=0.05), "Altis L2 k-means", ("altis", "level2"))
+
+
+def lavamd(seed: int = 0, gpu_count: int = 1) -> Workload:
+    """LavaMD particle interactions: box-neighbour staging then compute."""
+    g = _rng(seed, "lavamd")
+    scale = 1.0 + 0.25 * (gpu_count - 1)
+    segs = concat(
+        steady(1.5, 1.2, mem_intensity=0.2, cpu_util=0.12, gpu_util=0.3, name="lava:init"),
+        *[
+            concat(
+                burst(1.3, 18.0 * scale, mem_intensity=0.7, name=f"lava:stage{i}"),
+                compute_phase(3.4, gpu_util=0.93, name=f"lava:force{i}"),
+            )
+            for i in range(5)
+        ],
+    )
+    return Workload("lavamd", jittered(segs, g, bw_sigma=0.05), "Altis L2 LavaMD", ("altis", "level2"))
+
+
+def nw(seed: int = 0, gpu_count: int = 1) -> Workload:
+    """Needleman-Wunsch alignment: diagonal waves with block staging."""
+    g = _rng(seed, "nw")
+    scale = 1.0 + 0.25 * (gpu_count - 1)
+    segs = concat(
+        steady(1.8, 1.5, mem_intensity=0.25, cpu_util=0.12, gpu_util=0.3, name="nw:init"),
+        burst_train(6, 1.1, 2.8, 21.0 * scale, gpu_util=0.85, name="nw"),
+    )
+    return Workload("nw", jittered(segs, g, bw_sigma=0.04), "Altis L2 Needleman-Wunsch", ("altis", "level2"))
+
+
+def particlefilter_float(seed: int = 0, gpu_count: int = 1) -> Workload:
+    """Particle filter (float): launch-window resampling bursts (Jaccard
+    0.67 in Table 1) then moderate periodic traffic."""
+    g = _rng(seed, "particlefilter_float")
+    scale = 1.0 + 0.25 * (gpu_count - 1)
+    segs = concat(
+        _launch_burst_train(4, 0.44, 30.0 * scale, "pff", duty=0.9),
+        steady(1.2, 2.0, mem_intensity=0.3, cpu_util=0.15, gpu_util=0.4, name="pff:init"),
+        burst_train(5, 0.8, 2.6, 20.0 * scale, gpu_util=0.82, name="pff"),
+    )
+    return Workload(
+        "particlefilter_float",
+        jittered(segs, g, bw_sigma=0.06),
+        "Altis L2 particle filter (float)",
+        ("altis", "level2"),
+    )
+
+
+def particlefilter_naive(seed: int = 0, gpu_count: int = 1) -> Workload:
+    """Particle filter (naive): sustained host traffic with little idle
+    uncore time — one of the *smallest* power savers in Fig. 4a."""
+    g = _rng(seed, "particlefilter_naive")
+    scale = 1.0 + 0.25 * (gpu_count - 1)
+    segs = concat(
+        steady(2.0, 8.0, mem_intensity=0.5, cpu_util=0.2, gpu_util=0.5, name="pfn:init"),
+        *[
+            concat(
+                steady(2.6, 17.0 * scale, mem_intensity=0.7, cpu_util=0.25, gpu_util=0.6, name=f"pfn:resample{i}"),
+                steady(1.2, 9.0 * scale, mem_intensity=0.5, cpu_util=0.2, gpu_util=0.7, name=f"pfn:weigh{i}"),
+            )
+            for i in range(5)
+        ],
+    )
+    return Workload(
+        "particlefilter_naive",
+        jittered(segs, g, bw_sigma=0.05),
+        "Altis L2 particle filter (naive)",
+        ("altis", "level2"),
+    )
+
+
+def raytracing(seed: int = 0, gpu_count: int = 1) -> Workload:
+    """Ray tracing: scene upload, long render, tile readbacks."""
+    g = _rng(seed, "raytracing")
+    scale = 1.0 + 0.25 * (gpu_count - 1)
+    segs = concat(
+        burst(1.6, 24.0 * scale, mem_intensity=0.8, name="rt:scene_upload"),
+        *[
+            concat(
+                compute_phase(4.2, gpu_util=0.97, name=f"rt:render{i}"),
+                burst(0.6, 18.0 * scale, mem_intensity=0.65, name=f"rt:tile{i}"),
+            )
+            for i in range(4)
+        ],
+    )
+    return Workload("raytracing", jittered(segs, g, bw_sigma=0.05), "Altis L2 ray tracing", ("altis", "level2"))
+
+
+def srad(seed: int = 0, gpu_count: int = 1) -> Workload:
+    """SRAD (speckle-reducing anisotropic diffusion) — the paper's
+    high-frequency case study (Figs. 5 and 6).
+
+    Structure (nominal seconds):
+
+    * 0–3: start-up staging with moderate bursts;
+    * 3–6.5: demand ramp into a large sustained burst around t≈5 s — the
+      burst min-uncore visibly fails to serve in Fig. 5 (top);
+    * 6.5–10: calm medium plateau;
+    * 10–12.5: millisecond-scale high/low alternation (high-frequency
+      window #1, where MAGUS pins max in Fig. 6);
+    * 12.5–15: calm low plateau (MAGUS releases to min);
+    * 15–19.5: high-frequency window #2 (where UPS keeps stepping down and
+      pays the 7.9 % slowdown).
+    """
+    g = _rng(seed, "srad")
+    scale = 1.0 + 0.25 * (gpu_count - 1)
+    segs = concat(
+        steady(1.6, 3.0, mem_intensity=0.3, cpu_util=0.15, gpu_util=0.4, name="srad:init"),
+        burst(0.7, 14.0 * scale, mem_intensity=0.6, name="srad:stage0"),
+        compute_phase(0.7, gpu_util=0.7, name="srad:gap0"),
+        ramp(2.0, 4.0, 24.0 * scale, steps=6, name="srad:rise"),
+        burst(1.5, 31.0 * scale, mem_intensity=0.85, cpu_util=0.25, name="srad:bigburst"),
+        steady(3.5, 8.0 * scale, mem_intensity=0.4, cpu_util=0.18, gpu_util=0.5, name="srad:plateau"),
+        alternating(2.5, 0.18, 31.0 * scale, 2.0, mem_intensity=0.9, gpu_util=0.65, name="srad:hf1"),
+        steady(2.5, 3.0, mem_intensity=0.2, cpu_util=0.12, gpu_util=0.5, name="srad:calm"),
+        alternating(5.5, 0.22, 31.0 * scale, 1.5, mem_intensity=0.9, gpu_util=0.65, name="srad:hf2"),
+    )
+    return Workload("srad", jittered(segs, g, bw_sigma=0.03), "Altis L2 SRAD", ("altis", "level2"))

@@ -1,0 +1,103 @@
+"""Structured metadata for every modelled application.
+
+One :class:`AppProfile` per application records the *documented* structural
+properties its demand model is supposed to have — where it comes from in
+the paper, its burst cadence class, how GPU-heavy it is, and whether it
+carries a launch-window burst train. The test suite audits every model
+against its profile, so a workload edit that silently changes an
+application's character fails loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import UnknownWorkloadError
+
+__all__ = ["AppProfile", "CATALOG", "get_profile"]
+
+#: Burst cadence classes (seconds between major demand bursts).
+CADENCE_SPARSE = "sparse"      # > 3 s between bursts: the big power savers
+CADENCE_PERIODIC = "periodic"  # 1.5-3.5 s: typical iterative kernels
+CADENCE_SUSTAINED = "sustained"  # continuous elevated traffic
+CADENCE_FLUCTUATING = "fluctuating"  # millisecond-scale alternation windows
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """Documented structural expectations of one application model.
+
+    Attributes
+    ----------
+    suite:
+        Origin per §5 ("altis", "ecp", "app", "mlperf").
+    cadence:
+        Burst cadence class (see module constants).
+    gpu_heavy:
+        True when sustained GPU utilisation exceeds ~0.8 somewhere (the
+        compute-dominant apps); False for latency/memory-bound kernels
+        whose GPU sits mostly below that.
+    launch_bursts:
+        Whether the model carries a pre-attach burst train (the §6.3
+        low-Jaccard mechanism).
+    min_nominal_s / max_nominal_s:
+        Accepted range of nominal duration.
+    peak_demand_range_gbps:
+        Accepted range of single-GPU peak demand.
+    """
+
+    suite: str
+    cadence: str
+    gpu_heavy: bool
+    launch_bursts: bool
+    min_nominal_s: float
+    max_nominal_s: float
+    peak_demand_range_gbps: Tuple[float, float]
+
+
+CATALOG: Dict[str, AppProfile] = {
+    # Altis Level 1
+    "bfs": AppProfile("altis", CADENCE_SPARSE, False, False, 20.0, 45.0, (18.0, 28.0)),
+    "gemm": AppProfile("altis", CADENCE_SPARSE, True, True, 15.0, 30.0, (24.0, 36.0)),
+    "pathfinder": AppProfile("altis", CADENCE_PERIODIC, True, False, 15.0, 35.0, (16.0, 26.0)),
+    "sort": AppProfile("altis", CADENCE_PERIODIC, True, False, 15.0, 35.0, (20.0, 32.0)),
+    "where": AppProfile("altis", CADENCE_PERIODIC, True, False, 15.0, 30.0, (17.0, 26.0)),
+    # Altis Level 2
+    "cfd": AppProfile("altis", CADENCE_PERIODIC, True, False, 15.0, 30.0, (18.0, 27.0)),
+    "cfd_double": AppProfile("altis", CADENCE_PERIODIC, True, True, 15.0, 32.0, (24.0, 36.0)),
+    "fdtd2d": AppProfile("altis", CADENCE_SPARSE, True, True, 15.0, 32.0, (24.0, 36.0)),
+    "kmeans": AppProfile("altis", CADENCE_PERIODIC, True, False, 15.0, 35.0, (18.0, 29.0)),
+    "lavamd": AppProfile("altis", CADENCE_PERIODIC, True, False, 18.0, 35.0, (14.0, 23.0)),
+    "nw": AppProfile("altis", CADENCE_PERIODIC, True, False, 18.0, 35.0, (17.0, 26.0)),
+    "particlefilter_float": AppProfile("altis", CADENCE_PERIODIC, True, True, 12.0, 30.0, (24.0, 37.0)),
+    "particlefilter_naive": AppProfile("altis", CADENCE_SUSTAINED, False, False, 15.0, 30.0, (14.0, 22.0)),
+    "raytracing": AppProfile("altis", CADENCE_SPARSE, True, False, 15.0, 30.0, (18.0, 30.0)),
+    "srad": AppProfile("altis", CADENCE_FLUCTUATING, False, False, 15.0, 30.0, (26.0, 38.0)),
+    # ECP proxies
+    "minigan": AppProfile("ecp", CADENCE_PERIODIC, True, False, 18.0, 32.0, (19.0, 30.0)),
+    "cradl": AppProfile("ecp", CADENCE_PERIODIC, True, False, 18.0, 35.0, (16.0, 25.0)),
+    "laghos": AppProfile("ecp", CADENCE_SPARSE, True, False, 20.0, 35.0, (17.0, 27.0)),
+    "sw4lite": AppProfile("ecp", CADENCE_PERIODIC, True, False, 18.0, 35.0, (18.0, 30.0)),
+    # Real applications
+    "lammps": AppProfile("app", CADENCE_PERIODIC, True, False, 25.0, 40.0, (16.0, 26.0)),
+    "gromacs": AppProfile("app", CADENCE_PERIODIC, True, False, 22.0, 35.0, (19.0, 30.0)),
+    # MLPerf
+    "unet": AppProfile("mlperf", CADENCE_PERIODIC, True, False, 42.0, 52.0, (22.0, 33.0)),
+    "resnet50": AppProfile("mlperf", CADENCE_PERIODIC, True, False, 22.0, 32.0, (18.0, 29.0)),
+    "bert_large": AppProfile("mlperf", CADENCE_SPARSE, True, True, 28.0, 40.0, (21.0, 32.0)),
+}
+
+
+def get_profile(name: str) -> AppProfile:
+    """Look up an application's documented profile.
+
+    Raises
+    ------
+    UnknownWorkloadError
+        If the application has no catalogue entry.
+    """
+    try:
+        return CATALOG[name]
+    except KeyError:
+        raise UnknownWorkloadError(name, tuple(CATALOG)) from None

@@ -1,0 +1,171 @@
+"""Workload registry: name → factory, plus the per-system suites.
+
+The suites mirror §5/§6 of the paper:
+
+* ``SUITE_INTEL_A100`` — everything (Fig. 4a);
+* ``SUITE_INTEL_MAX1550`` — the 11-benchmark Altis-SYCL subset that
+  compiles for Ponte Vecchio (Fig. 4b);
+* ``SUITE_INTEL_4A100`` — the multi-GPU-capable AI applications and MLPerf
+  workloads (Fig. 4c);
+* ``SUITE_TABLE1`` — the 21 applications of the Jaccard analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.errors import UnknownWorkloadError
+from repro.workloads import altis, apps, ecp, mlperf
+from repro.workloads.base import Workload
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "SUITE_ALTIS",
+    "SUITE_ECP",
+    "SUITE_APPS",
+    "SUITE_MLPERF",
+    "SUITE_INTEL_A100",
+    "SUITE_INTEL_MAX1550",
+    "SUITE_INTEL_4A100",
+    "SUITE_TABLE1",
+    "get_workload",
+    "workload_names",
+]
+
+WorkloadFactory = Callable[..., Workload]
+
+#: Every named application, keyed by its paper name.
+ALL_WORKLOADS: Dict[str, WorkloadFactory] = {
+    # Altis Level 1 + Level 2
+    "bfs": altis.bfs,
+    "gemm": altis.gemm,
+    "pathfinder": altis.pathfinder,
+    "sort": altis.sort,
+    "where": altis.where,
+    "cfd": altis.cfd,
+    "cfd_double": altis.cfd_double,
+    "fdtd2d": altis.fdtd2d,
+    "kmeans": altis.kmeans,
+    "lavamd": altis.lavamd,
+    "nw": altis.nw,
+    "particlefilter_float": altis.particlefilter_float,
+    "particlefilter_naive": altis.particlefilter_naive,
+    "raytracing": altis.raytracing,
+    "srad": altis.srad,
+    # ECP proxies
+    "minigan": ecp.minigan,
+    "cradl": ecp.cradl,
+    "laghos": ecp.laghos,
+    "sw4lite": ecp.sw4lite,
+    # Real applications
+    "lammps": apps.lammps,
+    "gromacs": apps.gromacs,
+    # MLPerf
+    "unet": mlperf.unet,
+    "resnet50": mlperf.resnet50,
+    "bert_large": mlperf.bert_large,
+}
+
+#: The 15 Altis kernels (Level 1 + Level 2) modelled here.
+SUITE_ALTIS: Tuple[str, ...] = (
+    "bfs",
+    "gemm",
+    "pathfinder",
+    "sort",
+    "where",
+    "cfd",
+    "cfd_double",
+    "fdtd2d",
+    "kmeans",
+    "lavamd",
+    "nw",
+    "particlefilter_float",
+    "particlefilter_naive",
+    "raytracing",
+    "srad",
+)
+
+SUITE_ECP: Tuple[str, ...] = ("minigan", "cradl", "laghos", "sw4lite")
+SUITE_APPS: Tuple[str, ...] = ("lammps", "gromacs")
+SUITE_MLPERF: Tuple[str, ...] = ("unet", "resnet50", "bert_large")
+
+#: Fig. 4a: all single-GPU workloads on the Intel+A100 system.
+SUITE_INTEL_A100: Tuple[str, ...] = SUITE_ALTIS + SUITE_ECP + SUITE_APPS + SUITE_MLPERF
+
+#: Fig. 4b: the Altis-SYCL subset that builds on Intel+Max1550 (§5 uses 11
+#: of the benchmarks; the SYCL port lacks the particle filters, ray tracing
+#: and `where`).
+SUITE_INTEL_MAX1550: Tuple[str, ...] = (
+    "bfs",
+    "gemm",
+    "pathfinder",
+    "sort",
+    "cfd",
+    "cfd_double",
+    "fdtd2d",
+    "kmeans",
+    "lavamd",
+    "nw",
+    "srad",
+)
+
+#: Fig. 4c: multi-GPU-capable workloads on Intel+4A100.
+SUITE_INTEL_4A100: Tuple[str, ...] = ("gromacs", "lammps", "unet", "resnet50", "bert_large")
+
+#: Table 1's 21 applications (the paper's Jaccard analysis set).
+SUITE_TABLE1: Tuple[str, ...] = (
+    "bfs",
+    "gemm",
+    "pathfinder",
+    "sort",
+    "cfd",
+    "cfd_double",
+    "fdtd2d",
+    "kmeans",
+    "lavamd",
+    "nw",
+    "particlefilter_float",
+    "raytracing",
+    "where",
+    "laghos",
+    "minigan",
+    "sw4lite",
+    "unet",
+    "resnet50",
+    "bert_large",
+    "lammps",
+    "gromacs",
+)
+
+
+def workload_names() -> Tuple[str, ...]:
+    """All registered workload names, sorted."""
+    return tuple(sorted(ALL_WORKLOADS))
+
+
+def get_workload(name: str, *, seed: int = 0, gpu_count: int = 1) -> Workload:
+    """Build a workload by its paper name.
+
+    Parameters
+    ----------
+    name:
+        A key of :data:`ALL_WORKLOADS`.
+    seed:
+        Master seed for the workload's jitter streams.
+    gpu_count:
+        Number of GPUs the application is launched across; scales staging
+        traffic (data-parallel workloads move proportionally more data
+        through the host).
+
+    Raises
+    ------
+    UnknownWorkloadError
+        If the name is not registered.
+    """
+    try:
+        factory = ALL_WORKLOADS[name]
+    except KeyError:
+        raise UnknownWorkloadError(name, tuple(ALL_WORKLOADS)) from None
+    if gpu_count < 1:
+        raise UnknownWorkloadError(f"{name} with invalid gpu_count={gpu_count!r}")
+    return factory(seed=seed, gpu_count=gpu_count)

@@ -1,0 +1,278 @@
+"""Reusable building blocks for composing workload demand traces.
+
+Each helper returns a list of :class:`~repro.workloads.base.Segment` objects
+that the named-application modules (:mod:`~repro.workloads.altis`,
+:mod:`~repro.workloads.mlperf`, ...) concatenate into full applications.
+All helpers are deterministic given an explicit :class:`numpy.random.Generator`
+(or fully deterministic when no randomness is requested), which is what makes
+paired baseline/method runs see identical demand.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.base import Segment
+
+__all__ = [
+    "steady",
+    "burst",
+    "burst_train",
+    "ramp",
+    "alternating",
+    "compute_phase",
+    "jittered",
+    "concat",
+]
+
+
+def steady(
+    duration_s: float,
+    mem_bw_gbps: float,
+    *,
+    mem_intensity: float = 0.5,
+    cpu_util: float = 0.1,
+    gpu_util: float = 0.0,
+    name: str = "steady",
+) -> List[Segment]:
+    """A single constant-demand phase."""
+    return [
+        Segment(
+            duration_s=duration_s,
+            mem_bw_gbps=mem_bw_gbps,
+            mem_intensity=mem_intensity,
+            cpu_util=cpu_util,
+            gpu_util=gpu_util,
+            name=name,
+        )
+    ]
+
+
+def compute_phase(
+    duration_s: float,
+    *,
+    gpu_util: float = 0.95,
+    cpu_util: float = 0.08,
+    background_bw_gbps: float = 0.8,
+    name: str = "compute",
+) -> List[Segment]:
+    """A GPU-compute phase with only trickle host-memory traffic.
+
+    This is the phase type during which uncore downscaling is free: the
+    critical path is on the GPU, so ``mem_intensity`` is near zero.
+    """
+    return [
+        Segment(
+            duration_s=duration_s,
+            mem_bw_gbps=background_bw_gbps,
+            mem_intensity=0.05,
+            cpu_util=cpu_util,
+            gpu_util=gpu_util,
+            name=name,
+        )
+    ]
+
+
+def burst(
+    duration_s: float,
+    mem_bw_gbps: float,
+    *,
+    mem_intensity: float = 0.85,
+    cpu_util: float = 0.25,
+    gpu_util: float = 0.3,
+    name: str = "burst",
+) -> List[Segment]:
+    """A short memory-traffic burst (host↔device transfer, staging, ...)."""
+    return [
+        Segment(
+            duration_s=duration_s,
+            mem_bw_gbps=mem_bw_gbps,
+            mem_intensity=mem_intensity,
+            cpu_util=cpu_util,
+            gpu_util=gpu_util,
+            name=name,
+        )
+    ]
+
+
+def burst_train(
+    n_bursts: int,
+    burst_s: float,
+    gap_s: float,
+    mem_bw_gbps: float,
+    *,
+    gap_bw_gbps: float = 0.8,
+    mem_intensity: float = 0.85,
+    gpu_util: float = 0.9,
+    cpu_util: float = 0.15,
+    name: str = "train",
+) -> List[Segment]:
+    """Alternating burst/compute pattern: ``n_bursts`` bursts separated by gaps.
+
+    The canonical GPU-workload shape: a transfer burst feeds the device,
+    then the device computes while the host idles.
+    """
+    if n_bursts < 1:
+        raise WorkloadError(f"need at least one burst, got {n_bursts!r}")
+    segs: List[Segment] = []
+    for i in range(n_bursts):
+        segs.extend(
+            burst(
+                burst_s,
+                mem_bw_gbps,
+                mem_intensity=mem_intensity,
+                cpu_util=cpu_util + 0.1,
+                gpu_util=gpu_util * 0.4,
+                name=f"{name}:burst{i}",
+            )
+        )
+        if gap_s > 0:
+            segs.extend(
+                compute_phase(
+                    gap_s,
+                    gpu_util=gpu_util,
+                    cpu_util=cpu_util,
+                    background_bw_gbps=gap_bw_gbps,
+                    name=f"{name}:gap{i}",
+                )
+            )
+    return segs
+
+
+def ramp(
+    duration_s: float,
+    bw_from_gbps: float,
+    bw_to_gbps: float,
+    *,
+    steps: int = 10,
+    mem_intensity: float = 0.7,
+    cpu_util: float = 0.2,
+    gpu_util: float = 0.6,
+    name: str = "ramp",
+) -> List[Segment]:
+    """A staircase ramp of memory demand from ``bw_from`` to ``bw_to``.
+
+    Produces a sustained non-zero first derivative — the signal the MAGUS
+    predictor (Algorithm 1) keys on.
+    """
+    if steps < 1:
+        raise WorkloadError(f"need at least one step, got {steps!r}")
+    levels = np.linspace(bw_from_gbps, bw_to_gbps, steps)
+    step_s = duration_s / steps
+    return [
+        Segment(
+            duration_s=step_s,
+            mem_bw_gbps=float(max(0.0, lvl)),
+            mem_intensity=mem_intensity,
+            cpu_util=cpu_util,
+            gpu_util=gpu_util,
+            name=f"{name}:{i}",
+        )
+        for i, lvl in enumerate(levels)
+    ]
+
+
+def alternating(
+    duration_s: float,
+    period_s: float,
+    hi_bw_gbps: float,
+    lo_bw_gbps: float,
+    *,
+    duty: float = 0.5,
+    mem_intensity: float = 0.8,
+    cpu_util: float = 0.2,
+    gpu_util: float = 0.7,
+    name: str = "alt",
+) -> List[Segment]:
+    """Fast high/low alternation of memory demand.
+
+    With a sub-second ``period_s`` this is the high-frequency-fluctuation
+    pattern (e.g. SRAD) that defeats naive per-sample uncore chasing and
+    that MAGUS's Algorithm 2 exists to detect.
+    """
+    if period_s <= 0 or not (0 < duty < 1):
+        raise WorkloadError(f"invalid alternation: period={period_s!r}, duty={duty!r}")
+    segs: List[Segment] = []
+    t = 0.0
+    i = 0
+    while t < duration_s - 1e-9:
+        hi_s = min(period_s * duty, duration_s - t)
+        if hi_s > 0:
+            segs.append(
+                Segment(
+                    duration_s=hi_s,
+                    mem_bw_gbps=hi_bw_gbps,
+                    mem_intensity=mem_intensity,
+                    cpu_util=cpu_util,
+                    gpu_util=gpu_util * 0.5,
+                    name=f"{name}:hi{i}",
+                )
+            )
+            t += hi_s
+        lo_s = min(period_s * (1 - duty), duration_s - t)
+        if lo_s > 0:
+            segs.append(
+                Segment(
+                    duration_s=lo_s,
+                    mem_bw_gbps=lo_bw_gbps,
+                    mem_intensity=0.1,
+                    cpu_util=cpu_util * 0.6,
+                    gpu_util=gpu_util,
+                    name=f"{name}:lo{i}",
+                )
+            )
+            t += lo_s
+        i += 1
+    return segs
+
+
+def jittered(
+    segments: Sequence[Segment],
+    rng: np.random.Generator,
+    *,
+    bw_sigma: float = 0.05,
+    duration_sigma: float = 0.0,
+) -> List[Segment]:
+    """Apply multiplicative log-normal jitter to a segment list.
+
+    Parameters
+    ----------
+    segments:
+        The base pattern.
+    rng:
+        Source of randomness (callers pass a named stream from
+        :class:`~repro.sim.rng.RngStreams`).
+    bw_sigma / duration_sigma:
+        Standard deviation of the log-normal factor applied to bandwidth
+        demand / duration. Zero disables that jitter.
+    """
+    if bw_sigma < 0 or duration_sigma < 0:
+        raise WorkloadError("jitter sigmas must be non-negative")
+    out: List[Segment] = []
+    for s in segments:
+        bw = s.mem_bw_gbps * float(rng.lognormal(0.0, bw_sigma)) if bw_sigma else s.mem_bw_gbps
+        dur = s.duration_s * float(rng.lognormal(0.0, duration_sigma)) if duration_sigma else s.duration_s
+        out.append(
+            Segment(
+                duration_s=max(dur, 1e-4),
+                mem_bw_gbps=max(bw, 0.0),
+                mem_intensity=s.mem_intensity,
+                cpu_util=s.cpu_util,
+                gpu_util=s.gpu_util,
+                name=s.name,
+            )
+        )
+    return out
+
+
+def concat(*parts: Sequence[Segment]) -> List[Segment]:
+    """Concatenate segment lists (a readability helper for app modules)."""
+    out: List[Segment] = []
+    for p in parts:
+        out.extend(p)
+    if not out:
+        raise WorkloadError("concat produced an empty segment list")
+    return out

@@ -1,0 +1,148 @@
+"""Trace-driven workloads: replay a recorded memory-throughput profile.
+
+A user with a real PCM (or HSMP) trace of their application can evaluate
+governors against *their* demand profile instead of the bundled models:
+
+>>> workload = workload_from_trace("mine", times_s, bw_gbps)
+>>> run_application("intel_a100", workload, make_governor("magus"))
+
+Consecutive samples become segments (sample-and-hold); memory intensity
+and CPU/GPU utilisation either ride along as arrays of the same length or
+apply as scalars. CSV import/export round-trips the format, one row per
+sample: ``time_s,mem_bw_gbps[,mem_intensity,cpu_util,gpu_util]``.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.base import Segment, Workload
+
+__all__ = ["workload_from_trace", "trace_to_csv", "workload_from_csv"]
+
+
+def _as_array(value: Union[float, Sequence[float]], n: int, name: str) -> np.ndarray:
+    arr = np.asarray(value, dtype=float)
+    if arr.ndim == 0:
+        return np.full(n, float(arr))
+    if arr.shape != (n,):
+        raise WorkloadError(f"{name} must be scalar or length-{n}, got shape {arr.shape}")
+    return arr
+
+
+def workload_from_trace(
+    name: str,
+    times_s: Sequence[float],
+    mem_bw_gbps: Sequence[float],
+    *,
+    mem_intensity: Union[float, Sequence[float]] = 0.6,
+    cpu_util: Union[float, Sequence[float]] = 0.2,
+    gpu_util: Union[float, Sequence[float]] = 0.7,
+    tail_s: Optional[float] = None,
+    description: str = "",
+) -> Workload:
+    """Build a workload that replays a sampled throughput trace.
+
+    Parameters
+    ----------
+    name:
+        Workload name.
+    times_s:
+        Sample timestamps, strictly increasing. Sample ``i`` is held from
+        ``times_s[i]`` to ``times_s[i+1]``.
+    mem_bw_gbps:
+        Demand at each sample.
+    mem_intensity / cpu_util / gpu_util:
+        Scalars applied to every segment, or per-sample arrays.
+    tail_s:
+        Duration of the final sample's segment; defaults to the median
+        sample spacing.
+    """
+    times = np.asarray(times_s, dtype=float)
+    bw = np.asarray(mem_bw_gbps, dtype=float)
+    if times.ndim != 1 or times.size < 1:
+        raise WorkloadError("need at least one trace sample")
+    if times.shape != bw.shape:
+        raise WorkloadError(
+            f"times {times.shape} and bandwidth {bw.shape} must have the same length"
+        )
+    if times.size > 1 and not np.all(np.diff(times) > 0):
+        raise WorkloadError("trace timestamps must be strictly increasing")
+    if np.any(bw < 0):
+        raise WorkloadError("bandwidth samples must be non-negative")
+
+    n = times.size
+    mi = _as_array(mem_intensity, n, "mem_intensity")
+    cu = _as_array(cpu_util, n, "cpu_util")
+    gu = _as_array(gpu_util, n, "gpu_util")
+
+    if tail_s is None:
+        tail_s = float(np.median(np.diff(times))) if n > 1 else 1.0
+    if tail_s <= 0:
+        raise WorkloadError(f"tail_s must be positive, got {tail_s!r}")
+
+    durations = np.empty(n)
+    durations[:-1] = np.diff(times)
+    durations[-1] = tail_s
+
+    segments = tuple(
+        Segment(
+            duration_s=float(durations[i]),
+            mem_bw_gbps=float(bw[i]),
+            mem_intensity=float(mi[i]),
+            cpu_util=float(cu[i]),
+            gpu_util=float(gu[i]),
+            name=f"{name}:t{i}",
+        )
+        for i in range(n)
+    )
+    return Workload(name, segments, description or f"trace replay ({n} samples)", ("trace",))
+
+
+def trace_to_csv(workload: Workload, path: Union[str, Path]) -> None:
+    """Export a workload's segment profile as a replayable CSV."""
+    path = Path(path)
+    t = 0.0
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["time_s", "mem_bw_gbps", "mem_intensity", "cpu_util", "gpu_util"])
+        for seg in workload.segments:
+            writer.writerow(
+                [f"{t:.6f}", f"{seg.mem_bw_gbps:.6f}", f"{seg.mem_intensity:.4f}", f"{seg.cpu_util:.4f}", f"{seg.gpu_util:.4f}"]
+            )
+            t += seg.duration_s
+
+
+def workload_from_csv(name: str, path: Union[str, Path], **kwargs) -> Workload:
+    """Load a workload from a CSV produced by :func:`trace_to_csv` (or any
+    file with at least ``time_s,mem_bw_gbps`` columns).
+
+    Extra keyword arguments are forwarded to :func:`workload_from_trace`
+    and override per-row columns when given.
+    """
+    path = Path(path)
+    times, bw, mi, cu, gu = [], [], [], [], []
+    with path.open(newline="") as fh:
+        reader = csv.DictReader(fh)
+        if reader.fieldnames is None or not {"time_s", "mem_bw_gbps"} <= set(reader.fieldnames):
+            raise WorkloadError(f"{path}: need at least time_s and mem_bw_gbps columns")
+        has_optional = {"mem_intensity", "cpu_util", "gpu_util"} <= set(reader.fieldnames)
+        for row in reader:
+            times.append(float(row["time_s"]))
+            bw.append(float(row["mem_bw_gbps"]))
+            if has_optional:
+                mi.append(float(row["mem_intensity"]))
+                cu.append(float(row["cpu_util"]))
+                gu.append(float(row["gpu_util"]))
+    if not times:
+        raise WorkloadError(f"{path}: no trace rows")
+    if has_optional:
+        kwargs.setdefault("mem_intensity", mi)
+        kwargs.setdefault("cpu_util", cu)
+        kwargs.setdefault("gpu_util", gu)
+    return workload_from_trace(name, times, bw, **kwargs)

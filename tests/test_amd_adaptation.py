@@ -1,0 +1,122 @@
+"""§6.6 adaptation: MAGUS on an AMD EPYC node through HSMP.
+
+The paper's discussion claims the core logic is "broadly applicable" to
+AMD parts via the Infinity Fabric / SoC domain and tools like amd_hsmp.
+These tests check the adaptation end to end: coarse fabric P-states, the
+mailbox telemetry/actuation path, and unchanged MAGUS thresholds.
+"""
+
+import pytest
+
+from repro.analysis.metrics import compare
+from repro.errors import ConfigError, TelemetryError
+from repro.hw.presets import amd_mi210, get_preset
+from repro.runtime.session import make_governor, run_application
+from repro.sim.rng import RngStreams
+from repro.telemetry.hub import TelemetryHub
+from repro.telemetry.sampling import AccessMeter
+from repro.workloads.base import Segment
+
+
+@pytest.fixture()
+def amd_node():
+    preset = amd_mi210()
+    node = preset.build_node(RngStreams(0))
+    node.force_uncore_all(preset.uncore_min_ghz)
+    return node
+
+
+@pytest.fixture()
+def amd_hub(amd_node):
+    return TelemetryHub(amd_node, amd_mi210().telemetry, vendor="amd")
+
+
+class TestPreset:
+    def test_registered(self):
+        assert get_preset("amd_mi210").vendor == "amd"
+
+    def test_coarse_fabric_bins(self):
+        preset = amd_mi210()
+        assert preset.uncore_bin_ghz == pytest.approx(0.4)
+
+    def test_invalid_vendor_rejected(self):
+        from dataclasses import replace
+
+        with pytest.raises(ConfigError):
+            replace(amd_mi210(), vendor="via")
+
+
+class TestHSMPDevice:
+    def test_hub_has_hsmp_for_amd(self, amd_hub):
+        assert amd_hub.hsmp is not None
+
+    def test_intel_hub_has_no_hsmp(self, a100_hub):
+        assert a100_hub.hsmp is None
+
+    def test_fabric_pstate_levels_are_coarse(self, amd_hub):
+        levels = amd_hub.hsmp.fabric_pstate_levels_ghz()
+        assert levels == [0.8, 1.2, 1.6, 2.0]
+
+    def test_set_fabric_clock_snaps_to_pstate(self, amd_node, amd_hub):
+        snapped = amd_hub.hsmp.set_fabric_clock_ghz(1.35)
+        assert snapped == pytest.approx(1.2)
+        assert amd_node.uncore(0).target_ghz == pytest.approx(1.2)
+
+    def test_set_fabric_clock_hits_all_sockets(self, amd_node, amd_hub):
+        amd_hub.hsmp.set_fabric_clock_ghz(2.0)
+        for s in range(amd_node.n_sockets):
+            assert amd_node.uncore(s).target_ghz == pytest.approx(2.0)
+
+    def test_mailbox_transactions_are_metered(self, amd_hub, amd_node):
+        meter = AccessMeter()
+        amd_hub.hsmp.set_fabric_clock_ghz(1.6, meter)
+        assert meter.counts["hsmp_mailbox"] == amd_node.n_sockets
+        # Slower than an MSR write, but O(sockets), not O(cores).
+        assert 1e-3 < meter.time_s < 0.05
+
+    def test_ddr_bandwidth_telemetry(self, amd_node, amd_hub):
+        amd_node.force_uncore_all(2.0)
+        seg = Segment(10.0, 16.0, mem_intensity=0.5, cpu_util=0.2, gpu_util=0.5)
+        for _ in range(10):
+            amd_node.step(0.01, seg)
+            amd_hub.on_tick(0.01)
+        assert amd_hub.hsmp.read_ddr_max_bandwidth_gbps() == pytest.approx(32.0)
+        assert amd_hub.hsmp.read_ddr_utilization_pct() == pytest.approx(50.0, rel=0.05)
+
+    def test_invalid_clock_request_rejected(self, amd_hub):
+        with pytest.raises(TelemetryError):
+            amd_hub.hsmp.set_fabric_clock_ghz(0.0)
+
+    def test_hub_actuation_dispatches_to_hsmp(self, amd_node, amd_hub):
+        amd_hub.set_uncore_max_ghz(1.6)
+        assert amd_node.uncore(0).target_ghz == pytest.approx(1.6)
+
+    def test_unknown_hub_vendor_rejected(self, amd_node):
+        with pytest.raises(TelemetryError):
+            TelemetryHub(amd_node, amd_mi210().telemetry, vendor="sparc")
+
+
+class TestMagusOnAmd:
+    @pytest.fixture(scope="class")
+    def amd_runs(self):
+        return {
+            name: run_application("amd_mi210", "unet", make_governor(name), seed=1)
+            for name in ("default", "magus")
+        }
+
+    def test_same_thresholds_save_energy(self, amd_runs):
+        # §6.6: the same decision logic and thresholds port across vendors.
+        c = compare(amd_runs["default"], amd_runs["magus"])
+        assert c.performance_loss < 0.05
+        assert c.power_saving > 0.08
+        assert c.energy_saving > 0.0
+
+    def test_fabric_targets_stay_on_pstate_grid(self, amd_runs):
+        import numpy as np
+
+        targets = set(np.round(amd_runs["magus"].traces["uncore_target_ghz"].values, 3))
+        assert targets <= {0.8, 1.2, 1.6, 2.0}
+
+    def test_default_pins_fabric_at_max_too(self, amd_runs):
+        # The motivating waste exists on AMD as well.
+        assert amd_runs["default"].traces["uncore_target_ghz"].min() == pytest.approx(2.0)

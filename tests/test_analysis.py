@@ -1,0 +1,200 @@
+"""Analysis layer: metrics, Jaccard, Pareto, report formatting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.jaccard import (
+    binarize_bursts,
+    burst_similarity,
+    burst_similarity_by_progress,
+    delivered_by_progress,
+    jaccard_index,
+)
+from repro.analysis.metrics import compare, energy_saving, performance_loss, power_saving
+from repro.analysis.pareto import ParetoPoint, distance_to_front, is_on_front, pareto_front
+from repro.analysis.report import format_table
+from repro.errors import ExperimentError
+from repro.sim.trace import TimeSeries
+
+
+class TestMetrics:
+    def test_performance_loss_sign(self, bfs_runs):
+        loss = performance_loss(bfs_runs["default"], bfs_runs["magus"])
+        assert loss >= 0.0
+
+    def test_self_comparison_is_zero(self, bfs_runs):
+        r = bfs_runs["default"]
+        assert performance_loss(r, r) == 0.0
+        assert power_saving(r, r) == 0.0
+        assert energy_saving(r, r) == 0.0
+
+    def test_power_saving_positive_for_magus(self, bfs_runs):
+        assert power_saving(bfs_runs["default"], bfs_runs["magus"]) > 0.0
+
+    def test_compare_bundles_all_metrics(self, bfs_runs):
+        c = compare(bfs_runs["default"], bfs_runs["magus"])
+        assert c.workload_name == "bfs"
+        assert c.method_name == "magus"
+        assert c.performance_loss == performance_loss(bfs_runs["default"], bfs_runs["magus"])
+
+    def test_unpaired_workloads_rejected(self, bfs_runs, srad_runs):
+        with pytest.raises(ExperimentError):
+            compare(bfs_runs["default"], srad_runs["magus"])
+
+    def test_str_rendering(self, bfs_runs):
+        text = str(compare(bfs_runs["default"], bfs_runs["magus"]))
+        assert "bfs" in text and "%" in text
+
+
+class TestJaccardIndex:
+    def test_identical(self):
+        a = np.array([1, 0, 1, 1])
+        assert jaccard_index(a, a) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard_index(np.array([1, 0]), np.array([0, 1])) == 0.0
+
+    def test_partial(self):
+        assert jaccard_index(np.array([1, 1, 0, 0]), np.array([1, 0, 0, 0])) == 0.5
+
+    def test_both_empty_is_one(self):
+        assert jaccard_index(np.zeros(4), np.zeros(4)) == 1.0
+
+    def test_length_padding(self):
+        assert jaccard_index(np.array([1, 1]), np.array([1, 1, 1, 1])) == 0.5
+
+    def test_2d_rejected(self):
+        with pytest.raises(ExperimentError):
+            jaccard_index(np.zeros((2, 2)), np.zeros((2, 2)))
+
+
+class TestBinarize:
+    def test_threshold(self):
+        s = TimeSeries(np.array([0.2, 0.4, 0.6]), np.array([1.0, 30.0, 2.0]))
+        bins = binarize_bursts(s, 10.0, period_s=0.2)
+        assert list(bins) == [0, 1, 0]
+
+    def test_invalid_threshold(self):
+        s = TimeSeries(np.array([0.2]), np.array([1.0]))
+        with pytest.raises(ExperimentError):
+            binarize_bursts(s, 0.0)
+
+
+class TestBurstSimilarity:
+    def test_identical_traces_score_one(self):
+        t = np.arange(1, 101) * 0.1
+        v = np.where((t > 2) & (t < 4), 30.0, 1.0)
+        s = TimeSeries(t, v)
+        jac, thr = burst_similarity(s, s)
+        assert jac == 1.0
+        assert thr > 0.0
+
+    def test_missed_burst_lowers_score(self):
+        t = np.arange(1, 101) * 0.1
+        base = TimeSeries(t, np.where((t > 2) & (t < 4), 30.0, 1.0))
+        flat = TimeSeries(t, np.full_like(t, 1.0))
+        jac, _ = burst_similarity(base, flat)
+        assert jac == 0.0
+
+    def test_no_traffic_scores_one(self):
+        t = np.arange(1, 11) * 0.1
+        zero = TimeSeries(t, np.zeros_like(t))
+        assert burst_similarity(zero, zero)[0] == 1.0
+
+    def test_invalid_fraction(self):
+        t = np.arange(1, 11) * 0.1
+        s = TimeSeries(t, np.ones_like(t))
+        with pytest.raises(ExperimentError):
+            burst_similarity(s, s, threshold_fraction=1.5)
+
+
+class TestProgressSpaceJaccard:
+    def test_runtime_stretch_does_not_penalise(self):
+        # Same burst pattern, method run uniformly 20% slower: wall-time
+        # comparison would mark late bursts missed, progress-space must not.
+        t_base = np.arange(1, 201) * 0.05
+        demand = np.where(((t_base * 2).astype(int) % 4) == 0, 30.0, 1.0)
+        base_progress = TimeSeries(t_base, t_base / t_base[-1])
+        base_delivered = TimeSeries(t_base, demand)
+        t_slow = t_base * 1.2
+        slow_progress = TimeSeries(t_slow, t_base / t_base[-1])
+        slow_delivered = TimeSeries(t_slow, demand)
+        jac, _ = burst_similarity_by_progress(
+            base_delivered, base_progress, slow_delivered, slow_progress, nominal_duration_s=10.0
+        )
+        assert jac == pytest.approx(1.0)
+
+    def test_clipped_burst_counts_as_missed(self):
+        t = np.arange(1, 101) * 0.1
+        progress = TimeSeries(t, t / t[-1])
+        base = TimeSeries(t, np.where(t < 2.0, 30.0, np.where(t < 5, 25.0, 1.0)))
+        meth = TimeSeries(t, np.where(t < 2.0, 12.0, np.where(t < 5, 25.0, 1.0)))
+        jac, _ = burst_similarity_by_progress(base, progress, meth, progress, nominal_duration_s=10.0)
+        assert jac < 1.0
+
+    def test_length_mismatch_rejected(self):
+        t = np.arange(1, 11) * 0.1
+        a = TimeSeries(t, np.ones_like(t))
+        b = TimeSeries(t[:5], np.ones(5))
+        with pytest.raises(ExperimentError):
+            delivered_by_progress(a, b, 10)
+
+    def test_progress_weighting(self):
+        # A stretched interval (many wall samples per unit progress) must
+        # not dominate its bin.
+        t = np.arange(1, 21) * 0.1
+        progress = np.concatenate([np.linspace(0.005, 0.05, 10), np.linspace(0.15, 1.0, 10)])
+        delivered = np.concatenate([np.full(10, 15.0), np.full(10, 30.0)])
+        out = delivered_by_progress(TimeSeries(t, delivered), TimeSeries(t, progress), 2)
+        # Bin 1 (second half of progress) is all 30s despite fewer... bin 0
+        # mixes: the slow 15-GB/s interval only covers 5% of progress.
+        assert out[1] == pytest.approx(30.0, rel=0.05)
+
+
+class TestPareto:
+    def _points(self):
+        return [
+            ParetoPoint(1.0, 10.0, "a"),
+            ParetoPoint(2.0, 5.0, "b"),
+            ParetoPoint(3.0, 1.0, "c"),
+            ParetoPoint(3.0, 10.0, "dominated"),
+        ]
+
+    def test_front_extraction(self):
+        front = pareto_front(self._points())
+        assert [p.label for p in front] == ["a", "b", "c"]
+
+    def test_dominates(self):
+        assert ParetoPoint(1.0, 1.0).dominates(ParetoPoint(2.0, 2.0))
+        assert not ParetoPoint(1.0, 1.0).dominates(ParetoPoint(1.0, 1.0))
+        assert not ParetoPoint(1.0, 2.0).dominates(ParetoPoint(2.0, 1.0))
+
+    def test_is_on_front(self):
+        pts = self._points()
+        assert is_on_front(pts[0], pts)
+        assert not is_on_front(pts[3], pts)
+
+    def test_distance_zero_on_front(self):
+        pts = self._points()
+        assert distance_to_front(pts[1], pts) == 0.0
+
+    def test_distance_positive_off_front(self):
+        pts = self._points()
+        assert distance_to_front(pts[3], pts) > 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            pareto_front([])
+
+
+class TestReport:
+    def test_renders_aligned_table(self):
+        text = format_table(("a", "bb"), [("x", 1.5), ("yyy", 2)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "bb" in lines[2]
+        assert "1.500" in text
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(ExperimentError):
+            format_table(("a", "b"), [("only-one",)])

@@ -1,0 +1,91 @@
+"""ASCII sparklines and strip charts."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.ascii_plot import sparkline, strip_chart
+from repro.errors import ExperimentError
+from repro.sim.trace import TimeSeries
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        assert sparkline([0, 1, 2, 3], lo=0, hi=3) == "▁▃▆█"
+
+    def test_flat_series(self):
+        line = sparkline([5.0, 5.0, 5.0])
+        assert len(set(line)) == 1
+
+    def test_explicit_bounds_clip(self):
+        line = sparkline([-10.0, 100.0], lo=0.0, hi=1.0)
+        assert line[0] == "▁" and line[1] == "█"
+
+    def test_width_downsamples(self):
+        line = sparkline(np.arange(100), width=10)
+        assert len(line) == 10
+        # Downsampled ramp is still monotone.
+        levels = "▁▂▃▄▅▆▇█"
+        idx = [levels.index(c) for c in line]
+        assert idx == sorted(idx)
+
+    def test_width_wider_than_data_keeps_data_length(self):
+        assert len(sparkline([1.0, 2.0], width=10)) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            sparkline([])
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ExperimentError):
+            sparkline([1.0], width=0)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=200))
+    def test_length_and_charset(self, values):
+        line = sparkline(values)
+        assert len(line) == len(values)
+        assert set(line) <= set("▁▂▃▄▅▆▇█")
+
+
+class TestStripChart:
+    def _series(self, values, dt=0.5, name="s"):
+        n = len(values)
+        return TimeSeries(np.arange(1, n + 1) * dt, np.asarray(values, float), name)
+
+    def test_rows_and_shared_scale(self):
+        chart = strip_chart(
+            {"low": self._series([1, 1, 1, 1]), "high": self._series([9, 9, 9, 9])}
+        )
+        lines = chart.splitlines()
+        assert len(lines) == 3  # header + 2 rows
+        assert "scale [1.0, 9.0]" in lines[0]
+        # The shared scale puts the low series at the bottom glyphs and the
+        # high one at the top.
+        assert set(lines[1].split()[-1]) == {"▁"}
+        assert set(lines[2].split()[-1]) == {"█"}
+
+    def test_resampling_applied(self):
+        long = self._series(np.arange(100), dt=0.1)
+        chart = strip_chart({"x": long}, period_s=1.0, width=80)
+        row = chart.splitlines()[1]
+        assert len(row.split()[-1]) == 10
+
+    def test_empty_dict_rejected(self):
+        with pytest.raises(ExperimentError):
+            strip_chart({})
+
+    def test_empty_series_rejected(self):
+        empty = TimeSeries(np.empty(0), np.empty(0))
+        with pytest.raises(ExperimentError):
+            strip_chart({"x": empty})
+
+    def test_real_run_traces_render(self, srad_runs):
+        chart = strip_chart(
+            {
+                "default": srad_runs["default"].traces["uncore_target_ghz"],
+                "magus": srad_runs["magus"].traces["uncore_target_ghz"],
+            },
+            period_s=0.5,
+        )
+        assert "default" in chart and "magus" in chart

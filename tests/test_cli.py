@@ -1,0 +1,55 @@
+"""CLI subcommands: argument handling and output shape."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_governor_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workload", "bfs", "--governor", "quantum"])
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workload", "bfs", "--system", "cray"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "intel_a100" in out
+        assert "magus" in out
+        assert "srad" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "--workload", "sort", "--governor", "magus", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "runtime (s)" in out
+        assert "total energy (kJ)" in out
+
+    def test_run_unknown_workload_is_clean_error(self, capsys):
+        assert main(["run", "--workload", "hpl"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_compare_defaults_to_both_methods(self, capsys):
+        assert main(["compare", "--workload", "sort", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "magus" in out and "ups" in out
+        assert "energy saving" in out
+
+    def test_compare_single_method(self, capsys):
+        assert main(["compare", "--workload", "sort", "--method", "magus"]) == 0
+        out = capsys.readouterr().out
+        assert "magus" in out and "ups" not in out
+
+    def test_overhead(self, capsys):
+        assert main(["overhead", "--governor", "magus", "--duration", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "power overhead" in out
+        assert "invocation" in out

@@ -1,0 +1,51 @@
+"""CLI suite/experiments/verify glue (heavy work monkeypatched)."""
+
+import pytest
+
+import repro.cli as cli
+from repro.experiments.fig4_end_to_end import Fig4Row
+from repro.experiments.paper import PAPER, ClaimResult
+
+
+class TestSuiteCommand:
+    def test_suite_prints_rows(self, monkeypatch, capsys):
+        rows = [Fig4Row("intel_a100", "bfs", "magus", 0.01, 0.2, 0.1, 1)]
+        import repro.experiments.fig4_end_to_end as fig4
+
+        monkeypatch.setattr(fig4, "run_fig4a", lambda **kw: rows)
+        assert cli.main(["suite", "--figure", "4a"]) == 0
+        out = capsys.readouterr().out
+        assert "bfs" in out and "magus" in out
+
+    def test_suite_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            cli.main(["suite", "--figure", "9"])
+
+
+class TestVerifyCommand:
+    def _results(self, passed):
+        return [ClaimResult(claim=c, measured=c.lo, passed=passed) for c in PAPER[:3]]
+
+    def test_verify_pass_exit_code(self, monkeypatch, capsys):
+        import repro.experiments.paper as paper
+
+        monkeypatch.setattr(paper, "verify_reproduction", lambda **kw: self._results(True))
+        assert cli.main(["verify"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_verify_fail_exit_code(self, monkeypatch, capsys):
+        import repro.experiments.paper as paper
+
+        monkeypatch.setattr(paper, "verify_reproduction", lambda **kw: self._results(False))
+        assert cli.main(["verify"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+
+class TestExperimentsCommand:
+    def test_experiments_prints_reports(self, monkeypatch, capsys):
+        import repro.experiments.runner as runner
+
+        monkeypatch.setattr(runner, "run_all", lambda **kw: ["R1", "R2"])
+        assert cli.main(["experiments", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "R1" in out and "R2" in out

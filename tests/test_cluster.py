@@ -1,0 +1,181 @@
+"""Cluster fleet simulation: aggregation, budgets, paired comparisons."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterJob, ClusterSimulator, compare_fleets
+from repro.errors import ExperimentError
+
+
+@pytest.fixture(scope="module")
+def small_fleet():
+    return ClusterSimulator(
+        "intel_a100",
+        [
+            ClusterJob("j0", "sort", 0.0, seed=1),
+            ClusterJob("j1", "bfs", 4.0, seed=2),
+        ],
+    )
+
+
+@pytest.fixture(scope="module")
+def fleet_runs(small_fleet):
+    return {
+        "default": small_fleet.run_fleet("default", n_workers=1),
+        "magus": small_fleet.run_fleet("magus", n_workers=1),
+    }
+
+
+class TestJobValidation:
+    def test_valid_job(self):
+        ClusterJob("a", "bfs", 1.0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ExperimentError):
+            ClusterJob("", "bfs")
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ExperimentError):
+            ClusterJob("a", "bfs", -1.0)
+
+    def test_invalid_gpu_count_rejected(self):
+        with pytest.raises(ExperimentError):
+            ClusterJob("a", "bfs", gpu_count=0)
+
+
+class TestSimulatorValidation:
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(ExperimentError):
+            ClusterSimulator("intel_a100", [])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ExperimentError):
+            ClusterSimulator("intel_a100", [ClusterJob("a", "bfs"), ClusterJob("a", "sort")])
+
+    def test_too_many_gpus_rejected(self):
+        with pytest.raises(ExperimentError):
+            ClusterSimulator("intel_a100", [ClusterJob("a", "unet", gpu_count=4)])
+
+    def test_one_node_per_job(self, small_fleet):
+        assert small_fleet.n_nodes == 2
+
+
+class TestFleetRun:
+    def test_all_jobs_complete(self, fleet_runs):
+        for fleet in fleet_runs.values():
+            assert all(o.completed for o in fleet.outcomes)
+
+    def test_makespan_covers_latest_job(self, fleet_runs):
+        fleet = fleet_runs["default"]
+        last = max(o.job.start_time_s + o.runtime_s for o in fleet.outcomes)
+        assert fleet.makespan_s == pytest.approx(last)
+
+    def test_aggregate_floor_is_fleet_idle(self, fleet_runs):
+        # Before any job starts / after all end, every node idles.
+        fleet = fleet_runs["default"]
+        floor = fleet.n_nodes * fleet.idle_node_power_w if hasattr(fleet, "n_nodes") else None
+        expected_floor = 2 * fleet.idle_node_power_w
+        assert fleet.aggregate_power_w.min() >= expected_floor * 0.9
+
+    def test_aggregate_exceeds_single_node(self, fleet_runs):
+        fleet = fleet_runs["default"]
+        single_peak = max(float(o.power_values_w.max()) for o in fleet.outcomes)
+        assert fleet.peak_power_w > single_peak
+
+    def test_fleet_energy_positive_and_consistent(self, fleet_runs):
+        fleet = fleet_runs["default"]
+        # Fleet energy ≥ the sum of job energies (idle periods add more).
+        assert fleet.fleet_energy_j >= 0.9 * sum(o.total_energy_j for o in fleet.outcomes)
+
+    def test_time_over_budget_monotone_in_budget(self, fleet_runs):
+        fleet = fleet_runs["default"]
+        lo = fleet.time_over_budget_s(fleet.peak_power_w * 0.8)
+        hi = fleet.time_over_budget_s(fleet.peak_power_w * 0.99)
+        assert lo >= hi
+        assert fleet.time_over_budget_s(fleet.peak_power_w + 1.0) == 0.0
+
+    def test_invalid_budget_rejected(self, fleet_runs):
+        with pytest.raises(ExperimentError):
+            fleet_runs["default"].time_over_budget_s(0.0)
+
+    def test_parallel_matches_serial(self, small_fleet):
+        serial = small_fleet.run_fleet("magus", n_workers=1)
+        parallel = small_fleet.run_fleet("magus", n_workers=2)
+        assert np.allclose(serial.aggregate_power_w, parallel.aggregate_power_w)
+
+
+class TestFleetComparison:
+    def test_magus_reduces_peak_and_energy(self, fleet_runs):
+        # §6.1: lower instantaneous power keeps the aggregate under budget.
+        c = compare_fleets(fleet_runs["default"], fleet_runs["magus"])
+        assert c.peak_power_reduction_w > 0.0
+        assert c.fleet_energy_saving_frac > 0.0
+        assert c.makespan_increase_frac < 0.05
+
+    def test_budget_violation_time_shrinks(self, fleet_runs):
+        budget = fleet_runs["default"].peak_power_w * 0.95
+        c = compare_fleets(fleet_runs["default"], fleet_runs["magus"], budget_w=budget)
+        assert c.baseline_time_over_budget_s > 0.0
+        assert c.method_time_over_budget_s <= c.baseline_time_over_budget_s
+
+    def test_mismatched_schedules_rejected(self, fleet_runs):
+        other = ClusterSimulator("intel_a100", [ClusterJob("x", "sort", 0.0, seed=1)])
+        other_run = other.run_fleet("default", n_workers=1)
+        with pytest.raises(ExperimentError):
+            compare_fleets(fleet_runs["default"], other_run)
+
+    def test_str_rendering(self, fleet_runs):
+        c = compare_fleets(fleet_runs["default"], fleet_runs["magus"], budget_w=1000.0)
+        text = str(c)
+        assert "peak fleet power" in text and "budget" in text
+
+
+class TestQueueing:
+    @pytest.fixture(scope="class")
+    def queued_fleet(self):
+        sim = ClusterSimulator(
+            "intel_a100",
+            [
+                ClusterJob("q0", "sort", 0.0, seed=1),
+                ClusterJob("q1", "bfs", 0.0, seed=2),
+                ClusterJob("q2", "lavamd", 0.0, seed=3),
+            ],
+            n_nodes=1,
+        )
+        return sim.run_fleet("magus", n_workers=1)
+
+    def test_single_node_serialises_jobs(self, queued_fleet):
+        placements = sorted(queued_fleet.placements.values(), key=lambda p: p.actual_start_s)
+        outcomes = {o.job.name: o for o in queued_fleet.outcomes}
+        by_start = sorted(queued_fleet.placements.items(), key=lambda kv: kv[1].actual_start_s)
+        for (name_a, pa), (name_b, pb) in zip(by_start, by_start[1:]):
+            assert pb.actual_start_s >= pa.actual_start_s + outcomes[name_a].runtime_s - 1e-6
+
+    def test_all_on_node_zero(self, queued_fleet):
+        assert {p.node_id for p in queued_fleet.placements.values()} == {0}
+
+    def test_queue_wait_accumulates(self, queued_fleet):
+        assert queued_fleet.total_queue_wait_s > 0.0
+
+    def test_peak_bounded_by_one_active_node(self, queued_fleet):
+        # With one node there is no aggregation: the peak equals the
+        # busiest single-job peak.
+        single_peak = max(float(o.power_values_w.max()) for o in queued_fleet.outcomes)
+        assert queued_fleet.peak_power_w <= single_peak + 1.0
+
+    def test_ample_nodes_mean_no_waiting(self, fleet_runs):
+        assert fleet_runs["default"].total_queue_wait_s == 0.0
+
+    def test_placement_lookup(self, queued_fleet):
+        assert queued_fleet.placement("q1").node_id == 0
+        with pytest.raises(ExperimentError):
+            queued_fleet.placement("nope")
+
+    def test_invalid_node_count_rejected(self):
+        with pytest.raises(ExperimentError):
+            ClusterSimulator("intel_a100", [ClusterJob("a", "bfs")], n_nodes=0)
+
+    def test_makespan_reflects_serialisation(self, queued_fleet):
+        outcomes = {o.job.name: o for o in queued_fleet.outcomes}
+        total_runtime = sum(o.runtime_s for o in outcomes.values())
+        assert queued_fleet.makespan_s == pytest.approx(total_runtime, rel=0.02)

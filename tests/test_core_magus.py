@@ -1,0 +1,153 @@
+"""MagusGovernor: Algorithm 3 decision logic against a scripted node."""
+
+import pytest
+
+from repro.core.config import MagusConfig
+from repro.core.magus import MagusGovernor
+from repro.governors.base import GovernorContext
+from repro.telemetry.sampling import AccessMeter
+from repro.workloads.base import Segment
+
+
+def make_magus(a100_hub, a100_node, **cfg):
+    gov = MagusGovernor(MagusConfig(**cfg)) if cfg else MagusGovernor()
+    gov.attach(GovernorContext(hub=a100_hub, node=a100_node))
+    return gov
+
+
+def feed(node, hub, demand_gbps, seconds=0.3, mi=0.7):
+    """Advance the node/hub by one decision period at a given demand."""
+    seg = Segment(999.0, demand_gbps, mem_intensity=mi, cpu_util=0.2, gpu_util=0.5)
+    for _ in range(int(round(seconds / 0.01))):
+        node.step(0.01, seg)
+        hub.on_tick(0.01)
+
+
+class TestInitialisation:
+    def test_initial_uncore_is_max(self, a100_hub, a100_node):
+        gov = make_magus(a100_hub, a100_node)
+        assert gov.initial_uncore_ghz == pytest.approx(2.2)
+
+    def test_init_window_does_not_tune(self, a100_hub, a100_node):
+        gov = make_magus(a100_hub, a100_node)
+        for i in range(10):
+            feed(a100_node, a100_hub, 5.0)
+            d = gov.sample_and_decide(0.3 * (i + 1), AccessMeter())
+            assert d.reason == "init"
+            assert d.target_ghz is None
+
+    def test_interval_matches_paper(self):
+        assert MagusGovernor().interval_s == pytest.approx(0.2)
+
+    def test_single_pcm_read_per_cycle(self, a100_hub, a100_node):
+        gov = make_magus(a100_hub, a100_node)
+        meter = AccessMeter()
+        feed(a100_node, a100_hub, 5.0)
+        gov.sample_and_decide(0.3, AccessMeter())
+        gov.sample_and_decide(0.6, meter)
+        assert meter.counts == {"pcm_read": 1}
+        assert meter.time_s == pytest.approx(0.1)
+
+
+class TestTrendResponses:
+    def _through_init(self, gov, node, hub, demand=1.0):
+        t = 0.0
+        for _ in range(10):
+            t += 0.3
+            feed(node, hub, demand)
+            gov.sample_and_decide(t, AccessMeter())
+        return t
+
+    def test_sharp_rise_goes_to_max(self, a100_hub, a100_node):
+        gov = make_magus(a100_hub, a100_node)
+        a100_node.force_uncore_all(0.8)
+        t = self._through_init(gov, a100_node, a100_hub, demand=1.0)
+        feed(a100_node, a100_hub, 14.0)
+        d = gov.sample_and_decide(t + 0.3, AccessMeter())
+        assert d.reason == "trend_up"
+        assert d.target_ghz == pytest.approx(2.2)
+
+    def test_sharp_fall_goes_to_min(self, a100_hub, a100_node):
+        gov = make_magus(a100_hub, a100_node)
+        a100_node.force_uncore_all(2.2)
+        t = self._through_init(gov, a100_node, a100_hub, demand=20.0)
+        feed(a100_node, a100_hub, 0.5)
+        d = gov.sample_and_decide(t + 0.3, AccessMeter())
+        assert d.reason == "trend_down"
+        assert d.target_ghz == pytest.approx(0.8)
+
+    def test_flat_demand_holds(self, a100_hub, a100_node):
+        gov = make_magus(a100_hub, a100_node)
+        t = self._through_init(gov, a100_node, a100_hub, demand=10.0)
+        feed(a100_node, a100_hub, 10.0)
+        d = gov.sample_and_decide(t + 0.3, AccessMeter())
+        assert d.reason == "hold"
+        assert d.target_ghz is None
+
+    def test_aggressive_actuation_jumps_to_bounds(self, a100_hub, a100_node):
+        # MAGUS jumps to the bound rather than stepping (§6.1's contrast
+        # with UPS on fdtd2d).
+        gov = make_magus(a100_hub, a100_node)
+        a100_node.force_uncore_all(2.2)
+        t = self._through_init(gov, a100_node, a100_hub, demand=25.0)
+        feed(a100_node, a100_hub, 0.5)
+        d = gov.sample_and_decide(t + 0.3, AccessMeter())
+        assert d.target_ghz == pytest.approx(0.8)  # straight to the floor
+
+
+class TestHighFrequencyState:
+    def _drive_alternation(self, gov, node, hub, t0, cycles=14):
+        """Alternate demand every cycle to emulate aliased fluctuation."""
+        t = t0
+        decisions = []
+        for i in range(cycles):
+            t += 0.3
+            feed(node, hub, 28.0 if i % 2 == 0 else 1.0)
+            decisions.append(gov.sample_and_decide(t, AccessMeter()))
+        return t, decisions
+
+    def test_alternation_triggers_pin(self, a100_hub, a100_node):
+        gov = make_magus(a100_hub, a100_node)
+        t = 0.0
+        for _ in range(10):
+            t += 0.3
+            feed(a100_node, a100_hub, 1.0)
+            gov.sample_and_decide(t, AccessMeter())
+        _, decisions = self._drive_alternation(gov, a100_node, a100_hub, t)
+        assert any(d.reason == "high_freq_pin" for d in decisions)
+
+    def test_pin_holds_uncore_at_max(self, a100_hub, a100_node):
+        gov = make_magus(a100_hub, a100_node)
+        t = 0.0
+        for _ in range(10):
+            t += 0.3
+            feed(a100_node, a100_hub, 1.0)
+            gov.sample_and_decide(t, AccessMeter())
+        _, decisions = self._drive_alternation(gov, a100_node, a100_hub, t)
+        pins = [d for d in decisions if d.reason == "high_freq_pin"]
+        assert pins and all(d.target_ghz == pytest.approx(2.2) for d in pins)
+
+    def test_calm_releases_pin(self, a100_hub, a100_node):
+        gov = make_magus(a100_hub, a100_node)
+        t = 0.0
+        for _ in range(10):
+            t += 0.3
+            feed(a100_node, a100_hub, 1.0)
+            gov.sample_and_decide(t, AccessMeter())
+        t, _ = self._drive_alternation(gov, a100_node, a100_hub, t)
+        # Long calm low phase: the event rate decays and MAGUS drops.
+        released = False
+        for _ in range(12):
+            t += 0.3
+            feed(a100_node, a100_hub, 0.5)
+            d = gov.sample_and_decide(t, AccessMeter())
+            if d.reason in ("trend_down", "approve_pending") and d.target_ghz == pytest.approx(0.8):
+                released = True
+        assert released or a100_node.uncore(0).target_ghz == pytest.approx(0.8)
+
+    def test_samples_recorded(self, a100_hub, a100_node):
+        gov = make_magus(a100_hub, a100_node)
+        feed(a100_node, a100_hub, 5.0)
+        gov.sample_and_decide(0.3, AccessMeter())
+        assert len(gov.samples) == 1
+        assert gov.samples[0][1] == pytest.approx(5000.0, rel=0.1)

@@ -1,0 +1,30 @@
+"""Doctests embedded in public-module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.analysis.ascii_plot
+import repro.analysis.jaccard
+import repro.core.dynamics
+import repro.sim.clock
+import repro.sim.rng
+import repro.telemetry.msr
+import repro.units
+
+MODULES = [
+    repro.units,
+    repro.sim.clock,
+    repro.sim.rng,
+    repro.core.dynamics,
+    repro.telemetry.msr,
+    repro.analysis.jaccard,
+    repro.analysis.ascii_plot,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    failures, tested = doctest.testmod(module).failed, doctest.testmod(module).attempted
+    assert failures == 0
+    assert tested > 0, f"{module.__name__} advertises examples but none ran"

@@ -1,0 +1,72 @@
+"""Exception hierarchy: inheritance and message content."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.ConfigError,
+            errors.SimulationError,
+            errors.HardwareError,
+            errors.TelemetryError,
+            errors.WorkloadError,
+            errors.GovernorError,
+            errors.ExperimentError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_clock_error_is_simulation_error(self):
+        assert issubclass(errors.ClockError, errors.SimulationError)
+
+    def test_frequency_error_is_hardware_error(self):
+        assert issubclass(errors.FrequencyRangeError, errors.HardwareError)
+
+    def test_msr_error_is_telemetry_error(self):
+        assert issubclass(errors.MSRAccessError, errors.TelemetryError)
+
+    def test_unknown_workload_is_workload_error(self):
+        assert issubclass(errors.UnknownWorkloadError, errors.WorkloadError)
+
+    def test_catching_base_catches_everything(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.CounterOverflowError("wrap")
+
+
+class TestMessages:
+    def test_frequency_range_error_details(self):
+        exc = errors.FrequencyRangeError(3.0, 0.8, 2.2)
+        assert exc.requested_ghz == 3.0
+        assert "3.000" in str(exc)
+        assert "[0.800, 2.200]" in str(exc)
+
+    def test_msr_error_formats_address_hex(self):
+        exc = errors.MSRAccessError(0x620, "nope")
+        assert "0x620" in str(exc).lower()
+        assert exc.address == 0x620
+
+    def test_unknown_workload_lists_known(self):
+        exc = errors.UnknownWorkloadError("hpl", ("bfs", "sort"))
+        assert "hpl" in str(exc)
+        assert "bfs" in str(exc)
+
+    def test_unknown_workload_without_hint(self):
+        exc = errors.UnknownWorkloadError("hpl")
+        assert "known:" not in str(exc)
+
+
+class TestLibraryRaisesOwnTypes:
+    def test_public_entry_points_raise_repro_errors(self):
+        from repro import get_preset, get_workload, make_governor
+
+        with pytest.raises(errors.ReproError):
+            get_preset("nope")
+        with pytest.raises(errors.ReproError):
+            get_workload("nope")
+        with pytest.raises(errors.ReproError):
+            make_governor("nope")

@@ -1,0 +1,49 @@
+"""Every example script runs cleanly end to end.
+
+Each example's ``main()`` is imported and executed in-process (stdout
+captured), so a broken public API surfaces here before a user hits it.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: (script, substrings its output must contain)
+EXPECTATIONS = {
+    "quickstart.py": ("Energy saving", "decisions"),
+    "ml_training_energy.py": ("Single GPU", "Four GPUs"),
+    "srad_case_study.py": ("pinned", "uncore"),
+    "custom_governor.py": ("ewma", "magus"),
+    "custom_workload.py": ("frontier", "sweep"),
+    "overhead_audit.py": ("power overhead", "MSR reads"),
+    "amd_adaptation.py": ("amd_mi210", "intel_a100"),
+    "cluster_power_budget.py": ("peak fleet power", "budget"),
+    "batch_deployment.py": ("Per-application outcomes", "uncore frequency"),
+}
+
+
+def _load_module(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_every_example_has_expectations():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTATIONS), "keep EXPECTATIONS in sync with examples/"
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTATIONS))
+def test_example_runs(script, capsys):
+    module = _load_module(EXAMPLES_DIR / script)
+    module.main()
+    out = capsys.readouterr().out
+    assert len(out) > 50
+    for needle in EXPECTATIONS[script]:
+        assert needle.lower() in out.lower(), f"{script}: missing {needle!r}"

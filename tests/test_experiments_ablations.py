@@ -1,0 +1,56 @@
+"""The ablations API (repro.experiments.ablations)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    MagusWithSweepMonitoring,
+    ablate_actuation,
+    ablate_detector,
+    ablate_interval,
+    uncore_transitions,
+)
+from repro.runtime.session import make_governor, run_application
+
+
+class TestHelpers:
+    def test_uncore_transitions_counts_changes(self):
+        run = run_application("intel_a100", "sort", make_governor("magus"), seed=1)
+        assert uncore_transitions(run) >= 2
+
+    def test_static_run_has_one_transition_at_most(self):
+        run = run_application("intel_a100", "sort", make_governor("static_max"), seed=1)
+        # The node starts at idle-min, then the pin is established at t=0.
+        assert uncore_transitions(run) <= 1
+
+    def test_sweep_variant_is_dearer_per_cycle(self):
+        plain = run_application("intel_a100", "sort", make_governor("magus"), seed=1)
+        sweep = run_application("intel_a100", "sort", MagusWithSweepMonitoring(), seed=1)
+        assert sweep.mean_invocation_s > plain.mean_invocation_s
+        assert sweep.monitor_energy_j > plain.monitor_energy_j
+        # Identical policy: both complete within the envelope.
+        assert sweep.completed and plain.completed
+
+
+class TestDetectorAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablate_detector(seed=1)
+
+    def test_pins_only_with_detector(self, result):
+        assert result.hf_pins_with > 0
+        assert result.hf_pins_without == 0
+
+    def test_detector_reduces_loss(self, result):
+        assert result.with_detector.performance_loss < result.without_detector.performance_loss
+
+
+class TestActuationAblation:
+    def test_ordering(self):
+        results = dict(ablate_actuation(steps=(None, 0.1), seed=1))
+        assert results[None].power_saving > results[0.1].power_saving
+
+
+class TestIntervalAblation:
+    def test_monitor_cost_monotone(self):
+        points = ablate_interval(intervals=(0.1, 0.4), workload="sort", seed=1)
+        assert points[0].monitor_energy_fraction > points[1].monitor_energy_fraction

@@ -1,0 +1,58 @@
+"""CSV artefact export."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.export import export_rows_csv, export_series_csv
+from repro.sim.trace import TimeSeries
+
+
+def series(values, dt=0.1):
+    return TimeSeries(np.arange(1, len(values) + 1) * dt, np.asarray(values, float))
+
+
+class TestSeriesExport:
+    def test_aligned_columns(self, tmp_path):
+        path = tmp_path / "s.csv"
+        export_series_csv(path, {"a": series([1, 2, 3, 4]), "b": series([5, 6, 7, 8])}, period_s=0.2)
+        with path.open(newline="") as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["time_s", "a", "b"]
+        assert len(rows) == 3  # 0.4s of data at 0.2s period
+
+    def test_shorter_series_padded(self, tmp_path):
+        path = tmp_path / "pad.csv"
+        export_series_csv(path, {"long": series([1] * 10), "short": series([2] * 4)}, period_s=0.2)
+        with path.open(newline="") as fh:
+            rows = list(csv.reader(fh))
+        assert rows[-1][2] == ""  # short column empty at the tail
+        assert rows[1][2] != ""
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "nested" / "dir" / "s.csv"
+        export_series_csv(path, {"a": series([1, 2])})
+        assert path.exists()
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            export_series_csv(tmp_path / "x.csv", {})
+
+
+class TestRowsExport:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        export_rows_csv(path, ["a", "b"], [["1", "2"], ["3", "4"]])
+        with path.open(newline="") as fh:
+            rows = list(csv.reader(fh))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_width_mismatch_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            export_rows_csv(tmp_path / "x.csv", ["a", "b"], [["only-one"]])
+
+    def test_empty_header_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            export_rows_csv(tmp_path / "x.csv", [], [])

@@ -1,0 +1,56 @@
+"""The paper's performance envelope over the *entire* application suite.
+
+One heavier integration test: every registered workload runs under the
+default baseline and MAGUS on Intel+A100, and the abstract's guarantees
+must hold for each — loss below 5 %, positive energy savings, bounded
+monitoring overhead. (The per-figure benchmarks cover methods and systems;
+this is the all-apps safety net for the core claim.)
+"""
+
+import pytest
+
+from repro.analysis.metrics import compare
+from repro.runtime.session import make_governor, run_application
+from repro.workloads.registry import SUITE_INTEL_A100, get_workload
+
+
+@pytest.fixture(scope="module")
+def all_app_comparisons():
+    out = {}
+    for name in SUITE_INTEL_A100:
+        workload = get_workload(name, seed=1)
+        baseline = run_application("intel_a100", workload, make_governor("default"), seed=1)
+        magus = run_application("intel_a100", workload, make_governor("magus"), seed=1)
+        out[name] = (compare(baseline, magus), magus)
+    return out
+
+
+class TestEnvelope:
+    def test_all_runs_complete(self, all_app_comparisons):
+        assert len(all_app_comparisons) == 24
+
+    @pytest.mark.parametrize("name", sorted(SUITE_INTEL_A100))
+    def test_loss_under_5pct(self, all_app_comparisons, name):
+        comparison, _run = all_app_comparisons[name]
+        assert comparison.performance_loss < 0.05, name
+
+    @pytest.mark.parametrize("name", sorted(SUITE_INTEL_A100))
+    def test_energy_saving_positive(self, all_app_comparisons, name):
+        comparison, _run = all_app_comparisons[name]
+        assert comparison.energy_saving > 0.0, name
+
+    @pytest.mark.parametrize("name", sorted(SUITE_INTEL_A100))
+    def test_power_saving_meaningful(self, all_app_comparisons, name):
+        # MAGUS saves at least a few percent of CPU power on every app.
+        comparison, _run = all_app_comparisons[name]
+        assert comparison.power_saving > 0.03, name
+
+    @pytest.mark.parametrize("name", sorted(SUITE_INTEL_A100))
+    def test_monitoring_overhead_under_1pct(self, all_app_comparisons, name):
+        _comparison, run = all_app_comparisons[name]
+        assert run.monitor_energy_j / run.total_energy_j < 0.01, name
+
+    def test_headline_spread(self, all_app_comparisons):
+        savings = [c.energy_saving for c, _ in all_app_comparisons.values()]
+        assert max(savings) >= 0.12  # the "up to" end
+        assert min(savings) > 0.0

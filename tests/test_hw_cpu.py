@@ -1,0 +1,101 @@
+"""CPUCoreModel: DVFS response, IPC model, power model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PowerModelError
+from repro.hw.cpu import CPUCoreModel, CPUPowerParams
+
+
+@pytest.fixture()
+def cpu():
+    return CPUCoreModel(40, rng=np.random.default_rng(0))
+
+
+class TestDVFS:
+    def test_idle_cores_near_min_freq(self, cpu):
+        cpu.step(0.0, 1.0, 1.0)
+        assert cpu.core_freqs_ghz.max() <= cpu.min_ghz + 1e-9
+
+    def test_busy_cores_scale_up(self, cpu):
+        cpu.step(0.9, 1.0, 1.0)
+        assert cpu.core_freqs_ghz.mean() > 2.0
+
+    def test_frequency_tracks_utilisation(self, cpu):
+        cpu.step(0.2, 1.0, 1.0)
+        low = cpu.core_freqs_ghz.mean()
+        cpu.step(0.8, 1.0, 1.0)
+        high = cpu.core_freqs_ghz.mean()
+        assert high > low
+
+    def test_per_core_heterogeneity(self, cpu):
+        # The weight profile concentrates load on low-index cores.
+        cpu.step(0.3, 1.0, 1.0)
+        assert cpu.core_utils[0] > cpu.core_utils[-1]
+
+    def test_freqs_within_range(self, cpu):
+        for util in (0.0, 0.3, 0.7, 1.0):
+            cpu.step(util, 1.0, 1.0)
+            assert (cpu.core_freqs_ghz >= cpu.min_ghz - 1e-9).all()
+            assert (cpu.core_freqs_ghz <= cpu.max_ghz + 1e-9).all()
+
+    def test_invalid_util_rejected(self, cpu):
+        with pytest.raises(PowerModelError):
+            cpu.step(1.5, 1.0, 1.0)
+
+
+class TestIPC:
+    def test_full_service_full_ipc(self, cpu):
+        cpu.step(0.5, 1.0, 1.0)
+        assert cpu.mean_ipc() == pytest.approx(cpu.peak_ipc, rel=0.01)
+
+    def test_memory_stalls_depress_ipc(self, cpu):
+        cpu.step(0.5, 1.0, 1.0)
+        fed = cpu.mean_ipc()
+        cpu.step(0.5, 0.5, 1.0)
+        starved = cpu.mean_ipc()
+        assert starved < fed
+
+    def test_low_uncore_adds_latency_penalty(self, cpu):
+        cpu.step(0.5, 1.0, 1.0)
+        fast = cpu.mean_ipc()
+        cpu.step(0.5, 1.0, 0.36)
+        slow = cpu.mean_ipc()
+        assert slow < fast
+
+    def test_idle_cores_report_zero_ipc(self, cpu):
+        cpu.step(0.0, 1.0, 1.0)
+        assert cpu.mean_ipc() == 0.0
+
+
+class TestPower:
+    def test_power_grows_with_utilisation(self, cpu):
+        cpu.step(0.1, 1.0, 1.0)
+        low = cpu.power_w()
+        cpu.step(0.9, 1.0, 1.0)
+        high = cpu.power_w()
+        assert high > low
+
+    def test_idle_floor(self, cpu):
+        cpu.step(0.0, 1.0, 1.0)
+        p = cpu.power_params
+        expected_floor = p.static_w + cpu.n_cores * p.idle_core_w
+        assert cpu.power_w() == pytest.approx(expected_floor, rel=0.05)
+
+    def test_power_bounded(self, cpu):
+        cpu.step(1.0, 1.0, 1.0)
+        p = cpu.power_params
+        upper = p.static_w + cpu.n_cores * (p.idle_core_w + p.peak_core_w)
+        assert cpu.power_w() <= upper * 1.05
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(PowerModelError):
+            CPUPowerParams(static_w=-1.0)
+
+    def test_invalid_core_count_rejected(self):
+        with pytest.raises(PowerModelError):
+            CPUCoreModel(0)
+
+    def test_invalid_freq_range_rejected(self):
+        with pytest.raises(PowerModelError):
+            CPUCoreModel(4, min_ghz=3.0, max_ghz=1.0)

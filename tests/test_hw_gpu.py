@@ -1,0 +1,96 @@
+"""GPUModel and GPUGroup: clock governor, power curve, idle floors."""
+
+import pytest
+
+from repro.errors import PowerModelError
+from repro.hw.gpu import GPUGroup, GPUModel
+
+
+@pytest.fixture()
+def a100():
+    return GPUModel("A100-40GB", idle_w=30.0, max_w=400.0)
+
+
+class TestGPUModel:
+    def test_idle_power_floor(self, a100):
+        a100.step(0.0)
+        assert a100.power_w() == pytest.approx(30.0)
+
+    def test_full_power_at_max_util(self, a100):
+        a100.step(1.0)
+        assert a100.power_w() == pytest.approx(400.0, rel=0.02)
+
+    def test_clock_scales_with_util(self, a100):
+        a100.step(0.0)
+        assert a100.sm_clock_ghz == pytest.approx(a100.base_clock_ghz)
+        a100.step(1.0)
+        assert a100.sm_clock_ghz == pytest.approx(a100.max_clock_ghz)
+
+    def test_clock_is_dynamic_by_default(self, a100):
+        # Fig. 1b: the SM clock moves with load, unlike the uncore.
+        a100.step(0.3)
+        mid = a100.sm_clock_ghz
+        a100.step(0.8)
+        assert a100.sm_clock_ghz > mid
+
+    def test_util_clamped(self, a100):
+        a100.step(1.7)
+        assert a100.util == 1.0
+
+    def test_power_monotone_in_util(self, a100):
+        powers = []
+        for u in (0.0, 0.25, 0.5, 0.75, 1.0):
+            a100.step(u)
+            powers.append(a100.power_w())
+        assert powers == sorted(powers)
+
+    def test_invalid_power_range_rejected(self):
+        with pytest.raises(PowerModelError):
+            GPUModel(idle_w=400.0, max_w=100.0)
+
+    def test_invalid_clock_range_rejected(self):
+        with pytest.raises(PowerModelError):
+            GPUModel(base_clock_ghz=2.0, max_clock_ghz=1.0)
+
+
+class TestGPUGroup:
+    def test_paper_idle_floor_single_a100_40(self):
+        group = GPUGroup([GPUModel("A100-40GB", idle_w=30.0, max_w=400.0)])
+        group.step(0.0)
+        # §6.1: a single A100-40GB idles around 30 W.
+        assert group.idle_power_w() == pytest.approx(30.0)
+
+    def test_paper_idle_floor_four_a100_80(self):
+        group = GPUGroup([GPUModel("A100-80GB", idle_w=50.0, max_w=300.0) for _ in range(4)])
+        group.step(0.0)
+        # §6.1: four A100-80GB idle around 200 W total.
+        assert group.idle_power_w() == pytest.approx(200.0)
+
+    def test_group_power_sums_members(self):
+        group = GPUGroup([GPUModel(idle_w=30.0, max_w=400.0) for _ in range(2)], imbalance=0.0)
+        group.step(0.5)
+        single = GPUModel(idle_w=30.0, max_w=400.0)
+        single.step(0.5)
+        assert group.power_w() == pytest.approx(2 * single.power_w())
+
+    def test_imbalance_skews_members(self):
+        group = GPUGroup([GPUModel() for _ in range(4)], imbalance=0.1)
+        group.step(0.8)
+        utils = [g.util for g in group.gpus]
+        assert utils[0] > utils[-1]
+
+    def test_mean_clock(self):
+        group = GPUGroup([GPUModel() for _ in range(3)], imbalance=0.0)
+        group.step(1.0)
+        assert group.mean_sm_clock_ghz() == pytest.approx(group.gpus[0].max_clock_ghz)
+
+    def test_len(self):
+        assert len(GPUGroup([GPUModel()])) == 1
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(PowerModelError):
+            GPUGroup([])
+
+    def test_invalid_imbalance_rejected(self):
+        with pytest.raises(PowerModelError):
+            GPUGroup([GPUModel()], imbalance=1.0)

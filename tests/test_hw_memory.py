@@ -1,0 +1,106 @@
+"""MemorySubsystem: ceiling curve, roofline stretch, DRAM power."""
+
+import pytest
+
+from repro.errors import PowerModelError
+from repro.hw.memory import MemorySubsystem
+
+
+@pytest.fixture()
+def mem():
+    return MemorySubsystem(35.0, f_ref_ghz=1.8, f_max_ghz=2.2)
+
+
+class TestCeiling:
+    def test_full_bandwidth_at_reference(self, mem):
+        assert mem.ceiling_gbps(1.8) == pytest.approx(35.0)
+
+    def test_headroom_above_reference(self, mem):
+        # Max and near-max uncore are performance-equivalent.
+        assert mem.ceiling_gbps(2.2) == pytest.approx(35.0)
+        assert mem.ceiling_gbps(2.0) == pytest.approx(35.0)
+
+    def test_linear_below_reference(self, mem):
+        assert mem.ceiling_gbps(0.9) == pytest.approx(35.0 * 0.5)
+
+    def test_min_uncore_caps_hard(self, mem):
+        assert mem.ceiling_gbps(0.8) == pytest.approx(35.0 * 0.8 / 1.8)
+
+    def test_invalid_frequency_rejected(self, mem):
+        with pytest.raises(PowerModelError):
+            mem.ceiling_gbps(0.0)
+
+
+class TestService:
+    def test_satisfied_demand_no_stretch(self, mem):
+        r = mem.service(10.0, 0.8, 2.2)
+        assert r.delivered_gbps == pytest.approx(10.0)
+        assert r.stretch == 1.0
+        assert r.served_fraction == 1.0
+
+    def test_zero_demand(self, mem):
+        r = mem.service(0.0, 0.9, 0.8)
+        assert r.delivered_gbps == 0.0
+        assert r.stretch == 1.0
+        assert r.traffic_util == 0.0
+
+    def test_clipped_demand_stretches(self, mem):
+        r = mem.service(30.0, 0.8, 0.8)  # ceiling ~15.6
+        assert r.delivered_gbps == pytest.approx(mem.ceiling_gbps(0.8))
+        assert r.stretch > 1.0
+
+    def test_roofline_formula(self, mem):
+        demand, mi, f = 30.0, 0.8, 0.8
+        r = mem.service(demand, mi, f)
+        served = r.delivered_gbps / demand
+        assert r.stretch == pytest.approx((1 - mi) + mi / served)
+
+    def test_zero_intensity_never_stretches(self, mem):
+        r = mem.service(30.0, 0.0, 0.8)
+        assert r.stretch == pytest.approx(1.0)
+
+    def test_full_intensity_stretch_is_inverse_served(self, mem):
+        r = mem.service(30.0, 1.0, 0.8)
+        assert r.stretch == pytest.approx(30.0 / r.delivered_gbps)
+
+    def test_traffic_util_normalised_to_peak(self, mem):
+        r = mem.service(17.5, 0.5, 2.2)
+        assert r.traffic_util == pytest.approx(0.5)
+
+    def test_stretch_monotone_in_uncore(self, mem):
+        stretches = [mem.service(30.0, 0.8, f).stretch for f in (0.8, 1.2, 1.6, 2.0)]
+        assert stretches == sorted(stretches, reverse=True)
+
+    def test_negative_demand_rejected(self, mem):
+        with pytest.raises(PowerModelError):
+            mem.service(-1.0, 0.5, 1.0)
+
+    def test_invalid_intensity_rejected(self, mem):
+        with pytest.raises(PowerModelError):
+            mem.service(1.0, 1.5, 1.0)
+
+
+class TestDramPower:
+    def test_base_power_at_zero_traffic(self, mem):
+        assert mem.dram_power_w(0.0) == pytest.approx(mem.dram_base_w)
+
+    def test_power_tracks_traffic(self, mem):
+        assert mem.dram_power_w(20.0) == pytest.approx(mem.dram_base_w + 20.0 * mem.dram_w_per_gbps)
+
+    def test_negative_traffic_rejected(self, mem):
+        with pytest.raises(PowerModelError):
+            mem.dram_power_w(-1.0)
+
+
+class TestValidation:
+    def test_invalid_peak_rejected(self):
+        with pytest.raises(PowerModelError):
+            MemorySubsystem(0.0)
+
+    def test_invalid_fref_rejected(self):
+        with pytest.raises(PowerModelError):
+            MemorySubsystem(35.0, f_ref_ghz=3.0, f_max_ghz=2.2)
+
+    def test_negative_dram_coeffs_rejected(self):
+        with pytest.raises(PowerModelError):
+            MemorySubsystem(35.0, dram_base_w=-1.0)

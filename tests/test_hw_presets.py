@@ -1,0 +1,118 @@
+"""System presets: paper-faithful parameters and buildability."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.presets import (
+    PRESETS,
+    GPUSpec,
+    SystemPreset,
+    TelemetryCosts,
+    get_preset,
+    intel_4a100,
+    intel_a100,
+    intel_max1550,
+)
+from repro.sim.rng import RngStreams
+
+
+class TestRegistry:
+    def test_all_systems_present(self):
+        # The paper's three testbeds plus the §6.6 AMD adaptation target.
+        assert set(PRESETS) == {"intel_a100", "intel_4a100", "intel_max1550", "amd_mi210"}
+
+    def test_get_preset(self):
+        assert get_preset("intel_a100").name == "intel_a100"
+
+    def test_unknown_preset(self):
+        with pytest.raises(ConfigError):
+            get_preset("amd_epyc")
+
+
+class TestIntelA100:
+    def test_paper_parameters(self):
+        p = intel_a100()
+        # §5: dual Xeon 8380, uncore 0.8-2.2 GHz, one A100-40GB.
+        assert p.n_sockets == 2
+        assert p.cores_per_socket == 40
+        assert p.uncore_min_ghz == pytest.approx(0.8)
+        assert p.uncore_max_ghz == pytest.approx(2.2)
+        assert p.gpu.count == 1
+        assert p.gpu.model_name == "A100-40GB"
+
+    def test_buildable(self):
+        node = intel_a100().build_node(RngStreams(0))
+        assert node.n_cores == 80
+        assert len(node.gpus) == 1
+
+
+class TestIntel4A100:
+    def test_paper_parameters(self):
+        p = intel_4a100()
+        assert p.gpu.count == 4
+        # §6.1: four A100-80GB idle ~200 W total.
+        assert p.gpu.idle_w * p.gpu.count == pytest.approx(200.0)
+
+    def test_same_cpu_complex_as_single_gpu_rig(self):
+        a, b = intel_a100(), intel_4a100()
+        assert a.cores_per_socket == b.cores_per_socket
+        assert a.uncore_max_ghz == b.uncore_max_ghz
+
+
+class TestIntelMax1550:
+    def test_paper_parameters(self):
+        p = intel_max1550()
+        # §5: Xeon Max 9462, uncore 0.8-2.5 GHz.
+        assert p.uncore_min_ghz == pytest.approx(0.8)
+        assert p.uncore_max_ghz == pytest.approx(2.5)
+        assert p.gpu.model_name == "Max-1550"
+
+    def test_costlier_msr_access_than_icelake(self):
+        # The Table 2 asymmetry (UPS 4.9% vs 7.9%) requires SPR register
+        # access to be more expensive per read.
+        assert intel_max1550().telemetry.msr_read_time_s > intel_a100().telemetry.msr_read_time_s
+        assert intel_max1550().telemetry.msr_read_energy_j > intel_a100().telemetry.msr_read_energy_j
+
+    def test_ups_sweep_time_matches_table2(self):
+        # 2 reads x all cores should land near the paper's 0.31 s.
+        p = intel_max1550()
+        sweep_s = 2 * p.n_cores * p.telemetry.msr_read_time_s
+        assert 0.25 <= sweep_s <= 0.4
+
+
+class TestValidation:
+    def test_invalid_gpu_count(self):
+        with pytest.raises(ConfigError):
+            GPUSpec("x", 0, 10.0, 100.0, 1.0, 1.5)
+
+    def test_negative_telemetry_cost(self):
+        with pytest.raises(ConfigError):
+            TelemetryCosts(msr_read_time_s=-1.0)
+
+    def test_invalid_uncore_range(self):
+        p = intel_a100()
+        with pytest.raises(ConfigError):
+            SystemPreset(
+                name="broken",
+                n_sockets=1,
+                cores_per_socket=4,
+                core_min_ghz=0.8,
+                core_max_ghz=3.0,
+                cpu_power=p.cpu_power,
+                uncore_min_ghz=2.2,
+                uncore_max_ghz=0.8,
+                uncore_power=p.uncore_power,
+                tdp_w_per_socket=200.0,
+                peak_bw_gbps=30.0,
+                bw_f_ref_ghz=1.8,
+                dram_base_w=10.0,
+                dram_w_per_gbps=0.3,
+                gpu=p.gpu,
+            )
+
+    def test_builds_are_independent(self):
+        preset = intel_a100()
+        n1 = preset.build_node(RngStreams(0))
+        n2 = preset.build_node(RngStreams(0))
+        n1.force_uncore_all(0.8)
+        assert n2.uncore(0).target_ghz == pytest.approx(2.2)

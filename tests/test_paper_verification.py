@@ -1,0 +1,83 @@
+"""The encoded paper claims and the verification machinery."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.paper import (
+    PAPER,
+    ClaimResult,
+    PaperClaim,
+    format_verification,
+    verify_reproduction,
+)
+
+
+def stub_measure(pass_all=True):
+    """A measurement seam returning band midpoints (or out-of-band values)."""
+
+    def measure(seed, quick):
+        values = {}
+        for claim in PAPER:
+            mid = (claim.lo + min(claim.hi, claim.lo + 10 * (1 + claim.lo))) / 2
+            values[claim.claim_id] = mid if pass_all else claim.hi + 1.0
+        return values
+
+    return measure
+
+
+class TestClaimCatalogue:
+    def test_every_artefact_covered(self):
+        artefacts = {c.artefact for c in PAPER}
+        assert {"Fig. 1", "Fig. 2", "Fig. 4a", "Fig. 5", "Fig. 6", "Table 2"} <= artefacts
+
+    def test_claim_ids_unique(self):
+        ids = [c.claim_id for c in PAPER]
+        assert len(set(ids)) == len(ids)
+
+    def test_bands_are_well_formed(self):
+        for claim in PAPER:
+            assert claim.lo <= claim.hi, claim.claim_id
+
+    def test_paper_values_inside_or_near_band(self):
+        # Where the paper states a number, our acceptance band should
+        # surround (or at least touch) it — otherwise we are testing
+        # against something other than the paper.
+        for claim in PAPER:
+            if claim.paper_value is None:
+                continue
+            span = claim.hi - claim.lo
+            assert claim.lo - span <= claim.paper_value <= claim.hi + span, claim.claim_id
+
+
+class TestVerification:
+    def test_all_pass_with_midpoint_measurements(self):
+        results = verify_reproduction(measure=stub_measure(pass_all=True))
+        assert len(results) == len(PAPER)
+        assert all(r.passed for r in results)
+
+    def test_out_of_band_fails(self):
+        results = verify_reproduction(measure=stub_measure(pass_all=False))
+        assert not any(r.passed for r in results)
+
+    def test_missing_measurement_raises(self):
+        def incomplete(seed, quick):
+            return {}
+
+        with pytest.raises(ExperimentError):
+            verify_reproduction(measure=incomplete)
+
+    def test_format_report(self):
+        results = verify_reproduction(measure=stub_measure())
+        text = format_verification(results)
+        assert "PASS" in text
+        assert f"{len(PAPER)}/{len(PAPER)} claims within band" in text
+
+    def test_format_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            format_verification([])
+
+    def test_result_structure(self):
+        results = verify_reproduction(measure=stub_measure())
+        r = results[0]
+        assert isinstance(r, ClaimResult)
+        assert isinstance(r.claim, PaperClaim)

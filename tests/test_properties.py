@@ -1,0 +1,228 @@
+"""Property-based tests (hypothesis) on core kernels and data structures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.jaccard import jaccard_index
+from repro.analysis.pareto import ParetoPoint, is_on_front, pareto_front
+from repro.core.config import MagusConfig
+from repro.core.dynamics import first_derivative, tune_event_rate
+from repro.core.predictor import TREND_DOWN, TREND_FLAT, TREND_UP, TrendPredictor
+from repro.hw.memory import MemorySubsystem
+from repro.hw.uncore import UncoreModel
+from repro.sim.trace import TimeSeries
+from repro.units import clamp, ghz_to_uncore_ratio, uncore_ratio_to_ghz
+from repro.workloads.base import Segment, Workload
+
+finite_bw = st.floats(min_value=0.0, max_value=1e5, allow_nan=False, allow_infinity=False)
+
+
+class TestDynamicsProperties:
+    @given(st.lists(finite_bw, min_size=2, max_size=50), st.data())
+    def test_derivative_antisymmetry(self, values, data):
+        window = data.draw(st.integers(1, len(values) - 1))
+        d_fwd = first_derivative(values, window)
+        d_rev = first_derivative(values[::-1], window)
+        # Reversing the history reverses the endpoints used, hence the sign
+        # relation holds exactly for window == len-1.
+        if window == len(values) - 1:
+            assert d_fwd == pytest.approx(-d_rev)
+
+    @given(st.lists(finite_bw, min_size=2, max_size=50))
+    def test_derivative_of_constant_is_zero(self, values):
+        const = [values[0]] * len(values)
+        assert first_derivative(const, len(const) - 1) == 0.0
+
+    @given(st.floats(min_value=-1e4, max_value=1e4, allow_nan=False), st.integers(1, 20))
+    def test_derivative_of_linear_is_slope(self, slope, window):
+        values = [slope * i for i in range(window + 1)]
+        assert first_derivative(values, window) == pytest.approx(slope, abs=1e-6)
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=100))
+    def test_rate_bounds(self, flags):
+        assert 0.0 <= tune_event_rate(flags) <= 1.0
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=100))
+    def test_rate_is_mean(self, flags):
+        assert tune_event_rate(flags) == pytest.approx(sum(flags) / len(flags))
+
+
+class TestPredictorProperties:
+    @given(st.lists(finite_bw, min_size=1, max_size=60))
+    def test_verdict_always_valid(self, samples):
+        p = TrendPredictor(MagusConfig())
+        for s in samples:
+            p.observe(s)
+        assert p.predict() in (TREND_UP, TREND_DOWN, TREND_FLAT)
+
+    @given(st.lists(finite_bw, min_size=12, max_size=40))
+    def test_scaling_down_weakens_trend(self, samples):
+        # If the full-scale history is flat-classified, a 100x smaller copy
+        # must be too (thresholds are absolute).
+        p_big = TrendPredictor(MagusConfig())
+        p_small = TrendPredictor(MagusConfig())
+        for s in samples:
+            p_big.observe(s)
+            p_small.observe(s / 100.0)
+        if p_big.predict() == TREND_FLAT:
+            # |d| <= threshold implies |d/100| <= threshold.
+            assert p_small.predict() == TREND_FLAT
+
+
+class TestUncoreProperties:
+    @given(st.floats(min_value=0.0, max_value=10.0, allow_nan=False))
+    def test_snap_is_idempotent_and_in_range(self, freq):
+        unc = UncoreModel(0.8, 2.2)
+        snapped = unc.snap(freq)
+        assert 0.8 - 1e-9 <= snapped <= 2.2 + 1e-9
+        assert unc.snap(snapped) == pytest.approx(snapped)
+
+    @given(
+        st.floats(min_value=0.8, max_value=2.2, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    def test_power_positive_and_bounded(self, freq, traffic):
+        unc = UncoreModel(0.8, 2.2)
+        unc.force(freq)
+        p = unc.power_w(traffic)
+        params = unc.power_params
+        assert 0.0 < p <= params.static_w + params.span_w + 1e-9
+
+    @given(st.integers(8, 25))
+    def test_ratio_codec_round_trip(self, ratio):
+        assert ghz_to_uncore_ratio(uncore_ratio_to_ghz(ratio)) == ratio
+
+
+class TestMemoryProperties:
+    @given(
+        finite_bw,
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        st.floats(min_value=0.8, max_value=2.2, allow_nan=False),
+    )
+    def test_service_invariants(self, demand, mi, freq):
+        mem = MemorySubsystem(35.0, f_ref_ghz=1.8, f_max_ghz=2.2)
+        r = mem.service(demand, mi, freq)
+        assert 0.0 <= r.delivered_gbps <= demand + 1e-9
+        assert r.delivered_gbps <= mem.ceiling_gbps(freq) + 1e-9
+        assert r.stretch >= 1.0 - 1e-12
+        assert 0.0 <= r.served_fraction <= 1.0 + 1e-9
+        assert 0.0 <= r.traffic_util <= 1.0 + 1e-9
+
+    @given(finite_bw, st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    def test_max_uncore_serves_up_to_peak(self, demand, mi):
+        mem = MemorySubsystem(35.0, f_ref_ghz=1.8, f_max_ghz=2.2)
+        r = mem.service(demand, mi, 2.2)
+        if demand <= 35.0:
+            assert r.served_fraction == pytest.approx(1.0)
+
+
+class TestJaccardProperties:
+    binary = st.lists(st.integers(0, 1), min_size=1, max_size=64).map(np.array)
+
+    @given(binary, binary)
+    def test_bounds(self, a, b):
+        assert 0.0 <= jaccard_index(a, b) <= 1.0
+
+    @given(binary, binary)
+    def test_symmetry(self, a, b):
+        assert jaccard_index(a, b) == pytest.approx(jaccard_index(b, a))
+
+    @given(binary)
+    def test_identity(self, a):
+        assert jaccard_index(a, a) == 1.0
+
+
+class TestParetoProperties:
+    points = st.lists(
+        st.tuples(
+            st.floats(min_value=0.1, max_value=100.0, allow_nan=False),
+            st.floats(min_value=0.1, max_value=100.0, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=30,
+    ).map(lambda raw: [ParetoPoint(r, e, f"p{i}") for i, (r, e) in enumerate(raw)])
+
+    @given(points)
+    def test_front_is_nonempty_subset(self, pts):
+        front = pareto_front(pts)
+        assert front
+        assert all(p in pts for p in front)
+
+    @given(points)
+    def test_front_members_mutually_nondominated(self, pts):
+        front = pareto_front(pts)
+        for p in front:
+            for q in front:
+                assert not p.dominates(q) or p == q
+
+    @given(points)
+    def test_every_off_front_point_is_dominated(self, pts):
+        front = pareto_front(pts)
+        for p in pts:
+            if not is_on_front(p, pts):
+                assert any(q.dominates(p) for q in front)
+
+
+class TestWorkloadProperties:
+    segments = st.lists(
+        st.tuples(
+            st.floats(min_value=0.05, max_value=5.0, allow_nan=False),
+            st.floats(min_value=0.0, max_value=40.0, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=20,
+    ).map(lambda raw: tuple(Segment(d, bw) for d, bw in raw))
+
+    @given(segments, st.floats(min_value=0.001, max_value=10.0, allow_nan=False))
+    @settings(max_examples=50)
+    def test_advance_conserves_progress(self, segs, step):
+        w = Workload("prop", segs)
+        ex = w.execution()
+        total = 0.0
+        while not ex.done and total < w.nominal_duration_s * 2:
+            ex.advance(step)
+            total += step
+        assert ex.done
+        assert ex.progress == 1.0
+
+    @given(segments)
+    def test_nominal_duration_is_sum(self, segs):
+        w = Workload("prop", segs)
+        assert w.nominal_duration_s == pytest.approx(sum(s.duration_s for s in segs))
+
+
+class TestTraceProperties:
+    values = st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=2, max_size=200
+    )
+
+    @given(values)
+    def test_mean_within_bounds(self, vals):
+        s = TimeSeries(np.arange(1, len(vals) + 1) * 0.1, np.array(vals))
+        assert min(vals) - 1e-9 <= s.mean() <= max(vals) + 1e-9
+
+    @given(values, st.floats(min_value=0.05, max_value=5.0, allow_nan=False))
+    def test_resample_preserves_value_bounds(self, vals, period):
+        s = TimeSeries(np.arange(1, len(vals) + 1) * 0.1, np.array(vals))
+        r = s.resample(period)
+        assert r.values.min() >= min(vals) - 1e-9
+        assert r.values.max() <= max(vals) + 1e-9
+
+    @given(values)
+    def test_integral_sign_for_nonnegative(self, vals):
+        nonneg = [abs(v) for v in vals]
+        s = TimeSeries(np.arange(1, len(nonneg) + 1) * 0.1, np.array(nonneg))
+        assert s.integral() >= 0.0
+
+
+class TestClampProperties:
+    @given(
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    )
+    def test_clamp_in_interval(self, x, lo, width):
+        hi = lo + width
+        assert lo <= clamp(x, lo, hi) <= hi

@@ -1,0 +1,82 @@
+"""run_batch: consecutive applications under one persistent daemon (§4)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.runtime.batch import run_batch
+from repro.runtime.session import make_governor, run_application
+
+
+@pytest.fixture(scope="module")
+def magus_batch():
+    return run_batch("intel_a100", ["sort", "bfs"], make_governor("magus"), gap_s=4.0, seed=1)
+
+
+class TestWindows:
+    def test_one_window_per_app(self, magus_batch):
+        assert [w.workload_name for w in magus_batch.windows] == ["sort", "bfs"]
+
+    def test_windows_are_ordered_and_disjoint(self, magus_batch):
+        a, b = magus_batch.windows
+        assert a.start_s < a.end_s <= b.start_s < b.end_s
+
+    def test_gap_separates_apps(self, magus_batch):
+        a, b = magus_batch.windows
+        assert b.start_s - a.end_s == pytest.approx(4.0, abs=1.0)
+
+    def test_total_runtime_covers_everything(self, magus_batch):
+        assert magus_batch.total_runtime_s >= magus_batch.windows[-1].end_s - 0.5
+
+    def test_window_lookup(self, magus_batch):
+        assert magus_batch.window("bfs").workload_name == "bfs"
+        with pytest.raises(ExperimentError):
+            magus_batch.window("nope")
+
+    def test_window_energy_sums_below_total(self, magus_batch):
+        window_sum = sum(w.energy_j for w in magus_batch.windows)
+        assert window_sum <= magus_batch.total_energy_j
+
+
+class TestDeploymentBehaviour:
+    def test_uncore_drops_to_floor_between_apps(self, magus_batch):
+        # §4: idle nodes conserve power at min uncore; MAGUS restores that
+        # state between applications without being restarted.
+        a, b = magus_batch.windows
+        gap = magus_batch.traces["uncore_target_ghz"].slice(a.end_s + 1.5, b.start_s - 0.3)
+        assert len(gap) > 0
+        assert gap.values.max() == pytest.approx(0.8)
+
+    def test_second_app_gets_bandwidth_back(self, magus_batch):
+        b = magus_batch.window("bfs")
+        window = magus_batch.traces["uncore_target_ghz"].slice(b.start_s, b.end_s)
+        assert window.max() == pytest.approx(2.2)
+
+    def test_per_app_outcomes_close_to_standalone(self, magus_batch):
+        # Running inside a batch should cost about the same as standalone
+        # (the daemon persists, but each app sees the same policy).
+        standalone = run_application("intel_a100", "bfs", make_governor("magus"), seed=1)
+        batch_bfs = magus_batch.window("bfs")
+        assert batch_bfs.runtime_s == pytest.approx(standalone.runtime_s, rel=0.15)
+        assert batch_bfs.avg_cpu_w == pytest.approx(standalone.avg_cpu_w, rel=0.15)
+
+    def test_batch_beats_default_on_energy(self):
+        magus = run_batch("intel_a100", ["sort", "bfs"], make_governor("magus"), gap_s=4.0, seed=1)
+        default = run_batch("intel_a100", ["sort", "bfs"], make_governor("default"), gap_s=4.0, seed=1)
+        assert magus.total_energy_j < default.total_energy_j
+        assert magus.total_runtime_s <= default.total_runtime_s * 1.05
+
+
+class TestValidation:
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_batch("intel_a100", [], make_governor("magus"))
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_batch("intel_a100", ["sort"], make_governor("magus"), gap_s=-1.0)
+
+    def test_single_app_batch(self):
+        batch = run_batch("intel_a100", ["sort"], make_governor("magus"), seed=1)
+        assert len(batch.windows) == 1
+        assert batch.windows[0].runtime_s > 10.0

@@ -1,0 +1,112 @@
+"""SimulationEngine: tick loop, horizons, daemon scheduling, trace schema."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+from repro.sim.engine import TRACE_CHANNELS, SimulationEngine
+from repro.telemetry.hub import TelemetryHub
+
+
+class _CountingRuntime:
+    """Fires every `period` seconds and counts invocations."""
+
+    def __init__(self, period=0.25):
+        self.period = period
+        self.invocations = []
+        self._next = float("inf")
+
+    def start(self, now_s):
+        self._next = now_s + self.period
+
+    def next_fire_s(self):
+        return self._next
+
+    def invoke(self, now_s):
+        self.invocations.append(now_s)
+        self._next = now_s + self.period
+
+
+class _StuckRuntime(_CountingRuntime):
+    def invoke(self, now_s):
+        self.invocations.append(now_s)
+        # never advances its schedule
+
+
+class TestRun:
+    def test_workload_runs_to_completion(self, a100_node, a100_hub, tiny_workload):
+        engine = SimulationEngine(a100_node, a100_hub, clock=SimClock(0.01))
+        result = engine.run(tiny_workload, max_time_s=60.0)
+        assert result.completed
+        # Min-uncore idle state stretches the memory-heavy middle segment.
+        assert result.runtime_s >= tiny_workload.nominal_duration_s - 0.02
+
+    def test_idle_run_lasts_exactly_horizon(self, a100_node, a100_hub):
+        engine = SimulationEngine(a100_node, a100_hub, clock=SimClock(0.01))
+        result = engine.run(None, max_time_s=1.0)
+        assert result.completed
+        assert result.runtime_s == pytest.approx(1.0)
+
+    def test_trace_has_all_channels(self, a100_node, a100_hub, tiny_workload):
+        engine = SimulationEngine(a100_node, a100_hub, clock=SimClock(0.01))
+        result = engine.run(tiny_workload)
+        for channel in TRACE_CHANNELS:
+            assert len(result.recorder.series(channel)) > 0
+
+    def test_one_sample_per_tick(self, a100_node, a100_hub):
+        engine = SimulationEngine(a100_node, a100_hub, clock=SimClock(0.01))
+        result = engine.run(None, max_time_s=0.5)
+        assert len(result.recorder) == 50
+
+    def test_safety_horizon_stops_starved_runs(self, a100_preset, tiny_workload):
+        # Pin the bandwidth ceiling impossibly low via a tiny peak bw.
+        from repro.hw.memory import MemorySubsystem
+
+        node = a100_preset.build_node()
+        node.memory = MemorySubsystem(0.5, f_ref_ghz=1.8, f_max_ghz=2.2)
+        node.force_uncore_all(0.8)
+        hub = TelemetryHub(node, a100_preset.telemetry)
+        engine = SimulationEngine(node, hub, clock=SimClock(0.01))
+        result = engine.run(tiny_workload, max_time_s=600.0, safety_factor=2.0)
+        assert not result.completed
+        assert result.horizon_s == pytest.approx(2.0 * tiny_workload.nominal_duration_s)
+
+    def test_invalid_horizon_rejected(self, a100_node, a100_hub):
+        engine = SimulationEngine(a100_node, a100_hub)
+        with pytest.raises(SimulationError):
+            engine.run(None, max_time_s=0.0)
+
+    def test_mismatched_hub_rejected(self, a100_preset, a100_node, a100_hub):
+        other = a100_preset.build_node()
+        with pytest.raises(SimulationError):
+            SimulationEngine(other, a100_hub)
+
+
+class TestRuntimeScheduling:
+    def test_runtime_fires_on_schedule(self, a100_node, a100_hub):
+        rt = _CountingRuntime(period=0.25)
+        engine = SimulationEngine(a100_node, a100_hub, [rt], clock=SimClock(0.01))
+        engine.run(None, max_time_s=1.0)
+        assert len(rt.invocations) == 4
+        assert rt.invocations[0] == pytest.approx(0.25)
+
+    def test_multiple_runtimes(self, a100_node, a100_hub):
+        fast = _CountingRuntime(period=0.2)
+        slow = _CountingRuntime(period=0.5)
+        engine = SimulationEngine(a100_node, a100_hub, [fast, slow], clock=SimClock(0.01))
+        engine.run(None, max_time_s=1.0)
+        assert len(fast.invocations) == 5
+        assert len(slow.invocations) == 2
+
+    def test_stuck_runtime_detected(self, a100_node, a100_hub):
+        engine = SimulationEngine(a100_node, a100_hub, [_StuckRuntime()], clock=SimClock(0.01))
+        with pytest.raises(SimulationError):
+            engine.run(None, max_time_s=1.0)
+
+    def test_progress_channel_tracks_workload(self, a100_node, a100_hub, tiny_workload):
+        engine = SimulationEngine(a100_node, a100_hub, clock=SimClock(0.01))
+        result = engine.run(tiny_workload)
+        progress = result.recorder.series("progress").values
+        assert progress[0] < 0.05
+        assert progress[-1] >= 0.99
+        assert (progress[1:] >= progress[:-1] - 1e-12).all()

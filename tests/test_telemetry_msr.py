@@ -1,0 +1,153 @@
+"""MSRDevice: 0x620 codec, actuation semantics, counters, access costs."""
+
+import pytest
+
+from repro.errors import MSRAccessError
+from repro.telemetry.msr import (
+    IA32_FIXED_CTR0,
+    IA32_FIXED_CTR1,
+    MSR_UNCORE_RATIO_LIMIT,
+    counter_delta,
+    decode_uncore_ratio_limit,
+    encode_uncore_ratio_limit,
+)
+from repro.telemetry.sampling import AccessMeter
+from repro.workloads.base import Segment
+
+
+class TestRatioLimitCodec:
+    def test_paper_range_encoding(self):
+        # max 2.2 GHz (ratio 22), min 0.8 GHz (ratio 8).
+        value = encode_uncore_ratio_limit(22, 8)
+        assert decode_uncore_ratio_limit(value) == (22, 8)
+
+    def test_encode_is_min_shifted_or_max(self):
+        assert encode_uncore_ratio_limit(22, 8) == (8 << 8) | 22
+
+    def test_round_trip_exhaustive(self):
+        for max_r in (8, 12, 15, 22, 25):
+            for min_r in (8, 12):
+                assert decode_uncore_ratio_limit(encode_uncore_ratio_limit(max_r, min_r)) == (max_r, min_r)
+
+    def test_out_of_range_ratio_rejected(self):
+        with pytest.raises(MSRAccessError):
+            encode_uncore_ratio_limit(200, 8)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(MSRAccessError):
+            decode_uncore_ratio_limit(-1)
+
+
+class TestCounterDelta:
+    def test_simple_delta(self):
+        assert counter_delta(100, 40) == 60
+
+    def test_wraparound(self):
+        width = 1 << 48
+        assert counter_delta(5, width - 10) == 15
+
+    def test_zero(self):
+        assert counter_delta(7, 7) == 0
+
+
+class TestActuationPath:
+    def test_write_0x620_reprograms_uncore(self, a100_node, a100_hub):
+        value = encode_uncore_ratio_limit(15, 8)
+        a100_hub.msr.write(0, MSR_UNCORE_RATIO_LIMIT, value)
+        assert a100_node.uncore(0).target_ghz == pytest.approx(1.5)
+
+    def test_read_returns_shadow(self, a100_hub):
+        value = encode_uncore_ratio_limit(12, 8)
+        a100_hub.msr.write(1, MSR_UNCORE_RATIO_LIMIT, value)
+        assert a100_hub.msr.read(1, MSR_UNCORE_RATIO_LIMIT) == value
+
+    def test_set_uncore_max_preserves_min_bits(self, a100_hub):
+        # §4: MAGUS modifies only the max-frequency bits.
+        before = a100_hub.msr.read(0, MSR_UNCORE_RATIO_LIMIT)
+        _max_r, min_before = decode_uncore_ratio_limit(before)
+        a100_hub.msr.set_uncore_max_ghz(1.2)
+        after = a100_hub.msr.read(0, MSR_UNCORE_RATIO_LIMIT)
+        max_after, min_after = decode_uncore_ratio_limit(after)
+        assert max_after == 12
+        assert min_after == min_before
+
+    def test_set_uncore_max_hits_all_sockets(self, a100_node, a100_hub):
+        a100_hub.msr.set_uncore_max_ghz(1.0)
+        for s in range(a100_node.n_sockets):
+            assert a100_node.uncore(s).target_ghz == pytest.approx(1.0)
+
+    def test_out_of_range_ratio_write_rejected(self, a100_hub):
+        with pytest.raises(MSRAccessError):
+            a100_hub.msr.write(0, MSR_UNCORE_RATIO_LIMIT, encode_uncore_ratio_limit(30, 8))
+
+    def test_write_to_counter_rejected(self, a100_hub):
+        with pytest.raises(MSRAccessError):
+            a100_hub.msr.write(0, IA32_FIXED_CTR0, 0)
+
+    def test_unknown_register_rejected(self, a100_hub):
+        with pytest.raises(MSRAccessError):
+            a100_hub.msr.read(0, 0xDEAD)
+
+    def test_bad_socket_rejected(self, a100_hub):
+        with pytest.raises(MSRAccessError):
+            a100_hub.msr.write(5, MSR_UNCORE_RATIO_LIMIT, encode_uncore_ratio_limit(12, 8))
+
+
+class TestFixedCounters:
+    def _run_ticks(self, node, hub, n=10, util=0.5):
+        seg = Segment(1.0, 5.0, mem_intensity=0.4, cpu_util=util, gpu_util=0.3)
+        for _ in range(n):
+            node.step(0.01, seg)
+            hub.msr.on_tick(0.01)
+
+    def test_counters_advance_under_load(self, a100_node, a100_hub):
+        self._run_ticks(a100_node, a100_hub)
+        instr, cycles = a100_hub.msr.read_all_core_counters()
+        assert instr.sum() > 0
+        assert cycles.sum() > 0
+
+    def test_ipc_from_counters_is_plausible(self, a100_node, a100_hub):
+        a100_node.force_uncore_all(2.2)
+        self._run_ticks(a100_node, a100_hub, n=20)
+        instr, cycles = a100_hub.msr.read_all_core_counters()
+        ipc = instr.sum() / cycles.sum()
+        assert 0.1 < ipc < 2.5  # peak per-core IPC is 2.0
+
+    def test_per_core_read(self, a100_node, a100_hub):
+        self._run_ticks(a100_node, a100_hub)
+        v0 = a100_hub.msr.read(0, IA32_FIXED_CTR0, core=0)
+        v1 = a100_hub.msr.read(0, IA32_FIXED_CTR1, core=0)
+        assert v0 > 0 and v1 > 0
+
+    def test_bad_core_rejected(self, a100_hub):
+        with pytest.raises(MSRAccessError):
+            a100_hub.msr.read(0, IA32_FIXED_CTR0, core=999)
+
+
+class TestAccessCosts:
+    def test_sweep_charges_two_reads_per_core(self, a100_node, a100_hub):
+        meter = AccessMeter()
+        a100_hub.msr.read_all_core_counters(meter)
+        assert meter.counts["msr_read"] == 2 * a100_node.n_cores
+
+    def test_sweep_time_matches_table2(self, a100_hub):
+        # ~0.29 s on the 80-core Ice Lake node.
+        meter = AccessMeter()
+        a100_hub.msr.read_all_core_counters(meter)
+        assert 0.25 <= meter.time_s <= 0.33
+
+    def test_busy_cores_cost_more_energy(self, a100_node, a100_hub):
+        seg_busy = Segment(1.0, 5.0, cpu_util=0.8)
+        a100_node.step(0.01, seg_busy)
+        busy = AccessMeter()
+        a100_hub.msr.read_all_core_counters(busy)
+        a100_node.step(0.01, None)  # idle
+        idle = AccessMeter()
+        a100_hub.msr.read_all_core_counters(idle)
+        assert busy.energy_j > idle.energy_j
+
+    def test_write_is_cheap(self, a100_hub):
+        # §4: MSR writes incur negligible cost.
+        meter = AccessMeter()
+        a100_hub.msr.set_uncore_max_ghz(1.5, meter)
+        assert meter.time_s < 1e-3

@@ -1,0 +1,89 @@
+"""RunResult trace export and the fleet CLI command."""
+
+import csv
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigError
+from repro.runtime.session import make_governor, run_application
+
+
+class TestTraceExport:
+    @pytest.fixture(scope="class")
+    def run(self):
+        return run_application("intel_a100", "sort", make_governor("magus"), seed=1)
+
+    def test_exports_all_channels(self, run, tmp_path):
+        path = tmp_path / "traces.csv"
+        run.export_traces_csv(path)
+        with path.open(newline="") as fh:
+            reader = csv.reader(fh)
+            header = next(reader)
+            first = next(reader)
+        assert header[0] == "time_s"
+        assert "pkg_w" in header and "uncore_target_ghz" in header
+        assert len(first) == len(header)
+
+    def test_channel_subset(self, run, tmp_path):
+        path = tmp_path / "subset.csv"
+        run.export_traces_csv(path, channels=["delivered_gbps", "cpu_w"])
+        with path.open(newline="") as fh:
+            header = next(csv.reader(fh))
+        assert header == ["time_s", "delivered_gbps", "cpu_w"]
+
+    def test_row_count_matches_ticks(self, run, tmp_path):
+        path = tmp_path / "rows.csv"
+        run.export_traces_csv(path, channels=["cpu_w"])
+        with path.open() as fh:
+            n_rows = sum(1 for _ in fh) - 1
+        assert n_rows == len(run.traces["cpu_w"])
+
+    def test_values_round_trip(self, run, tmp_path):
+        path = tmp_path / "values.csv"
+        run.export_traces_csv(path, channels=["cpu_w"])
+        with path.open(newline="") as fh:
+            reader = csv.DictReader(fh)
+            row = next(reader)
+        assert float(row["cpu_w"]) == pytest.approx(run.traces["cpu_w"].values[0], rel=1e-4)
+
+    def test_unknown_channel_rejected(self, run, tmp_path):
+        with pytest.raises(ConfigError):
+            run.export_traces_csv(tmp_path / "x.csv", channels=["nope"])
+
+
+class TestFleetCli:
+    def test_fleet_command(self, capsys):
+        rc = main(
+            ["fleet", "--job", "sort@0", "--job", "bfs@3", "--governor", "magus", "--seed", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "peak power" in out
+        assert "magus vs default" in out
+
+    def test_fleet_with_budget_and_queueing(self, capsys):
+        rc = main(
+            [
+                "fleet",
+                "--job",
+                "sort",
+                "--job",
+                "bfs",
+                "--nodes",
+                "1",
+                "--budget",
+                "600",
+                "--seed",
+                "1",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "budget" in out
+        # One node forces queueing for the simultaneous jobs.
+        assert "queue wait" in out
+
+    def test_fleet_requires_jobs(self):
+        with pytest.raises(SystemExit):
+            main(["fleet"])

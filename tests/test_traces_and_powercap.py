@@ -1,0 +1,127 @@
+"""Trace-driven workloads and the power-cap governor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GovernorError, WorkloadError
+from repro.governors.powercap import PowerCapGovernor
+from repro.runtime.session import make_governor, run_application
+from repro.workloads.traces import trace_to_csv, workload_from_csv, workload_from_trace
+
+
+class TestWorkloadFromTrace:
+    def test_basic_replay(self):
+        w = workload_from_trace("t", [0.0, 1.0, 2.0], [5.0, 20.0, 1.0])
+        assert len(w) == 3
+        assert w.segments[0].duration_s == pytest.approx(1.0)
+        assert w.segments[1].mem_bw_gbps == pytest.approx(20.0)
+
+    def test_tail_defaults_to_median_spacing(self):
+        w = workload_from_trace("t", [0.0, 0.5, 1.0], [1.0, 2.0, 3.0])
+        assert w.segments[-1].duration_s == pytest.approx(0.5)
+
+    def test_explicit_tail(self):
+        w = workload_from_trace("t", [0.0, 1.0], [1.0, 2.0], tail_s=3.0)
+        assert w.nominal_duration_s == pytest.approx(4.0)
+
+    def test_per_sample_arrays(self):
+        w = workload_from_trace(
+            "t", [0.0, 1.0], [1.0, 2.0], mem_intensity=[0.1, 0.9], gpu_util=[0.2, 0.8]
+        )
+        assert w.segments[0].mem_intensity == pytest.approx(0.1)
+        assert w.segments[1].gpu_util == pytest.approx(0.8)
+
+    def test_scalar_broadcast(self):
+        w = workload_from_trace("t", [0.0, 1.0], [1.0, 2.0], cpu_util=0.3)
+        assert all(s.cpu_util == pytest.approx(0.3) for s in w)
+
+    def test_non_increasing_times_rejected(self):
+        with pytest.raises(WorkloadError):
+            workload_from_trace("t", [0.0, 0.0], [1.0, 2.0])
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(WorkloadError):
+            workload_from_trace("t", [0.0, 1.0], [1.0, -2.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(WorkloadError):
+            workload_from_trace("t", [0.0, 1.0], [1.0])
+
+    def test_bad_array_shape_rejected(self):
+        with pytest.raises(WorkloadError):
+            workload_from_trace("t", [0.0, 1.0], [1.0, 2.0], mem_intensity=[0.5])
+
+    def test_runs_under_governor(self):
+        t = np.arange(0, 10, 0.5)
+        bw = np.where((t % 4) < 1.0, 22.0, 1.0)
+        w = workload_from_trace("replay", t, bw)
+        result = run_application("intel_a100", w, make_governor("magus"), seed=1)
+        assert result.completed
+        assert result.runtime_s >= 10.0
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, tmp_path):
+        original = workload_from_trace(
+            "t", [0.0, 0.5, 1.0], [5.0, 20.0, 2.0], mem_intensity=[0.2, 0.8, 0.4]
+        )
+        path = tmp_path / "trace.csv"
+        trace_to_csv(original, path)
+        loaded = workload_from_csv("t2", path)
+        assert len(loaded) == len(original)
+        for a, b in zip(original, loaded):
+            assert a.mem_bw_gbps == pytest.approx(b.mem_bw_gbps, abs=1e-5)
+            assert a.mem_intensity == pytest.approx(b.mem_intensity, abs=1e-3)
+
+    def test_missing_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(WorkloadError):
+            workload_from_csv("t", path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("time_s,mem_bw_gbps\n")
+        with pytest.raises(WorkloadError):
+            workload_from_csv("t", path)
+
+
+class TestPowerCapGovernor:
+    def test_validation(self):
+        with pytest.raises(GovernorError):
+            PowerCapGovernor(0.0)
+        with pytest.raises(GovernorError):
+            PowerCapGovernor(100.0, hysteresis=0.9)
+        with pytest.raises(GovernorError):
+            PowerCapGovernor(100.0, step_ghz=0.0)
+
+    def test_factory_name(self):
+        gov = make_governor("powercap", cap_w=150.0)
+        assert isinstance(gov, PowerCapGovernor)
+
+    @pytest.fixture(scope="class")
+    def capped_run(self):
+        return run_application("intel_a100", "unet", make_governor("powercap", cap_w=160.0), seed=1)
+
+    def test_cap_roughly_enforced(self, capped_run):
+        # A 0.3s software loop cannot clip sub-second burst excursions
+        # (real RAPL caps act at ms scale); what it must achieve is the
+        # sustained level: median at/below the cap, excursions bounded.
+        cpu = capped_run.traces["cpu_w"].resample(1.0)
+        settled = cpu.values[5:]
+        assert np.median(settled) <= 160.0 * 1.02
+        assert np.percentile(settled, 90) <= 160.0 * 1.15
+
+    def test_cap_costs_performance(self, capped_run):
+        baseline = run_application("intel_a100", "unet", make_governor("default"), seed=1)
+        assert capped_run.runtime_s > baseline.runtime_s
+        assert capped_run.avg_cpu_w < baseline.avg_cpu_w
+
+    def test_cap_decisions_present(self, capped_run):
+        reasons = {d.reason for d in capped_run.decisions}
+        assert "cap_enforce" in reasons
+
+    def test_loose_cap_is_noop(self):
+        loose = run_application("intel_a100", "bfs", make_governor("powercap", cap_w=5000.0), seed=1)
+        baseline = run_application("intel_a100", "bfs", make_governor("default"), seed=1)
+        assert loose.runtime_s == pytest.approx(baseline.runtime_s, rel=0.02)

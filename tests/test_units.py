@@ -1,0 +1,81 @@
+"""Unit-conversion helpers: exact values, round-trips and error paths."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestUncoreRatioConversion:
+    def test_paper_max_ratio(self):
+        assert units.ghz_to_uncore_ratio(2.2) == 22
+
+    def test_paper_min_ratio(self):
+        assert units.ghz_to_uncore_ratio(0.8) == 8
+
+    def test_sapphire_rapids_max(self):
+        assert units.ghz_to_uncore_ratio(2.5) == 25
+
+    def test_rounds_to_nearest_bin(self):
+        assert units.ghz_to_uncore_ratio(1.44) == 14
+        assert units.ghz_to_uncore_ratio(1.46) == 15
+
+    def test_ratio_to_ghz(self):
+        assert units.uncore_ratio_to_ghz(15) == pytest.approx(1.5)
+
+    def test_round_trip_on_bin_grid(self):
+        for ratio in range(8, 26):
+            assert units.ghz_to_uncore_ratio(units.uncore_ratio_to_ghz(ratio)) == ratio
+
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            units.ghz_to_uncore_ratio(-1.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            units.ghz_to_uncore_ratio(float("nan"))
+
+    def test_negative_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            units.uncore_ratio_to_ghz(-3)
+
+
+class TestEnergyHelpers:
+    def test_watts_to_joules(self):
+        assert units.watts_to_joules(100.0, 60.0) == pytest.approx(6000.0)
+
+    def test_zero_duration(self):
+        assert units.watts_to_joules(100.0, 0.0) == 0.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            units.watts_to_joules(100.0, -1.0)
+
+    def test_joules_to_watt_hours(self):
+        assert units.joules_to_watt_hours(3600.0) == pytest.approx(1.0)
+
+    def test_rapl_unit_is_2_to_minus_14(self):
+        assert units.JOULES_PER_RAPL_UNIT == pytest.approx(2.0**-14)
+
+
+class TestFrequencyHelpers:
+    def test_mhz_ghz_round_trip(self):
+        assert units.ghz_to_mhz(units.mhz_to_ghz(2400.0)) == pytest.approx(2400.0)
+
+    def test_clamp_inside(self):
+        assert units.clamp(1.5, 0.8, 2.2) == 1.5
+
+    def test_clamp_below(self):
+        assert units.clamp(0.1, 0.8, 2.2) == 0.8
+
+    def test_clamp_above(self):
+        assert units.clamp(9.0, 0.8, 2.2) == 2.2
+
+    def test_clamp_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            units.clamp(1.0, 2.0, 1.0)
+
+    def test_approx_equal(self):
+        assert units.approx_equal(1.0, 1.0 + 1e-13)
+        assert not units.approx_equal(1.0, 1.001)

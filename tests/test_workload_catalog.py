@@ -1,0 +1,114 @@
+"""Every application model audited against its catalogued profile."""
+
+import pytest
+
+from repro.errors import UnknownWorkloadError
+from repro.workloads.catalog import (
+    CADENCE_FLUCTUATING,
+    CADENCE_SPARSE,
+    CADENCE_SUSTAINED,
+    CATALOG,
+    get_profile,
+)
+from repro.workloads.registry import ALL_WORKLOADS, get_workload
+
+
+def burst_times(workload, threshold_gbps=12.0):
+    """Start times of segments whose demand exceeds the burst threshold."""
+    times, out, t = [], [], 0.0
+    prev_burst = False
+    for seg in workload:
+        is_burst = seg.mem_bw_gbps >= threshold_gbps
+        if is_burst and not prev_burst:
+            out.append(t)
+        prev_burst = is_burst
+        t += seg.duration_s
+    return out
+
+
+class TestCatalogueCompleteness:
+    def test_every_registered_app_catalogued(self):
+        assert set(CATALOG) == set(ALL_WORKLOADS)
+
+    def test_get_profile_unknown(self):
+        with pytest.raises(UnknownWorkloadError):
+            get_profile("hpl")
+
+    def test_suites_consistent_with_registry_tags(self):
+        for name, profile in CATALOG.items():
+            workload = get_workload(name, seed=0)
+            if profile.suite == "altis":
+                assert "altis" in workload.tags, name
+            elif profile.suite == "ecp":
+                assert "ecp" in workload.tags, name
+            elif profile.suite == "mlperf":
+                assert "mlperf" in workload.tags, name
+            else:
+                assert "app" in workload.tags, name
+
+
+class TestProfileAudit:
+    @pytest.mark.parametrize("name", sorted(CATALOG))
+    def test_nominal_duration_in_profile_range(self, name):
+        profile = get_profile(name)
+        workload = get_workload(name, seed=0)
+        assert profile.min_nominal_s <= workload.nominal_duration_s <= profile.max_nominal_s
+
+    @pytest.mark.parametrize("name", sorted(CATALOG))
+    def test_peak_demand_in_profile_range(self, name):
+        profile = get_profile(name)
+        workload = get_workload(name, seed=0)
+        lo, hi = profile.peak_demand_range_gbps
+        assert lo <= workload.peak_demand_gbps <= hi
+
+    @pytest.mark.parametrize("name", sorted(CATALOG))
+    def test_gpu_heaviness(self, name):
+        profile = get_profile(name)
+        workload = get_workload(name, seed=0)
+        sustained = max(
+            (s.gpu_util for s in workload if s.duration_s >= 1.0),
+            default=0.0,
+        )
+        if profile.gpu_heavy:
+            assert sustained >= 0.8, name
+        else:
+            assert sustained < 0.8, name
+
+    @pytest.mark.parametrize("name", sorted(CATALOG))
+    def test_launch_burst_flag(self, name):
+        profile = get_profile(name)
+        workload = get_workload(name, seed=0)
+        t, found = 0.0, False
+        for seg in workload:
+            if t >= 0.6:
+                break
+            if seg.mem_bw_gbps > 20.0 and seg.duration_s < 0.5:
+                found = True
+            t += seg.duration_s
+        assert found == profile.launch_bursts, name
+
+    @pytest.mark.parametrize(
+        "name", [n for n, p in sorted(CATALOG.items()) if p.cadence == CADENCE_SPARSE]
+    )
+    def test_sparse_cadence(self, name):
+        workload = get_workload(name, seed=0)
+        starts = [t for t in burst_times(workload) if t > 1.0]  # skip launch trains
+        gaps = [b - a for a, b in zip(starts, starts[1:])]
+        if gaps:
+            assert max(gaps) > 3.0, name
+
+    @pytest.mark.parametrize(
+        "name", [n for n, p in sorted(CATALOG.items()) if p.cadence == CADENCE_FLUCTUATING]
+    )
+    def test_fluctuating_cadence(self, name):
+        workload = get_workload(name, seed=0)
+        fast = [s for s in workload if s.duration_s < 0.15 and s.mem_bw_gbps > 20.0]
+        assert len(fast) >= 10, name
+
+    @pytest.mark.parametrize(
+        "name", [n for n, p in sorted(CATALOG.items()) if p.cadence == CADENCE_SUSTAINED]
+    )
+    def test_sustained_cadence(self, name):
+        workload = get_workload(name, seed=0)
+        elevated = sum(s.duration_s for s in workload if s.mem_bw_gbps >= 8.0)
+        assert elevated / workload.nominal_duration_s > 0.5, name

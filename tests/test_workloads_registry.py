@@ -1,0 +1,131 @@
+"""Workload registry and all named application models."""
+
+import pytest
+
+from repro.errors import UnknownWorkloadError
+from repro.workloads.registry import (
+    ALL_WORKLOADS,
+    SUITE_ALTIS,
+    SUITE_APPS,
+    SUITE_ECP,
+    SUITE_INTEL_4A100,
+    SUITE_INTEL_A100,
+    SUITE_INTEL_MAX1550,
+    SUITE_MLPERF,
+    SUITE_TABLE1,
+    get_workload,
+    workload_names,
+)
+
+
+class TestRegistry:
+    def test_24_applications_registered(self):
+        # 15 Altis + 4 ECP + 2 apps + 3 MLPerf, as modelled from §5.
+        assert len(ALL_WORKLOADS) == 24
+
+    def test_workload_names_sorted(self):
+        names = workload_names()
+        assert list(names) == sorted(names)
+
+    def test_unknown_name_raises_with_hint(self):
+        with pytest.raises(UnknownWorkloadError) as exc:
+            get_workload("hpl")
+        assert "bfs" in str(exc.value)
+
+    def test_invalid_gpu_count(self):
+        with pytest.raises(UnknownWorkloadError):
+            get_workload("bfs", gpu_count=0)
+
+
+class TestSuites:
+    def test_suite_sizes_match_paper(self):
+        assert len(SUITE_ALTIS) == 15
+        assert len(SUITE_ECP) == 4
+        assert len(SUITE_APPS) == 2
+        assert len(SUITE_MLPERF) == 3
+        # Fig. 4b uses the 11-benchmark Altis-SYCL subset.
+        assert len(SUITE_INTEL_MAX1550) == 11
+        # Table 1 lists 21 applications.
+        assert len(SUITE_TABLE1) == 21
+
+    def test_a100_suite_is_union(self):
+        assert set(SUITE_INTEL_A100) == set(SUITE_ALTIS) | set(SUITE_ECP) | set(SUITE_APPS) | set(SUITE_MLPERF)
+
+    def test_max1550_suite_is_altis_subset(self):
+        assert set(SUITE_INTEL_MAX1550) <= set(SUITE_ALTIS)
+
+    def test_4a100_suite_is_multi_gpu_apps(self):
+        assert set(SUITE_INTEL_4A100) == {"gromacs", "lammps", "unet", "resnet50", "bert_large"}
+
+    def test_every_suite_member_registered(self):
+        for suite in (SUITE_INTEL_A100, SUITE_INTEL_MAX1550, SUITE_INTEL_4A100, SUITE_TABLE1):
+            for name in suite:
+                assert name in ALL_WORKLOADS
+
+
+class TestAllApplications:
+    @pytest.mark.parametrize("name", sorted(ALL_WORKLOADS))
+    def test_builds_and_validates(self, name):
+        w = get_workload(name, seed=0)
+        assert w.name == name
+        assert len(w) >= 1
+        assert 5.0 <= w.nominal_duration_s <= 120.0
+
+    @pytest.mark.parametrize("name", sorted(ALL_WORKLOADS))
+    def test_deterministic_per_seed(self, name):
+        a = get_workload(name, seed=3)
+        b = get_workload(name, seed=3)
+        assert [s.mem_bw_gbps for s in a] == [s.mem_bw_gbps for s in b]
+
+    @pytest.mark.parametrize("name", sorted(ALL_WORKLOADS))
+    def test_seed_changes_jitter(self, name):
+        a = get_workload(name, seed=1)
+        b = get_workload(name, seed=2)
+        assert [s.mem_bw_gbps for s in a] != [s.mem_bw_gbps for s in b]
+
+    @pytest.mark.parametrize("name", sorted(ALL_WORKLOADS))
+    def test_gpu_dominant_profile(self, name):
+        # Every application in the paper's evaluation is GPU-dominant:
+        # meaningful GPU utilisation somewhere, modest CPU everywhere.
+        w = get_workload(name, seed=0)
+        assert max(s.gpu_util for s in w) >= 0.2
+        assert max(s.cpu_util for s in w) <= 0.6
+
+    @pytest.mark.parametrize("name", ["gromacs", "lammps", "unet", "resnet50", "bert_large"])
+    def test_multi_gpu_scales_traffic(self, name):
+        single = get_workload(name, seed=0, gpu_count=1)
+        quad = get_workload(name, seed=0, gpu_count=4)
+        assert quad.peak_demand_gbps > single.peak_demand_gbps
+
+
+class TestPaperSpecificStructure:
+    def test_srad_has_fast_alternation(self):
+        # §6.2: SRAD fluctuates at millisecond scale.
+        w = get_workload("srad", seed=0)
+        fast = [s for s in w if s.duration_s < 0.15 and s.mem_bw_gbps > 20.0]
+        assert len(fast) >= 10
+
+    def test_launch_burst_apps_have_early_bursts(self):
+        # §6.3: fdtd2d/cfd_double/gemm/particlefilter_float burst within
+        # the runtime's launch window.
+        for name in ("fdtd2d", "cfd_double", "gemm", "particlefilter_float"):
+            w = get_workload(name, seed=0)
+            t, burst_found = 0.0, False
+            for s in w:
+                if t > 0.6:
+                    break
+                if s.mem_bw_gbps > 20.0:
+                    burst_found = True
+                t += s.duration_s
+            assert burst_found, name
+
+    def test_unet_matches_fig2_nominal_runtime(self):
+        # Fig. 2: ~47 s at max uncore.
+        w = get_workload("unet", seed=1)
+        assert 42.0 <= w.nominal_duration_s <= 52.0
+
+    def test_bfs_has_long_compute_gaps(self):
+        # §6.1: BFS saves the most power because of long low-traffic gaps.
+        w = get_workload("bfs", seed=0)
+        gaps = [s for s in w if s.mem_bw_gbps < 2.0 and s.duration_s > 2.0]
+        assert len(gaps) >= 4

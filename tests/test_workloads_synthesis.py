@@ -1,0 +1,135 @@
+"""Synthesis generators: durations, shapes, jitter determinism."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import synthesis as syn
+
+
+def total(segs):
+    return sum(s.duration_s for s in segs)
+
+
+class TestBasicShapes:
+    def test_steady_single_segment(self):
+        segs = syn.steady(2.0, 10.0)
+        assert len(segs) == 1
+        assert segs[0].mem_bw_gbps == 10.0
+
+    def test_compute_phase_is_gpu_bound(self):
+        seg = syn.compute_phase(1.0)[0]
+        assert seg.gpu_util > 0.9
+        assert seg.mem_intensity <= 0.1
+        assert seg.mem_bw_gbps < 2.0
+
+    def test_burst_is_memory_bound(self):
+        seg = syn.burst(0.5, 25.0)[0]
+        assert seg.mem_intensity >= 0.8
+        assert seg.mem_bw_gbps == 25.0
+
+
+class TestBurstTrain:
+    def test_structure(self):
+        segs = syn.burst_train(4, 1.0, 2.0, 20.0)
+        assert len(segs) == 8  # burst + gap per iteration
+        assert total(segs) == pytest.approx(12.0)
+
+    def test_alternating_demand(self):
+        segs = syn.burst_train(3, 1.0, 2.0, 20.0)
+        assert segs[0].mem_bw_gbps == pytest.approx(20.0)
+        assert segs[1].mem_bw_gbps < 2.0
+
+    def test_zero_gap(self):
+        segs = syn.burst_train(3, 1.0, 0.0, 20.0)
+        assert len(segs) == 3
+
+    def test_invalid_count(self):
+        with pytest.raises(WorkloadError):
+            syn.burst_train(0, 1.0, 1.0, 20.0)
+
+
+class TestRamp:
+    def test_monotone_levels(self):
+        segs = syn.ramp(2.0, 2.0, 20.0, steps=6)
+        levels = [s.mem_bw_gbps for s in segs]
+        assert levels == sorted(levels)
+        assert levels[0] == pytest.approx(2.0)
+        assert levels[-1] == pytest.approx(20.0)
+
+    def test_descending_ramp(self):
+        segs = syn.ramp(2.0, 20.0, 2.0, steps=4)
+        levels = [s.mem_bw_gbps for s in segs]
+        assert levels == sorted(levels, reverse=True)
+
+    def test_duration_split(self):
+        segs = syn.ramp(3.0, 0.0, 10.0, steps=5)
+        assert total(segs) == pytest.approx(3.0)
+
+    def test_invalid_steps(self):
+        with pytest.raises(WorkloadError):
+            syn.ramp(1.0, 0.0, 1.0, steps=0)
+
+
+class TestAlternating:
+    def test_total_duration(self):
+        segs = syn.alternating(3.0, 0.2, 30.0, 2.0)
+        assert total(segs) == pytest.approx(3.0)
+
+    def test_period_structure(self):
+        segs = syn.alternating(1.0, 0.2, 30.0, 2.0, duty=0.5)
+        assert segs[0].duration_s == pytest.approx(0.1)
+        assert segs[0].mem_bw_gbps == pytest.approx(30.0)
+        assert segs[1].mem_bw_gbps == pytest.approx(2.0)
+
+    def test_millisecond_scale_supported(self):
+        # The SRAD pattern: sub-100ms phases.
+        segs = syn.alternating(0.5, 0.05, 25.0, 1.0)
+        assert max(s.duration_s for s in segs) <= 0.03
+
+    def test_invalid_duty(self):
+        with pytest.raises(WorkloadError):
+            syn.alternating(1.0, 0.2, 30.0, 2.0, duty=1.0)
+
+    def test_invalid_period(self):
+        with pytest.raises(WorkloadError):
+            syn.alternating(1.0, 0.0, 30.0, 2.0)
+
+
+class TestJitter:
+    def test_deterministic_given_rng(self):
+        base = syn.burst_train(3, 1.0, 2.0, 20.0)
+        a = syn.jittered(base, np.random.default_rng(5), bw_sigma=0.1)
+        b = syn.jittered(base, np.random.default_rng(5), bw_sigma=0.1)
+        assert [s.mem_bw_gbps for s in a] == [s.mem_bw_gbps for s in b]
+
+    def test_zero_sigma_is_identity(self):
+        base = syn.steady(1.0, 10.0)
+        out = syn.jittered(base, np.random.default_rng(0), bw_sigma=0.0)
+        assert out[0].mem_bw_gbps == 10.0
+        assert out[0].duration_s == 1.0
+
+    def test_jitter_changes_values(self):
+        base = syn.steady(1.0, 10.0) * 10
+        out = syn.jittered(base, np.random.default_rng(0), bw_sigma=0.2)
+        assert any(abs(s.mem_bw_gbps - 10.0) > 0.01 for s in out)
+
+    def test_preserves_structure(self):
+        base = syn.burst_train(3, 1.0, 2.0, 20.0)
+        out = syn.jittered(base, np.random.default_rng(0), bw_sigma=0.05)
+        assert len(out) == len(base)
+        assert [s.name for s in out] == [s.name for s in base]
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(WorkloadError):
+            syn.jittered(syn.steady(1.0, 1.0), np.random.default_rng(0), bw_sigma=-0.1)
+
+
+class TestConcat:
+    def test_concatenates_in_order(self):
+        out = syn.concat(syn.steady(1.0, 1.0, name="x"), syn.steady(1.0, 2.0, name="y"))
+        assert [s.name for s in out] == ["x", "y"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            syn.concat()
