@@ -2,20 +2,50 @@
 
 Not a paper artefact — the harness's own performance budget. The whole
 reproduction depends on the tick loop being cheap enough that full-suite
-sweeps finish in tens of seconds; this bench is the regression guard for
-that property, and the only true micro-benchmark in the harness (multiple
-rounds, statistics meaningful).
+sweeps finish in tens of seconds; these benches are the regression guard
+for that property, and the only true micro-benchmarks in the harness
+(multiple rounds, statistics meaningful).
+
+Two layers are guarded:
+
+* the full engine loop (physics + observer dispatch + columnar flush), and
+* the recording paths in isolation — the columnar ``record_row`` fast path
+  must at least match (target: beat) the legacy per-tick kwargs ``record``
+  path it replaced, measured over a 600 s simulated run's worth of ticks
+  at the standard Intel+A100 channel width.
 """
 
+import time
+
 from repro.hw.presets import intel_a100
+from repro.sim.channels import ChannelRegistry
 from repro.sim.clock import SimClock
 from repro.sim.engine import SimulationEngine
+from repro.sim.observers import standard_observers
 from repro.sim.rng import RngStreams
+from repro.sim.trace import TraceRecorder
 from repro.telemetry.hub import TelemetryHub
 from repro.workloads.registry import get_workload
 
 SIM_SECONDS = 5.0
 TICKS = int(SIM_SECONDS / 0.01)
+
+#: One 600 s simulated run at the 10 ms tick — the recording-path bench
+#: replays exactly this many samples through each recorder path.
+RUN_600S_TICKS = int(600.0 / 0.01)
+
+
+def _a100_schema():
+    """The channel schema a standard Intel+A100 run records (18 + 80)."""
+    preset = intel_a100()
+    node = preset.build_node(RngStreams(0))
+    hub = TelemetryHub(node, preset.telemetry)
+    registry = ChannelRegistry()
+    for obs in standard_observers(node, hub):
+        declare = getattr(obs, "declare_channels", None)
+        if declare is not None:
+            declare(registry)
+    return registry.channels
 
 
 def _simulate_five_seconds():
@@ -39,3 +69,58 @@ def test_engine_tick_throughput(benchmark):
     # Budget: a full Fig. 4a sweep (~75 runs x ~30 sim-seconds) must stay
     # in the tens of seconds, which needs >= 3000 ticks/s.
     assert ticks_per_second > 3000
+
+
+def _replay_columnar(channels, n_ticks):
+    recorder = TraceRecorder(channels)
+    row = recorder.row_buffer()
+    record_row = recorder.record_row
+    dt = 0.01
+    for i in range(n_ticks):
+        row[0] = float(i)
+        record_row((i + 1) * dt, row)
+    return recorder
+
+
+def _replay_kwargs(channels, n_ticks):
+    # The pre-refactor engine's hot path: build a fresh name->value dict
+    # every tick and go through the schema-checked keyword interface.
+    recorder = TraceRecorder(channels)
+    record = recorder.record
+    dt = 0.01
+    for i in range(n_ticks):
+        values = {c: 0.0 for c in channels}
+        values[channels[0]] = float(i)
+        record((i + 1) * dt, **values)
+    return recorder
+
+
+def test_columnar_record_row_beats_kwargs_path(benchmark):
+    """ticks/s of record_row vs the legacy kwargs path, 600 s of samples.
+
+    Tracks the hot-loop trajectory across PRs: the printed ratio is the
+    speedup the columnar fast path buys at the standard trace width.
+    """
+    channels = _a100_schema()
+    assert len(channels) >= 22  # 18 node channels + topology-derived cores
+
+    t0 = time.perf_counter()
+    kwargs_recorder = _replay_kwargs(channels, RUN_600S_TICKS)
+    kwargs_s = time.perf_counter() - t0
+    assert len(kwargs_recorder) == RUN_600S_TICKS
+
+    columnar_recorder = benchmark.pedantic(
+        _replay_columnar, args=(channels, RUN_600S_TICKS), rounds=3, iterations=1
+    )
+    columnar_s = benchmark.stats.stats.mean
+    assert len(columnar_recorder) == RUN_600S_TICKS
+
+    kwargs_tps = RUN_600S_TICKS / kwargs_s
+    columnar_tps = RUN_600S_TICKS / columnar_s
+    print(
+        f"\nrecording throughput over {len(channels)} channels: "
+        f"columnar {columnar_tps:,.0f} ticks/s vs kwargs {kwargs_tps:,.0f} ticks/s "
+        f"({columnar_tps / kwargs_tps:.1f}x)"
+    )
+    # Acceptance floor: the fast path must at least match the legacy path.
+    assert columnar_tps >= kwargs_tps

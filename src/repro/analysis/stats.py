@@ -10,7 +10,7 @@ outlier removal followed by the mean of what remains.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 

@@ -48,13 +48,20 @@ class JobOutcome:
 
 
 def _run_job(preset_name: str, job: ClusterJob, governor_name: str, dt_s: float) -> JobOutcome:
-    """Pool worker: simulate one job and slim the result."""
+    """Pool worker: simulate one job and slim the result.
+
+    Fleet aggregation only consumes the total-power trace, so jobs run
+    with ``per_core_channels=False``: the engine's channel registry skips
+    the per-core block entirely (on an 80-core node that is ~80 % of the
+    trace width), keeping wide fan-outs cheap on memory and tick time.
+    """
     result = run_application(
         preset_name,
         None if job.workload is None else job.workload,
         make_governor(governor_name),
         seed=job.seed,
         dt_s=dt_s,
+        per_core_channels=False,
     )
     trace = result.traces["total_w"].resample(GRID_S)
     return JobOutcome(
@@ -173,7 +180,10 @@ class ClusterSimulator:
     def idle_node_power_w(self, dt_s: float = 0.01) -> float:
         """Average power of an unmanaged idle node (cached)."""
         if self._idle_power_cache is None:
-            idle = run_application(self.preset, None, None, seed=0, dt_s=dt_s, max_time_s=5.0)
+            idle = run_application(
+                self.preset, None, None, seed=0, dt_s=dt_s, max_time_s=5.0,
+                per_core_channels=False,
+            )
             self._idle_power_cache = idle.avg_total_w
         return self._idle_power_cache
 

@@ -19,7 +19,7 @@ over these results; they are equally usable from library code.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import MethodComparison, compare
 from repro.core.config import MagusConfig

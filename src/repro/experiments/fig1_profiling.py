@@ -76,9 +76,14 @@ def run_fig1(
     uncore = result.traces["uncore_effective_ghz"].resample(SAMPLE_PERIOD_S)
     at_max = (uncore.values >= sys_preset.uncore_max_ghz - 1e-6).mean()
 
+    # Four representative cores, picked from whatever per-core channels the
+    # node's topology actually produced (not a hardcoded core0..core3).
+    per_core = sorted(
+        (name for name in result.traces if name.startswith("core") and name.endswith("_freq_ghz")),
+        key=lambda name: int(name[len("core") : -len("_freq_ghz")]),
+    )
     core_traces = {
-        name: result.traces[name].resample(SAMPLE_PERIOD_S)
-        for name in ("core0_freq_ghz", "core1_freq_ghz", "core2_freq_ghz", "core3_freq_ghz")
+        name: result.traces[name].resample(SAMPLE_PERIOD_S) for name in per_core[:4]
     }
     mean_core = result.traces["mean_core_freq_ghz"]
     gpu_clock = result.traces["gpu_sm_clock_ghz"].resample(SAMPLE_PERIOD_S)

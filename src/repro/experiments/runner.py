@@ -17,6 +17,7 @@ import time
 from typing import List
 
 from repro.analysis.report import format_table
+from repro.errors import ConfigError
 from repro.experiments.fig1_profiling import run_fig1
 from repro.experiments.fig2_power_profiles import run_fig2
 from repro.experiments.fig4_end_to_end import (
@@ -32,12 +33,47 @@ from repro.experiments.fig7_sensitivity import run_fig7, threshold_grid
 from repro.experiments.table1_jaccard import format_table1, run_table1
 from repro.experiments.table2_overhead import format_table2, run_table2
 
-__all__ = ["main", "run_all"]
+__all__ = ["main", "run_all", "describe_trace_schema"]
 
 
 def _banner(text: str) -> str:
     bar = "#" * max(len(text) + 4, 30)
     return f"\n{bar}\n# {text}\n{bar}"
+
+
+def describe_trace_schema(preset_name: str = "intel_a100") -> str:
+    """Render the trace-channel schema a run on ``preset_name`` records.
+
+    Builds the standard observer stack for the preset's node and lets each
+    observer declare its channels into a fresh
+    :class:`~repro.sim.channels.ChannelRegistry` — the same composition
+    path the runners use — then formats one row per block owner. The
+    per-core block is summarised rather than listed (80 rows of
+    ``coreN_freq_ghz`` help nobody).
+    """
+    from repro.hw.presets import get_preset
+    from repro.sim.channels import ChannelRegistry
+    from repro.sim.observers import standard_observers
+    from repro.sim.rng import RngStreams
+    from repro.telemetry.hub import TelemetryHub
+
+    preset = get_preset(preset_name)
+    node = preset.build_node(RngStreams(0))
+    hub = TelemetryHub(node, preset.telemetry, vendor=preset.vendor)
+    registry = ChannelRegistry()
+    for obs in standard_observers(node, hub):
+        declare = getattr(obs, "declare_channels", None)
+        if declare is not None:
+            declare(registry)
+    registry.freeze()
+    rows = []
+    for block in registry.blocks:
+        if len(block) > 8:
+            listing = f"{block.names[0]} .. {block.names[-1]} ({len(block)} channels)"
+        else:
+            listing = ", ".join(block.names)
+        rows.append((block.owner, f"[{block.start}:{block.stop}]", listing))
+    return format_table(("owner", "columns", "channels"), rows)
 
 
 def run_all(*, quick: bool = True, seed: int = 1) -> List[str]:
@@ -123,7 +159,19 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true", help="reduced sweeps for a fast pass")
     parser.add_argument("--seed", type=int, default=1, help="master seed")
     parser.add_argument("--outdir", default=None, help="also write one CSV per artefact here")
+    parser.add_argument(
+        "--trace-schema",
+        metavar="PRESET",
+        default=None,
+        help="print the trace-channel schema recorded for PRESET and exit",
+    )
     args = parser.parse_args(argv)
+    if args.trace_schema is not None:
+        try:
+            print(describe_trace_schema(args.trace_schema))
+        except ConfigError as exc:
+            parser.error(str(exc))
+        return 0
     for report in run_all(quick=args.quick, seed=args.seed):
         print(report)
     if args.outdir:

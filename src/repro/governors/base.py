@@ -11,10 +11,11 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.errors import GovernorError
 from repro.hw.node import HeterogeneousNode
+from repro.sim.observers import TickObserver
 from repro.telemetry.hub import TelemetryHub
 from repro.telemetry.sampling import AccessMeter
 
@@ -109,6 +110,23 @@ class UncoreGovernor(abc.ABC):
         if self._context is None:
             raise GovernorError(f"governor {self.name!r} is not attached to a node")
         return self._context
+
+    # ------------------------------------------------------------------
+    # Engine composition
+    # ------------------------------------------------------------------
+    def observers(self) -> Sequence[TickObserver]:
+        """Tick observers this policy contributes to the engine (optional).
+
+        A governor that wants per-tick visibility — recording an internal
+        signal as a trace channel, or capturing extra hardware state the
+        standard stack does not (the way UPS's per-core sweep once had to
+        be special-cased inside the engine) — returns the observers here;
+        the session/batch runners splice them into the engine's stack
+        *before* the runtime-firing stage. Purely observational: decision
+        logic must stay in :meth:`sample_and_decide`, where every counter
+        access is metered.
+        """
+        return ()
 
     # ------------------------------------------------------------------
     # Policy surface

@@ -31,7 +31,6 @@ import numpy as np
 
 from repro.errors import GovernorError
 from repro.governors.base import Decision, GovernorContext, UncoreGovernor
-from repro.telemetry.msr import counter_delta
 from repro.telemetry.rapl import RAPL_DRAM
 from repro.telemetry.sampling import AccessMeter
 

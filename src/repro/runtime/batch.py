@@ -28,6 +28,7 @@ from repro.hw.presets import SystemPreset, get_preset
 from repro.runtime.daemon import MonitorDaemon
 from repro.sim.clock import SimClock
 from repro.sim.engine import SimulationEngine
+from repro.sim.observers import standard_observers
 from repro.sim.rng import RngStreams
 from repro.sim.trace import TimeSeries
 from repro.telemetry.hub import TelemetryHub
@@ -150,7 +151,8 @@ def run_batch(
     node.force_uncore_all(preset.uncore_min_ghz)
     hub = TelemetryHub(node, preset.telemetry, vendor=preset.vendor)
     daemon = MonitorDaemon(governor, hub, node)
-    engine = SimulationEngine(node, hub, [daemon], SimClock(dt_s))
+    observers = standard_observers(node, hub, [daemon], extra=daemon.observers)
+    engine = SimulationEngine(node, observers=observers, clock=SimClock(dt_s))
     result = engine.run(composite, max_time_s=max_time_s)
     if not result.completed:
         raise ExperimentError(

@@ -73,6 +73,19 @@ class MonitorDaemon:
         self.decisions: List[Decision] = []
 
     # ------------------------------------------------------------------
+    # Engine composition
+    # ------------------------------------------------------------------
+    @property
+    def observers(self):
+        """Tick observers contributed by the wrapped governor.
+
+        The session/batch runners splice these into the engine's observer
+        stack ahead of the runtime-firing stage, so a policy's recorded
+        channels are complete by the time it is invoked.
+        """
+        return tuple(self.governor.observers())
+
+    # ------------------------------------------------------------------
     # ScheduledRuntime protocol
     # ------------------------------------------------------------------
     def start(self, now_s: float) -> None:

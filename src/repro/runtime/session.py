@@ -30,6 +30,7 @@ from repro.hw.presets import SystemPreset, get_preset
 from repro.runtime.daemon import MonitorDaemon
 from repro.sim.clock import SimClock
 from repro.sim.engine import SimulationEngine
+from repro.sim.observers import standard_observers
 from repro.sim.rng import RngStreams
 from repro.sim.trace import TimeSeries
 from repro.telemetry.hub import TelemetryHub
@@ -154,6 +155,8 @@ def run_application(
     seed: int = 0,
     dt_s: float = 0.01,
     max_time_s: float = 600.0,
+    per_core_channels: bool = True,
+    extra_observers=(),
 ) -> RunResult:
     """Simulate one workload under one governor on one system.
 
@@ -173,6 +176,14 @@ def run_application(
         Simulation tick width.
     max_time_s:
         Horizon; idle runs last exactly this long.
+    per_core_channels:
+        Record the per-core frequency channels (derived from the node
+        topology). Fleet-scale callers disable this to keep the trace
+        narrow — on an 80-core node it is by far the widest channel block.
+    extra_observers:
+        Additional :class:`~repro.sim.observers.TickObserver` instances
+        spliced into the engine's stack before the runtime-firing stage
+        (after any observers the governor itself contributes).
 
     Returns
     -------
@@ -197,11 +208,20 @@ def run_application(
 
     runtimes = []
     daemon: Optional[MonitorDaemon] = None
+    policy_observers = []
     if governor is not None:
         daemon = MonitorDaemon(governor, hub, node, app_present=workload is not None)
         runtimes.append(daemon)
+        policy_observers.extend(daemon.observers)
 
-    engine = SimulationEngine(node, hub, runtimes, SimClock(dt_s))
+    observers = standard_observers(
+        node,
+        hub,
+        runtimes,
+        per_core_channels=per_core_channels,
+        extra=(*policy_observers, *extra_observers),
+    )
+    engine = SimulationEngine(node, observers=observers, clock=SimClock(dt_s))
     result = engine.run(workload, max_time_s=max_time_s)
 
     traces = result.recorder.as_dict()

@@ -5,14 +5,31 @@ models are built on:
 
 * :class:`~repro.sim.clock.SimClock` — quantised simulated time,
 * :mod:`~repro.sim.rng` — named, seeded random streams,
-* :class:`~repro.sim.trace.TraceRecorder` — append-only time-series traces,
-* :class:`~repro.sim.engine.SimulationEngine` — the tick loop that couples a
-  workload, a hardware node and any number of scheduled runtimes (daemons).
+* :class:`~repro.sim.trace.TraceRecorder` — append-only columnar
+  time-series traces (positional ``record_row`` fast path),
+* :class:`~repro.sim.channels.ChannelRegistry` — per-layer trace-channel
+  ownership, replacing the old fixed ``TRACE_CHANNELS`` schema,
+* :mod:`~repro.sim.observers` — the :class:`~repro.sim.observers.TickObserver`
+  protocol and the standard observer stack (telemetry advancement, trace
+  capture, scheduled-runtime firing),
+* :class:`~repro.sim.engine.SimulationEngine` — the engine core: clock +
+  physics step + observer dispatch.
 """
 
 from repro.sim.clock import SimClock
 from repro.sim.rng import RngStreams
 from repro.sim.trace import TimeSeries, TraceRecorder
+from repro.sim.channels import ChannelBlock, ChannelRegistry
+from repro.sim.observers import (
+    BaseTickObserver,
+    CoreFrequencyObserver,
+    NodeStateObserver,
+    RuntimeObserver,
+    TelemetryObserver,
+    TickObserver,
+    core_freq_channels,
+    standard_observers,
+)
 from repro.sim.engine import ScheduledRuntime, SimulationEngine
 
 __all__ = [
@@ -20,6 +37,16 @@ __all__ = [
     "RngStreams",
     "TimeSeries",
     "TraceRecorder",
+    "ChannelBlock",
+    "ChannelRegistry",
+    "TickObserver",
+    "BaseTickObserver",
+    "TelemetryObserver",
+    "NodeStateObserver",
+    "CoreFrequencyObserver",
+    "RuntimeObserver",
+    "core_freq_channels",
+    "standard_observers",
     "ScheduledRuntime",
     "SimulationEngine",
 ]

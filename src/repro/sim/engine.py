@@ -1,25 +1,40 @@
-"""The tick loop: couples a workload, a hardware node and scheduled runtimes.
+"""The engine core: clock + physics step + observer dispatch.
 
 Each tick the engine:
 
 1. asks the workload execution for the active segment (or idle),
 2. steps the node (uncore slew → memory service → DVFS → power),
-3. advances every telemetry accumulator,
-4. advances workload progress by ``dt / stretch`` nominal seconds (the
+3. advances workload progress by ``dt / stretch`` nominal seconds (the
    roofline stretch is where an underfed uncore costs runtime),
-5. records one trace sample,
-6. fires any scheduled runtime (governor daemon) whose time has come.
+4. dispatches every :class:`~repro.sim.observers.TickObserver` in order
+   (telemetry advancement, trace-channel capture, scheduled-runtime
+   firing all live here as observers),
+5. flushes the shared trace row through the recorder's columnar
+   :meth:`~repro.sim.trace.TraceRecorder.record_row` fast path.
 
-Everything above this module is policy; everything below is physics.
+The engine knows nothing about trace channels, telemetry devices or
+governor scheduling — those concerns arrive as observers, composed by the
+layers above (:func:`repro.sim.observers.standard_observers` builds the
+canonical stack). Everything above this module is policy; everything below
+is physics.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional, Protocol, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+import numpy as np
 
 from repro.errors import SimulationError
+from repro.sim.channels import ChannelRegistry
 from repro.sim.clock import SimClock
+from repro.sim.observers import (
+    NodeStateObserver,
+    ScheduledRuntime,
+    TickObserver,
+    standard_observers,
+)
 from repro.sim.trace import TraceRecorder
 
 if TYPE_CHECKING:  # typing-only: sim is the bottom layer and must not
@@ -28,47 +43,27 @@ if TYPE_CHECKING:  # typing-only: sim is the bottom layer and must not
     from repro.telemetry.hub import TelemetryHub
     from repro.workloads.base import Workload, WorkloadExecution
 
-__all__ = ["ScheduledRuntime", "EngineResult", "SimulationEngine", "TRACE_CHANNELS"]
+__all__ = [
+    "ScheduledRuntime",
+    "EngineResult",
+    "SimulationEngine",
+    "TRACE_CHANNELS",
+]
 
-#: Channels recorded every tick. Kept as a module constant so analysis code
-#: and tests can assert trace completeness against a single source of truth.
-TRACE_CHANNELS = (
-    "demand_gbps",
-    "delivered_gbps",
-    "stretch",
-    "uncore_target_ghz",
-    "uncore_effective_ghz",
-    "core_w",
-    "uncore_w",
-    "dram_w",
-    "gpu_w",
-    "monitor_w",
-    "pkg_w",
-    "cpu_w",
-    "total_w",
-    "mean_ipc",
-    "mean_core_freq_ghz",
-    "gpu_sm_clock_ghz",
-    "served_fraction",
-    "progress",
+#: .. deprecated::
+#:    The fixed pre-refactor trace schema (18 node channels + the first
+#:    four per-core channels of socket 0). Channel sets are now declared
+#:    per run through :class:`~repro.sim.channels.ChannelRegistry` — read
+#:    ``result.recorder.channels`` or ``engine.registry`` instead. Kept so
+#:    existing importers and trace-completeness assertions keep working:
+#:    every engine composed with the standard observer stack on a node
+#:    with >= 4 cores still records a superset of these channels.
+TRACE_CHANNELS = NodeStateObserver.CHANNELS + (
     "core0_freq_ghz",
     "core1_freq_ghz",
     "core2_freq_ghz",
     "core3_freq_ghz",
 )
-
-
-class ScheduledRuntime(Protocol):
-    """A daemon that wakes at self-chosen times (a governor's monitor loop)."""
-
-    def start(self, now_s: float) -> None:
-        """Called once when the simulation begins."""
-
-    def next_fire_s(self) -> float:
-        """Simulated time of the next wanted invocation (``inf`` = never)."""
-
-    def invoke(self, now_s: float) -> None:
-        """Perform one monitoring/decision cycle at ``now_s``."""
 
 
 @dataclass
@@ -78,7 +73,8 @@ class EngineResult:
     Attributes
     ----------
     recorder:
-        The per-tick trace of every :data:`TRACE_CHANNELS` channel.
+        The per-tick trace of every registered channel (``None`` only when
+        the engine ran with no channel-declaring observers).
     runtime_s:
         Simulated time at which the workload completed (equals the horizon
         for idle runs or timeouts).
@@ -88,40 +84,69 @@ class EngineResult:
         The configured maximum simulated time.
     """
 
-    recorder: TraceRecorder
+    recorder: Optional[TraceRecorder]
     runtime_s: float
     completed: bool
     horizon_s: float
 
 
 class SimulationEngine:
-    """Drives one node through one (optional) workload under some runtimes.
+    """Drives one node through one (optional) workload under some observers.
 
     Parameters
     ----------
     node:
         The hardware node.
     telemetry:
-        The node's telemetry hub (advanced each tick).
+        Legacy convenience: the node's telemetry hub. When given (and
+        ``observers`` is not), the engine composes the standard observer
+        stack — telemetry advancement, node-state + per-core trace
+        capture, runtime firing — reproducing the pre-observer engine
+        exactly. Mutually exclusive with ``observers``.
     runtimes:
-        Zero or more scheduled runtimes (governor daemons).
+        Legacy convenience: zero or more scheduled runtimes (governor
+        daemons), folded into the standard stack's
+        :class:`~repro.sim.observers.RuntimeObserver`.
     clock:
         The simulation clock; a fresh 10 ms clock is created if omitted.
+    observers:
+        The full observer stack, dispatched in order every tick. Compose
+        with :func:`~repro.sim.observers.standard_observers` or build your
+        own.
     """
 
     def __init__(
         self,
         node: "HeterogeneousNode",
-        telemetry: "TelemetryHub",
+        telemetry: Optional["TelemetryHub"] = None,
         runtimes: Sequence[ScheduledRuntime] = (),
         clock: Optional[SimClock] = None,
+        *,
+        observers: Optional[Sequence[TickObserver]] = None,
     ):
-        if telemetry.node is not node:
-            raise SimulationError("telemetry hub is bound to a different node")
+        if observers is not None and (telemetry is not None or runtimes):
+            raise SimulationError(
+                "pass either the legacy (telemetry, runtimes) pair or an explicit "
+                "observer stack, not both"
+            )
+        if observers is None:
+            if telemetry is None:
+                raise SimulationError(
+                    "engine needs observers; pass observers=... or a telemetry hub"
+                )
+            if telemetry.node is not node:
+                raise SimulationError("telemetry hub is bound to a different node")
+            observers = standard_observers(node, telemetry, runtimes)
         self.node = node
         self.telemetry = telemetry
         self.runtimes = list(runtimes)
+        self.observers: List[TickObserver] = list(observers)
         self.clock = clock if clock is not None else SimClock()
+        #: Set per run: the channel schema, shared row buffer and recorder
+        #: (observers grab these in ``on_start``).
+        self.registry: Optional[ChannelRegistry] = None
+        self.trace_row: Optional[np.ndarray] = None
+        self.recorder: Optional[TraceRecorder] = None
 
     def run(
         self,
@@ -154,15 +179,35 @@ class SimulationEngine:
         if workload is not None:
             horizon = min(max_time_s, workload.nominal_duration_s * safety_factor)
 
-        recorder = TraceRecorder(TRACE_CHANNELS)
-        for rt in self.runtimes:
-            rt.start(self.clock.now)
+        registry = ChannelRegistry()
+        for obs in self.observers:
+            declare = getattr(obs, "declare_channels", None)
+            if declare is not None:
+                declare(registry)
+        registry.freeze()
+        self.registry = registry
+        if len(registry):
+            recorder: Optional[TraceRecorder] = TraceRecorder(registry.channels)
+            row: Optional[np.ndarray] = recorder.row_buffer()
+        else:
+            recorder = None
+            row = None
+        self.recorder = recorder
+        self.trace_row = row
 
-        dt = self.clock.dt
+        for obs in self.observers:
+            obs.on_start(self)
+
+        clock = self.clock
+        dt = clock.dt
+        tick_hooks = [obs.on_tick for obs in self.observers]
+        node_step = self.node.step
+        record_row = recorder.record_row if recorder is not None else None
+
         completed = execution is None
         runtime_s = horizon
         while True:
-            now = self.clock.now
+            now = clock.now
             if now >= horizon:
                 break
             if execution is not None and execution.done:
@@ -171,56 +216,24 @@ class SimulationEngine:
                 break
 
             segment = execution.current() if execution is not None else None
-            state = self.node.step(dt, segment)
-            self.telemetry.on_tick(dt)
+            state = node_step(dt, segment)
             if execution is not None:
                 execution.advance(dt / state.stretch)
-
-            cpu0 = self.node.cpu(0)
-            freqs = cpu0.core_freqs_ghz
-            recorder.record(
-                state.time_s,
-                demand_gbps=state.demand_gbps,
-                delivered_gbps=state.delivered_gbps,
-                stretch=state.stretch,
-                uncore_target_ghz=state.uncore_target_ghz,
-                uncore_effective_ghz=state.uncore_effective_ghz,
-                core_w=state.power.core_w,
-                uncore_w=state.power.uncore_w,
-                dram_w=state.power.dram_w,
-                gpu_w=state.power.gpu_w,
-                monitor_w=state.power.monitor_w,
-                pkg_w=state.power.package_w,
-                cpu_w=state.power.cpu_w,
-                total_w=state.power.total_w,
-                mean_ipc=state.mean_ipc,
-                mean_core_freq_ghz=state.mean_core_freq_ghz,
-                gpu_sm_clock_ghz=state.gpu_sm_clock_ghz,
-                served_fraction=state.served_fraction,
-                progress=execution.progress if execution is not None else 0.0,
-                core0_freq_ghz=float(freqs[0]),
-                core1_freq_ghz=float(freqs[min(1, len(freqs) - 1)]),
-                core2_freq_ghz=float(freqs[min(2, len(freqs) - 1)]),
-                core3_freq_ghz=float(freqs[min(3, len(freqs) - 1)]),
-            )
-
-            next_now = self.clock.advance()
-            for rt in self.runtimes:
-                # Fire every runtime whose schedule elapsed during this tick.
-                while rt.next_fire_s() <= next_now:
-                    due = rt.next_fire_s()
-                    rt.invoke(due)
-                    if rt.next_fire_s() <= due:
-                        raise SimulationError(
-                            f"runtime {rt!r} did not advance its schedule past {due!r}"
-                        )
+            for hook in tick_hooks:
+                hook(state, execution)
+            if record_row is not None:
+                record_row(state.time_s, row)
+            clock.advance()
 
         if execution is not None and execution.done:
             completed = True
-            runtime_s = min(runtime_s, self.clock.now)
-        return EngineResult(
+            runtime_s = min(runtime_s, clock.now)
+        result = EngineResult(
             recorder=recorder,
             runtime_s=runtime_s,
             completed=completed,
             horizon_s=horizon,
         )
+        for obs in self.observers:
+            obs.on_finish(result)
+        return result

@@ -1,0 +1,299 @@
+"""Tick observers: the pluggable per-tick hooks around the engine core.
+
+The engine itself is only clock + physics step + observer dispatch
+(:mod:`repro.sim.engine`). Everything else that used to be welded into the
+tick loop — telemetry advancement, trace recording, per-core frequency
+capture, scheduled-runtime (governor daemon) firing — is an observer
+implementing the three-hook :class:`TickObserver` protocol:
+
+* ``on_start(engine)`` — once, before the first tick; the engine's clock,
+  registry, row buffer and recorder are available.
+* ``on_tick(state, execution)`` — every tick, after the physics step and
+  workload advancement; ``state`` is the node's
+  :class:`~repro.hw.node.NodeTickState`, ``execution`` the in-flight
+  :class:`~repro.workloads.base.WorkloadExecution` (or ``None`` when idle).
+* ``on_finish(result)`` — once, after the horizon or completion.
+
+Observers are dispatched **in list order** each tick; the standard stack
+orders telemetry before trace capture before runtime firing, which is the
+exact sequencing of the pre-refactor monolithic loop.
+
+An observer that records trace channels additionally implements
+``declare_channels(registry)`` (detected by the engine via ``hasattr``) and
+writes its columns into the engine's shared row buffer during ``on_tick``;
+the engine flushes the completed row through the recorder's columnar
+:meth:`~repro.sim.trace.TraceRecorder.record_row` fast path.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Protocol, Sequence
+
+from repro.errors import SimulationError
+from repro.sim.channels import ChannelRegistry
+
+if TYPE_CHECKING:  # typing-only: sim is the bottom layer and must not
+    # runtime-import the hardware/telemetry/workload packages built on it.
+    from repro.hw.node import HeterogeneousNode, NodeTickState
+    from repro.sim.engine import EngineResult, SimulationEngine
+    from repro.telemetry.hub import TelemetryHub
+    from repro.workloads.base import WorkloadExecution
+
+__all__ = [
+    "TickObserver",
+    "ScheduledRuntime",
+    "BaseTickObserver",
+    "TelemetryObserver",
+    "NodeStateObserver",
+    "CoreFrequencyObserver",
+    "RuntimeObserver",
+    "core_freq_channels",
+    "standard_observers",
+]
+
+
+class TickObserver(Protocol):
+    """Structural protocol for engine observers (duck-typed)."""
+
+    def on_start(self, engine: "SimulationEngine") -> None:
+        """Called once before the first tick."""
+
+    def on_tick(self, state: "NodeTickState", execution: Optional["WorkloadExecution"]) -> None:
+        """Called every tick after the physics step."""
+
+    def on_finish(self, result: "EngineResult") -> None:
+        """Called once after the run ends."""
+
+
+class ScheduledRuntime(Protocol):
+    """A daemon that wakes at self-chosen times (a governor's monitor loop)."""
+
+    def start(self, now_s: float) -> None:
+        """Called once when the simulation begins."""
+
+    def next_fire_s(self) -> float:
+        """Simulated time of the next wanted invocation (``inf`` = never)."""
+
+    def invoke(self, now_s: float) -> None:
+        """Perform one monitoring/decision cycle at ``now_s``."""
+
+
+class BaseTickObserver:
+    """No-op base class; concrete observers override what they need."""
+
+    def on_start(self, engine: "SimulationEngine") -> None:
+        pass
+
+    def on_tick(self, state: "NodeTickState", execution: Optional["WorkloadExecution"]) -> None:
+        pass
+
+    def on_finish(self, result: "EngineResult") -> None:
+        pass
+
+
+class TelemetryObserver(BaseTickObserver):
+    """Advances a node's telemetry hub by one tick, every tick.
+
+    Governors read the hub's accumulators; this observer must therefore be
+    ordered *before* :class:`RuntimeObserver` so a firing daemon sees
+    counters that include the current tick (the pre-refactor sequencing).
+    """
+
+    def __init__(self, hub: "TelemetryHub"):
+        self.hub = hub
+        self._dt = 0.0
+
+    def on_start(self, engine: "SimulationEngine") -> None:
+        if self.hub.node is not engine.node:
+            raise SimulationError("telemetry hub is bound to a different node")
+        self._dt = engine.clock.dt
+
+    def on_tick(self, state, execution) -> None:
+        self.hub.on_tick(self._dt)
+
+
+class NodeStateObserver(BaseTickObserver):
+    """Records the node-level tick state plus workload progress.
+
+    Owns the scalar channels every analysis depends on: memory demand and
+    delivery, stretch, uncore target/effective frequency, the power-domain
+    breakdown, IPC/clock means and progress.
+    """
+
+    CHANNELS = (
+        "demand_gbps",
+        "delivered_gbps",
+        "stretch",
+        "uncore_target_ghz",
+        "uncore_effective_ghz",
+        "core_w",
+        "uncore_w",
+        "dram_w",
+        "gpu_w",
+        "monitor_w",
+        "pkg_w",
+        "cpu_w",
+        "total_w",
+        "mean_ipc",
+        "mean_core_freq_ghz",
+        "gpu_sm_clock_ghz",
+        "served_fraction",
+        "progress",
+    )
+
+    def __init__(self) -> None:
+        self._row = None
+        self._sl: Optional[slice] = None
+
+    def declare_channels(self, registry: ChannelRegistry) -> None:
+        self._sl = registry.declare("node", self.CHANNELS).slice
+
+    def on_start(self, engine: "SimulationEngine") -> None:
+        self._row = engine.trace_row
+
+    def on_tick(self, state, execution) -> None:
+        power = state.power
+        self._row[self._sl] = (
+            state.demand_gbps,
+            state.delivered_gbps,
+            state.stretch,
+            state.uncore_target_ghz,
+            state.uncore_effective_ghz,
+            power.core_w,
+            power.uncore_w,
+            power.dram_w,
+            power.gpu_w,
+            power.monitor_w,
+            power.package_w,
+            power.cpu_w,
+            power.total_w,
+            state.mean_ipc,
+            state.mean_core_freq_ghz,
+            state.gpu_sm_clock_ghz,
+            state.served_fraction,
+            execution.progress if execution is not None else 0.0,
+        )
+
+
+def core_freq_channels(node: "HeterogeneousNode") -> List[str]:
+    """Per-core trace channel names for ``node``, from its topology.
+
+    Cores are numbered globally across sockets in socket order, matching
+    how an OS enumerates them: a 2-socket, 40-core/socket node yields
+    ``core0_freq_ghz`` .. ``core79_freq_ghz``.
+    """
+    names: List[str] = []
+    k = 0
+    for cpu, _ in node.sockets:
+        names.extend(f"core{k + c}_freq_ghz" for c in range(cpu.n_cores))
+        k += cpu.n_cores
+    return names
+
+
+class CoreFrequencyObserver(BaseTickObserver):
+    """Records every core's effective frequency, across all sockets.
+
+    The channel set is derived from the node topology (one channel per
+    core per socket) instead of the old hardcoded ``core0..core3`` capture
+    of socket 0 — dual-socket presets now record both sockets, and nodes
+    with fewer than four cores no longer duplicate the last core's value
+    into phantom channels. Capture is vectorised: one numpy slice
+    assignment per socket per tick.
+    """
+
+    def __init__(self, node: "HeterogeneousNode"):
+        self.node = node
+        self._names = tuple(core_freq_channels(node))
+        offsets: List[int] = []
+        k = 0
+        for cpu, _ in node.sockets:
+            offsets.append(k)
+            k += cpu.n_cores
+        self._offsets = offsets
+        self._row = None
+        self._start = 0
+
+    @property
+    def channels(self) -> Sequence[str]:
+        """The derived per-core channel names, in column order."""
+        return self._names
+
+    def declare_channels(self, registry: ChannelRegistry) -> None:
+        self._start = registry.declare("cores", self._names).start
+
+    def on_start(self, engine: "SimulationEngine") -> None:
+        if self.node is not engine.node:
+            raise SimulationError("core-frequency observer is bound to a different node")
+        self._row = engine.trace_row
+
+    def on_tick(self, state, execution) -> None:
+        row = self._row
+        start = self._start
+        for (cpu, _), offset in zip(self.node.sockets, self._offsets):
+            freqs = cpu.core_freqs_ghz
+            row[start + offset : start + offset + len(freqs)] = freqs
+
+
+class RuntimeObserver(BaseTickObserver):
+    """Fires every scheduled runtime whose schedule elapsed during a tick.
+
+    Each tick, any runtime whose ``next_fire_s()`` falls within the tick
+    just simulated is invoked (repeatedly, so several due cycles of one
+    runtime and several runtimes due in the same tick all fire, in list
+    order). The due check uses the *clock-quantised* tick boundary —
+    ``(tick + 1) * dt``, bit-identical to what ``SimClock.advance`` will
+    return — not the node's float-accumulated ``state.time_s``, so firing
+    ticks never shift by float noise. A runtime that does not advance its
+    schedule past its own firing time would spin forever, so that is
+    detected and raised.
+    """
+
+    def __init__(self, runtimes: Sequence[ScheduledRuntime] = ()):
+        self.runtimes: List[ScheduledRuntime] = list(runtimes)
+        self._clock = None
+
+    def on_start(self, engine: "SimulationEngine") -> None:
+        self._clock = engine.clock
+        for rt in self.runtimes:
+            rt.start(engine.clock.now)
+
+    def on_tick(self, state, execution) -> None:
+        clock = self._clock
+        now = (clock.tick + 1) * clock.dt
+        for rt in self.runtimes:
+            while rt.next_fire_s() <= now:
+                due = rt.next_fire_s()
+                rt.invoke(due)
+                if rt.next_fire_s() <= due:
+                    raise SimulationError(
+                        f"runtime {rt!r} did not advance its schedule past {due!r}"
+                    )
+
+
+def standard_observers(
+    node: "HeterogeneousNode",
+    hub: Optional["TelemetryHub"] = None,
+    runtimes: Sequence[ScheduledRuntime] = (),
+    *,
+    per_core_channels: bool = True,
+    extra: Sequence[TickObserver] = (),
+) -> List[TickObserver]:
+    """The canonical observer stack, in dispatch order.
+
+    Telemetry advancement, node-state trace capture, (optionally) per-core
+    frequency capture, then scheduled-runtime firing — the exact semantics
+    of the pre-refactor monolithic tick loop. ``extra`` observers are
+    inserted before the runtime-firing stage so their recorded channels are
+    complete when a governor fires. Fleet-scale callers pass
+    ``per_core_channels=False`` to drop the (wide) per-core block from the
+    schema.
+    """
+    observers: List[TickObserver] = []
+    if hub is not None:
+        observers.append(TelemetryObserver(hub))
+    observers.append(NodeStateObserver())
+    if per_core_channels:
+        observers.append(CoreFrequencyObserver(node))
+    observers.extend(extra)
+    observers.append(RuntimeObserver(runtimes))
+    return observers

@@ -2,9 +2,13 @@
 
 The simulation engine records one sample per tick for a configurable set of
 channels (delivered memory throughput, uncore frequency, power domains, ...).
-:class:`TraceRecorder` keeps the hot path cheap — one float assignment per
-channel per tick into pre-grown numpy buffers — and exposes the result as
-immutable :class:`TimeSeries` views for the analysis layer.
+:class:`TraceRecorder` keeps the hot path cheap: samples land in one
+pre-grown 2-D buffer (``channel x tick``), and the positional
+:meth:`TraceRecorder.record_row` fast path writes a whole tick with a
+single vectorised column assignment — no per-tick dict construction or
+schema checks. The validated keyword path (:meth:`TraceRecorder.record`)
+remains for sparse callers and tests. Results are exposed as immutable
+:class:`TimeSeries` views for the analysis layer.
 """
 
 from __future__ import annotations
@@ -150,13 +154,19 @@ class TraceRecorder:
     Parameters
     ----------
     channels:
-        The channel names that every sample must provide.
+        The channel names, in column order. :meth:`record_row` rows must
+        supply values in exactly this order.
 
     Notes
     -----
-    The recorder is deliberately strict: every call to :meth:`record` must
-    supply exactly the declared channels. This catches hardware-model
-    refactors that silently stop reporting a power domain.
+    Two recording paths share one columnar store:
+
+    * :meth:`record` — keyword path, deliberately strict: every call must
+      supply exactly the declared channels. This catches hardware-model
+      refactors that silently stop reporting a power domain.
+    * :meth:`record_row` — positional fast path for the engine's tick
+      loop: one vectorised column write per tick, no dict construction
+      and no per-channel schema check (the row length is the schema).
     """
 
     def __init__(self, channels: Iterable[str]):
@@ -165,52 +175,82 @@ class TraceRecorder:
             raise SimulationError(f"duplicate channel names: {self._channels}")
         if not self._channels:
             raise SimulationError("at least one channel is required")
+        self._index: Dict[str, int] = {c: i for i, c in enumerate(self._channels)}
+        self._n_channels = len(self._channels)
         self._capacity = _INITIAL_CAPACITY
         self._n = 0
         self._times = np.empty(self._capacity)
-        self._data: Dict[str, np.ndarray] = {c: np.empty(self._capacity) for c in self._channels}
+        self._buf = np.empty((self._n_channels, self._capacity))
 
     @property
     def channels(self) -> Tuple[str, ...]:
-        """The declared channel names, in declaration order."""
+        """The declared channel names, in declaration (column) order."""
         return self._channels
 
     def __len__(self) -> int:
         return self._n
+
+    def row_buffer(self) -> np.ndarray:
+        """A zeroed scratch row shaped for :meth:`record_row`.
+
+        Callers fill it in place each tick (observers write their declared
+        columns) and hand it back to :meth:`record_row`, which copies it —
+        the same buffer can be reused for every tick.
+        """
+        return np.zeros(self._n_channels)
 
     def _grow(self) -> None:
         self._capacity *= 2
         new_times = np.empty(self._capacity)
         new_times[: self._n] = self._times[: self._n]
         self._times = new_times
-        for c in self._channels:
-            buf = np.empty(self._capacity)
-            buf[: self._n] = self._data[c][: self._n]
-            self._data[c] = buf
+        new_buf = np.empty((self._n_channels, self._capacity))
+        new_buf[:, : self._n] = self._buf[:, : self._n]
+        self._buf = new_buf
 
     def record(self, time_s: float, **values: float) -> None:
         """Append one sample at ``time_s`` with a value for every channel."""
-        if self._n and time_s <= self._times[self._n - 1]:
-            raise SimulationError(
-                f"non-increasing timestamp {time_s!r} after {self._times[self._n - 1]!r}"
-            )
         if set(values) != set(self._channels):
             missing = set(self._channels) - set(values)
             extra = set(values) - set(self._channels)
             raise SimulationError(f"channel mismatch: missing={sorted(missing)} extra={sorted(extra)}")
-        if self._n == self._capacity:
+        self.record_row(time_s, [values[c] for c in self._channels])
+
+    def record_row(self, time_s: float, row) -> None:
+        """Append one sample from a positional row (the engine fast path).
+
+        Parameters
+        ----------
+        time_s:
+            Sample timestamp; must exceed the previous sample's.
+        row:
+            Sequence of ``len(self.channels)`` floats in channel order
+            (typically the reused array from :meth:`row_buffer`). The row
+            is copied, so the caller may overwrite it next tick.
+        """
+        n = self._n
+        if n and time_s <= self._times[n - 1]:
+            raise SimulationError(
+                f"non-increasing timestamp {time_s!r} after {self._times[n - 1]!r}"
+            )
+        if len(row) != self._n_channels:
+            raise SimulationError(
+                f"row has {len(row)} values, schema has {self._n_channels} channels"
+            )
+        if n == self._capacity:
             self._grow()
-        self._times[self._n] = time_s
-        for c, v in values.items():
-            self._data[c][self._n] = v
-        self._n += 1
+        self._times[n] = time_s
+        self._buf[:, n] = row
+        self._n = n + 1
 
     def series(self, channel: str) -> TimeSeries:
         """Return channel ``channel`` as an immutable :class:`TimeSeries`."""
-        if channel not in self._data:
-            raise SimulationError(f"unknown channel {channel!r}; have {sorted(self._data)}")
+        if channel not in self._index:
+            raise SimulationError(f"unknown channel {channel!r}; have {sorted(self._channels)}")
         return TimeSeries(
-            self._times[: self._n].copy(), self._data[channel][: self._n].copy(), channel
+            self._times[: self._n].copy(),
+            self._buf[self._index[channel], : self._n].copy(),
+            channel,
         )
 
     def as_dict(self) -> Dict[str, TimeSeries]:
@@ -221,6 +261,6 @@ class TraceRecorder:
         """Most recent value of ``channel``, or ``None`` if empty."""
         if self._n == 0:
             return None
-        if channel not in self._data:
+        if channel not in self._index:
             raise SimulationError(f"unknown channel {channel!r}")
-        return float(self._data[channel][self._n - 1])
+        return float(self._buf[self._index[channel], self._n - 1])

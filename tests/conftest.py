@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.hw.presets import get_preset, intel_a100
+from repro.hw.presets import intel_a100
 from repro.runtime.session import make_governor, run_application
 from repro.sim.rng import RngStreams
 from repro.telemetry.hub import TelemetryHub

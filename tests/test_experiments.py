@@ -10,7 +10,6 @@ import pytest
 from repro.experiments.fig1_profiling import run_fig1
 from repro.experiments.fig2_power_profiles import run_fig2
 from repro.experiments.fig4_end_to_end import format_fig4, run_suite, summary_stats
-from repro.experiments.fig5_srad_throughput import run_fig5
 from repro.experiments.fig6_srad_uncore import pinned_intervals, run_fig6
 from repro.experiments.fig7_sensitivity import run_fig7, threshold_grid
 from repro.experiments.table1_jaccard import LOW_SCORE_APPS, format_table1, run_table1

@@ -1,0 +1,58 @@
+"""Golden-trace equivalence: the observer engine vs the pre-refactor loop.
+
+``tests/data/golden_trace_{magus,ups}.npz`` pin the exact per-tick channel
+arrays produced by the pre-observer monolithic tick loop for one seeded
+MAGUS run and one seeded UPS run (see ``tests/data/gen_golden_trace.py``).
+The decomposed engine — physics core + telemetry/trace/runtime observers +
+columnar ``record_row`` path — must reproduce every sample bit-for-bit:
+``==``, not ``approx``.
+"""
+
+import importlib.util
+import os
+
+import numpy as np
+import pytest
+
+_GEN_PATH = os.path.join(os.path.dirname(__file__), "data", "gen_golden_trace.py")
+_spec = importlib.util.spec_from_file_location("gen_golden_trace", _GEN_PATH)
+gen_golden_trace = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(gen_golden_trace)
+
+
+@pytest.fixture(scope="module", params=["magus", "ups"])
+def golden_pair(request):
+    """(pinned arrays, fresh run) for one governor."""
+    governor_name = request.param
+    path = os.path.join(
+        os.path.dirname(__file__), "data", f"golden_trace_{governor_name}.npz"
+    )
+    golden = np.load(path)
+    result = gen_golden_trace.golden_run(governor_name)
+    return golden, result
+
+
+class TestGoldenEquivalence:
+    def test_tick_count_matches(self, golden_pair):
+        golden, result = golden_pair
+        assert len(result.recorder) == len(golden["time_s"])
+
+    def test_timestamps_bit_identical(self, golden_pair):
+        golden, result = golden_pair
+        times = result.recorder.series(gen_golden_trace.GOLDEN_CHANNELS[0]).times
+        assert np.array_equal(golden["time_s"], times)
+
+    def test_every_channel_bit_identical(self, golden_pair):
+        golden, result = golden_pair
+        mismatched = [
+            channel
+            for channel in gen_golden_trace.GOLDEN_CHANNELS
+            if not np.array_equal(golden[channel], result.recorder.series(channel).values)
+        ]
+        assert mismatched == []
+
+    def test_golden_schema_is_subset_of_engine_schema(self, golden_pair):
+        # The observer engine records a superset (topology-derived per-core
+        # channels beyond the old fixed core0..core3), never a subset.
+        _, result = golden_pair
+        assert set(gen_golden_trace.GOLDEN_CHANNELS) <= set(result.recorder.channels)

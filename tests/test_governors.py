@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ExperimentError, GovernorError
+from repro.errors import GovernorError
 from repro.governors.base import Decision, GovernorContext, UncoreGovernor
 from repro.governors.default import VendorDefaultGovernor
 from repro.governors.static import StaticUncoreGovernor

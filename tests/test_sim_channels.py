@@ -1,0 +1,70 @@
+"""ChannelRegistry: block declaration, ownership, ordering, freezing."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.channels import ChannelRegistry
+
+
+class TestDeclare:
+    def test_blocks_concatenate_in_order(self):
+        reg = ChannelRegistry()
+        a = reg.declare("node", ["x", "y"])
+        b = reg.declare("cores", ["c0", "c1", "c2"])
+        assert reg.channels == ("x", "y", "c0", "c1", "c2")
+        assert (a.start, a.stop) == (0, 2)
+        assert (b.start, b.stop) == (2, 5)
+        assert b.slice == slice(2, 5)
+        assert len(reg) == 5
+
+    def test_index_and_owner_lookup(self):
+        reg = ChannelRegistry()
+        reg.declare("node", ["x"])
+        reg.declare("cores", ["c0"])
+        assert reg.index("c0") == 1
+        assert reg.owner_of("x") == "node"
+        assert reg.owner_of("c0") == "cores"
+        assert "c0" in reg
+        assert "nope" not in reg
+
+    def test_unknown_channel_lookups_raise(self):
+        reg = ChannelRegistry()
+        reg.declare("node", ["x"])
+        with pytest.raises(SimulationError):
+            reg.index("nope")
+        with pytest.raises(SimulationError):
+            reg.owner_of("nope")
+
+    def test_cross_owner_collision_names_both_owners(self):
+        reg = ChannelRegistry()
+        reg.declare("node", ["x"])
+        with pytest.raises(SimulationError, match="'node'.*'cores'"):
+            reg.declare("cores", ["x"])
+
+    def test_duplicates_within_one_block_rejected(self):
+        reg = ChannelRegistry()
+        with pytest.raises(SimulationError):
+            reg.declare("node", ["x", "x"])
+
+    def test_empty_block_rejected(self):
+        reg = ChannelRegistry()
+        with pytest.raises(SimulationError):
+            reg.declare("node", [])
+
+
+class TestFreeze:
+    def test_declare_after_freeze_rejected(self):
+        reg = ChannelRegistry()
+        reg.declare("node", ["x"])
+        reg.freeze()
+        assert reg.frozen
+        with pytest.raises(SimulationError):
+            reg.declare("cores", ["c0"])
+
+    def test_reads_still_work_after_freeze(self):
+        reg = ChannelRegistry()
+        block = reg.declare("node", ["x", "y"])
+        reg.freeze()
+        assert reg.channels == ("x", "y")
+        assert reg.blocks == (block,)
+        assert reg.index("y") == 1

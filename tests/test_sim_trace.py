@@ -147,3 +147,52 @@ class TestTraceRecorder:
         rec = TraceRecorder(["a", "b", "c"])
         rec.record(0.1, a=1.0, b=2.0, c=3.0)
         assert set(rec.as_dict()) == {"a", "b", "c"}
+
+
+class TestRecordRow:
+    def test_row_values_land_in_channel_order(self):
+        rec = TraceRecorder(["a", "b"])
+        rec.record_row(0.1, [1.0, 2.0])
+        rec.record_row(0.2, [3.0, 4.0])
+        assert list(rec.series("a").values) == [1.0, 3.0]
+        assert list(rec.series("b").values) == [2.0, 4.0]
+
+    def test_reused_row_buffer_is_copied(self):
+        rec = TraceRecorder(["a", "b"])
+        row = rec.row_buffer()
+        row[:] = [1.0, 2.0]
+        rec.record_row(0.1, row)
+        row[:] = [9.0, 9.0]
+        rec.record_row(0.2, row)
+        assert list(rec.series("a").values) == [1.0, 9.0]
+
+    def test_row_and_kwargs_paths_interleave(self):
+        rec = TraceRecorder(["a", "b"])
+        rec.record(0.1, a=1.0, b=2.0)
+        rec.record_row(0.2, [3.0, 4.0])
+        assert list(rec.series("b").values) == [2.0, 4.0]
+        assert rec.last("a") == 3.0
+
+    def test_wrong_row_length_rejected(self):
+        rec = TraceRecorder(["a", "b"])
+        with pytest.raises(SimulationError):
+            rec.record_row(0.1, [1.0])
+        with pytest.raises(SimulationError):
+            rec.record_row(0.1, [1.0, 2.0, 3.0])
+
+    def test_non_increasing_time_rejected(self):
+        rec = TraceRecorder(["a"])
+        rec.record_row(0.2, [1.0])
+        with pytest.raises(SimulationError):
+            rec.record_row(0.2, [2.0])
+
+    def test_growth_beyond_initial_capacity(self):
+        rec = TraceRecorder(["x", "y"])
+        row = rec.row_buffer()
+        for i in range(5000):
+            row[0] = float(i)
+            row[1] = float(-i)
+            rec.record_row((i + 1) * 0.01, row)
+        assert len(rec) == 5000
+        assert rec.series("x").values[-1] == 4999.0
+        assert rec.series("y").values[-1] == -4999.0

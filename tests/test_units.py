@@ -1,6 +1,5 @@
 """Unit-conversion helpers: exact values, round-trips and error paths."""
 
-import math
 
 import pytest
 

@@ -2,7 +2,6 @@
 counter-wrap handling."""
 
 import numpy as np
-import pytest
 
 from repro.governors.base import GovernorContext
 from repro.governors.ups import UPSConfig, UPSGovernor
