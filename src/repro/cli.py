@@ -9,6 +9,7 @@ an entry point). Subcommands mirror the library's main workflows::
     repro overhead --system intel_a100 --governor ups --duration 120
     repro suite --figure 4a                      # a Fig. 4 sweep
     repro experiments --quick                    # the full paper report
+    repro resilience --seed 2 --check-repro      # fault campaign vs golden runs
 """
 
 from __future__ import annotations
@@ -77,6 +78,24 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_p.add_argument("--governor", default="magus", choices=GOVERNORS)
     fleet_p.add_argument("--budget", type=float, default=None, help="power budget in watts")
     fleet_p.add_argument("--seed", type=int, default=1)
+
+    res_p = sub.add_parser(
+        "resilience", help="governors under a seeded fault campaign vs fault-free golden runs"
+    )
+    res_p.add_argument("--system", default="intel_a100", choices=sorted(PRESETS))
+    res_p.add_argument("--workload", default="srad")
+    res_p.add_argument(
+        "--governor", action="append", default=None, choices=GOVERNORS,
+        help="governors to compare (default: magus, ups, default)",
+    )
+    res_p.add_argument("--seed", type=int, default=1, help="run seed; also seeds the campaign")
+    res_p.add_argument("--duration", type=float, default=20.0, help="horizon in simulated seconds")
+    res_p.add_argument(
+        "--check-repro", action="store_true",
+        help="re-run each faulted leg and require an identical incident log",
+    )
+    res_p.add_argument("--incidents", action="store_true", help="print the full incident logs")
+    res_p.add_argument("--out", default=None, metavar="PATH", help="also write the report to a file")
 
     ver_p = sub.add_parser("verify", help="check every encoded paper claim")
     ver_p.add_argument("--full", action="store_true", help="full Fig. 4a suite + 10-min idle runs")
@@ -185,6 +204,36 @@ def _cmd_fleet(args) -> int:
     return 0
 
 
+def _cmd_resilience(args) -> int:
+    from repro.experiments.resilience import DEFAULT_GOVERNORS, format_resilience, run_resilience
+    from repro.faults.plan import standard_campaign
+
+    plan = standard_campaign(args.seed, horizon_s=args.duration)
+    rows = run_resilience(
+        args.system,
+        args.workload,
+        governors=tuple(args.governor) if args.governor else DEFAULT_GOVERNORS,
+        seed=args.seed,
+        max_time_s=args.duration,
+        plan=plan,
+        check_reproducibility=args.check_repro,
+    )
+    report = format_resilience(rows, plan=plan)
+    if args.incidents:
+        from repro.faults.incidents import IncidentLog
+
+        for row in rows:
+            log = IncidentLog()
+            for incident in row.incidents:
+                log.append(incident)
+            report += f"\n\n{row.governor} incident log:\n{log.format()}"
+    print(report)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report + "\n")
+    return 0
+
+
 def _cmd_verify(args) -> int:
     from repro.experiments.paper import format_verification, verify_reproduction
 
@@ -218,6 +267,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_suite(args)
         if args.command == "experiments":
             return _cmd_experiments(args)
+        if args.command == "resilience":
+            return _cmd_resilience(args)
         if args.command == "verify":
             return _cmd_verify(args)
         if args.command == "fleet":

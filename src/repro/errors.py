@@ -19,6 +19,8 @@ __all__ = [
     "TelemetryError",
     "MSRAccessError",
     "CounterOverflowError",
+    "FaultInjectionError",
+    "SupervisionError",
     "WorkloadError",
     "UnknownWorkloadError",
     "GovernorError",
@@ -78,6 +80,16 @@ class MSRAccessError(TelemetryError):
 
 class CounterOverflowError(TelemetryError):
     """Raised when a hardware counter wraps in a way the reader cannot fix."""
+
+
+class FaultInjectionError(ReproError):
+    """Raised when the fault-injection harness itself is misused (bad
+    specs, arming a hub twice, ...) — never by an *injected* fault, which
+    always surfaces as the telemetry error it models."""
+
+
+class SupervisionError(ReproError):
+    """Raised when a supervised runtime is misconfigured."""
 
 
 class WorkloadError(ReproError):

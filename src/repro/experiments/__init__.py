@@ -15,6 +15,10 @@ Module      Paper artefact                                       Section
 
 ``runner`` executes everything and prints the paper-shaped reports
 (``python -m repro.experiments.runner``).
+
+``resilience`` is not a paper artefact: it measures each governor under a
+seeded telemetry-fault campaign against its fault-free golden run (energy
+delta, slowdown, incident accounting) — the chaos CI job's workload.
 """
 
 from repro.experiments.fig1_profiling import Fig1Result, run_fig1
@@ -32,6 +36,7 @@ from repro.experiments.fig6_srad_uncore import Fig6Result, run_fig6
 from repro.experiments.fig7_sensitivity import Fig7Result, run_fig7, threshold_grid
 from repro.experiments.table1_jaccard import Table1Row, run_table1, format_table1
 from repro.experiments.table2_overhead import Table2Row, run_table2, format_table2
+from repro.experiments.resilience import ResilienceRow, run_resilience, format_resilience
 from repro.experiments.paper import PAPER, PaperClaim, ClaimResult, verify_reproduction, format_verification
 from repro.experiments.export import export_all, export_rows_csv, export_series_csv
 
@@ -59,6 +64,9 @@ __all__ = [
     "Table2Row",
     "run_table2",
     "format_table2",
+    "ResilienceRow",
+    "run_resilience",
+    "format_resilience",
     "PAPER",
     "PaperClaim",
     "ClaimResult",

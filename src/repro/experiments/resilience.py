@@ -1,0 +1,226 @@
+"""Resilience under telemetry faults: governors vs. the standard campaign.
+
+Not a paper artefact — a deployment-readiness check the paper's §6 setting
+implies but never measures: a runtime that saves 20 % energy while healthy
+is useless if the first unreadable MSR takes the node down.  For each
+governor this experiment runs the same (system, workload, seed) pair twice,
+fault-free and under :func:`~repro.faults.plan.standard_campaign`, both
+supervised, and reports what the campaign cost:
+
+* **energy delta** — total node energy, faulted vs. golden (retry backoff,
+  degraded windows at the vendor ceiling, and any lost decisions all land
+  here);
+* **slowdown** — runtime ratio (only meaningful when both runs complete);
+* **incident accounting** — injections by outcome, retries, fail-safe
+  transitions, re-arms, degraded time;
+* **containment** — the faulted run must finish with every *raised*
+  injection matched by a supervisor response
+  (:meth:`~repro.faults.incidents.IncidentLog.unresolved_fault_ids` empty),
+  else :class:`~repro.errors.ExperimentError`.
+
+With ``check_reproducibility=True`` the faulted run is executed twice and
+the two incident logs must match exactly — the determinism claim the chaos
+CI job pins across seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import format_table
+from repro.errors import ExperimentError
+from repro.faults.incidents import Incident, IncidentLog
+from repro.faults.plan import FaultPlan, standard_campaign
+from repro.runtime.session import make_governor, run_application
+from repro.runtime.supervisor import SupervisorConfig
+
+__all__ = ["ResilienceRow", "run_resilience", "format_resilience"]
+
+#: Governors the resilience report compares by default.
+DEFAULT_GOVERNORS: Tuple[str, ...] = ("magus", "ups", "default")
+
+
+@dataclass(frozen=True)
+class ResilienceRow:
+    """One governor's paired golden/faulted measurement."""
+
+    system: str
+    workload: str
+    governor: str
+    seed: int
+    #: Fault-free supervised run.
+    golden_energy_j: float
+    golden_runtime_s: float
+    #: Same run under the standard fault campaign.
+    faulted_energy_j: float
+    faulted_runtime_s: float
+    injections: int
+    raised: int
+    retried: int
+    failsafes: int
+    rearms: int
+    degraded_s: float
+    missed_deadlines: int
+    incidents: Tuple[Incident, ...]
+
+    @property
+    def energy_delta_frac(self) -> float:
+        """Relative extra energy paid under faults (golden-relative)."""
+        return self.faulted_energy_j / self.golden_energy_j - 1.0
+
+    @property
+    def slowdown(self) -> float:
+        """Runtime ratio, faulted over golden."""
+        return self.faulted_runtime_s / self.golden_runtime_s
+
+
+def _counts(log: IncidentLog) -> Dict[str, int]:
+    counts = log.counts_by_outcome()
+    return {
+        "injections": sum(
+            1 for inc in log if inc.source == "injector" and inc.action == "inject"
+        ),
+        "raised": counts.get("raised", 0),
+        "retried": counts.get("retried", 0),
+    }
+
+
+def run_resilience(
+    system: str = "intel_a100",
+    workload: str = "srad",
+    *,
+    governors: Sequence[str] = DEFAULT_GOVERNORS,
+    seed: int = 1,
+    max_time_s: float = 20.0,
+    dt_s: float = 0.01,
+    plan: Optional[FaultPlan] = None,
+    supervisor_config: Optional[SupervisorConfig] = None,
+    check_reproducibility: bool = False,
+) -> List[ResilienceRow]:
+    """Measure each governor's behaviour under a fault campaign.
+
+    Parameters
+    ----------
+    system, workload, seed, max_time_s, dt_s:
+        The shared run configuration; golden and faulted runs differ only
+        in the fault plan, so any delta is attributable to the campaign.
+    governors:
+        Governor registry names to compare.
+    plan:
+        The campaign; defaults to ``standard_campaign(seed,
+        horizon_s=max_time_s)``.
+    supervisor_config:
+        Supervision tunables applied to both runs of every pair.
+    check_reproducibility:
+        Run the faulted leg twice and require identical incident logs.
+
+    Raises
+    ------
+    ExperimentError
+        If a faulted run leaves unresolved fault ids (a raised injection no
+        supervisor response accounts for), or the reproducibility check
+        finds two same-seed runs with different incident logs.
+    """
+    if plan is None:
+        plan = standard_campaign(seed, horizon_s=max_time_s)
+    rows: List[ResilienceRow] = []
+    for name in governors:
+        common = dict(seed=seed, max_time_s=max_time_s, dt_s=dt_s)
+        golden = run_application(
+            system, workload, make_governor(name),
+            supervise=True, supervisor_config=supervisor_config, **common,
+        )
+        log = IncidentLog()
+        faulted = run_application(
+            system, workload, make_governor(name),
+            fault_plan=plan, supervisor_config=supervisor_config,
+            incident_log=log, **common,
+        )
+        unresolved = log.unresolved_fault_ids()
+        if unresolved:
+            raise ExperimentError(
+                f"{name} on {system}/{workload}: raised fault ids {sorted(unresolved)} "
+                "have no supervisor response — containment is leaking"
+            )
+        if check_reproducibility:
+            _check_replay(name, system, workload, plan, log, common,
+                          supervisor_config)
+        counts = _counts(log)
+        rows.append(
+            ResilienceRow(
+                system=system,
+                workload=workload,
+                governor=name,
+                seed=seed,
+                golden_energy_j=golden.total_energy_j,
+                golden_runtime_s=golden.runtime_s,
+                faulted_energy_j=faulted.total_energy_j,
+                faulted_runtime_s=faulted.runtime_s,
+                injections=counts["injections"],
+                raised=counts["raised"],
+                retried=counts["retried"],
+                failsafes=faulted.failsafe_count,
+                rearms=faulted.rearm_count,
+                degraded_s=faulted.degraded_time_s,
+                missed_deadlines=faulted.missed_deadlines,
+                incidents=tuple(faulted.incidents),
+            )
+        )
+    return rows
+
+
+def _check_replay(
+    name: str,
+    system: str,
+    workload: str,
+    plan: FaultPlan,
+    log: IncidentLog,
+    common: dict,
+    supervisor_config: Optional[SupervisorConfig],
+) -> None:
+    replay_log = IncidentLog()
+    run_application(
+        system, workload, make_governor(name),
+        fault_plan=plan, supervisor_config=supervisor_config,
+        incident_log=replay_log, **common,
+    )
+    if replay_log != log:
+        raise ExperimentError(
+            f"{name} on {system}/{workload}: same campaign, different incident "
+            f"logs ({len(log)} vs {len(replay_log)} entries) — injection is "
+            "non-deterministic"
+        )
+
+
+def format_resilience(rows: Sequence[ResilienceRow], *, plan: Optional[FaultPlan] = None) -> str:
+    """Render the resilience comparison table."""
+    if not rows:
+        raise ExperimentError("no rows to format")
+    table = format_table(
+        (
+            "governor", "energy Δ", "slowdown", "injected", "raised",
+            "retried", "failsafe", "rearm", "degraded (s)",
+        ),
+        [
+            (
+                r.governor,
+                f"{r.energy_delta_frac * 100:+.2f}%",
+                f"{r.slowdown:.3f}x",
+                str(r.injections),
+                str(r.raised),
+                str(r.retried),
+                str(r.failsafes),
+                str(r.rearms),
+                f"{r.degraded_s:.1f}",
+            )
+            for r in rows
+        ],
+        title=(
+            f"Resilience: {rows[0].system}/{rows[0].workload} under faults "
+            f"(seed {rows[0].seed})"
+        ),
+    )
+    if plan is not None:
+        table = table + "\n\n" + plan.describe()
+    return table

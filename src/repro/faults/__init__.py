@@ -1,0 +1,34 @@
+"""Deterministic fault injection for the telemetry/actuation stack.
+
+The paper pitches MAGUS as a deployable, user-transparent runtime (§6); a
+deployable runtime must survive the counters glitching under it.  This
+package provides the *attack* side of that story:
+
+* :mod:`~repro.faults.plan` — :class:`FaultSpec`/:class:`FaultPlan`:
+  seeded, schedule-driven fault campaigns (what fails, where, when);
+* :mod:`~repro.faults.injector` — :class:`FaultInjector`: wraps a
+  :class:`~repro.telemetry.hub.TelemetryHub`'s devices behind proxies that
+  realise the campaign, charging failed accesses to the caller's
+  :class:`~repro.telemetry.sampling.AccessMeter` exactly like successful
+  ones (time was spent either way — Table 2 accounting stays honest);
+* :mod:`~repro.faults.incidents` — :class:`Incident`/:class:`IncidentLog`:
+  the structured, bit-reproducible record both the injector and the
+  :class:`~repro.runtime.supervisor.SupervisedDaemon` write to.
+
+The defence side lives in :mod:`repro.runtime.supervisor`; the end-to-end
+comparison in :mod:`repro.experiments.resilience`.
+"""
+
+from repro.faults.incidents import Incident, IncidentLog
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FAULT_KINDS, FaultPlan, FaultSpec, standard_campaign
+
+__all__ = [
+    "Incident",
+    "IncidentLog",
+    "FaultInjector",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "standard_campaign",
+]

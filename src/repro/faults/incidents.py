@@ -1,0 +1,140 @@
+"""Structured incident records shared by the injector and the supervisor.
+
+A resilience run produces exactly one :class:`IncidentLog`, written from two
+sides: the :class:`~repro.faults.injector.FaultInjector` appends one entry
+per *injected* fault (action ``"inject"``), and the
+:class:`~repro.runtime.supervisor.SupervisedDaemon` appends one entry per
+*response* (retry, containment, fail-safe transition, re-arm, missed
+deadline).  Because every field is derived from simulated time and the
+seeded fault plan, re-running a campaign with the same seed reproduces the
+log exactly — which is what the chaos CI job asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+__all__ = ["Incident", "IncidentLog"]
+
+
+@dataclass(frozen=True)
+class Incident:
+    """One event in a resilience run, from either side of the fault line.
+
+    Attributes
+    ----------
+    time_s:
+        Simulated time of the event.
+    source:
+        ``"injector"`` for injected faults, ``"supervisor"`` for responses.
+    device:
+        ``"msr"``, ``"pcm"``, ``"rapl"``, ``"actuation"`` for telemetry
+        faults; ``"governor"``/``"daemon"`` for supervisor-side events.
+    fault:
+        The fault kind (``"read_error"``, ``"dropout"``, ...) or the
+        exception class name the supervisor contained.
+    action:
+        What was done: ``"inject"``, ``"retry"``, ``"contain"``,
+        ``"failsafe"``, ``"rearm"``, ``"deadline"``.
+    outcome:
+        How it ended: ``"raised"``/``"silent"`` (injector side);
+        ``"retried"``, ``"recovered"``, ``"exhausted"``, ``"crashed"``,
+        ``"failed_safe"``, ``"rearmed"``, ``"missed"`` (supervisor side).
+    fault_id:
+        Campaign-unique id of the injected fault this event belongs to
+        (``None`` for supervisor events not tied to one injection, e.g. a
+        missed deadline).
+    detail:
+        Free-form context (exception text, retry attempt number, ...).
+    """
+
+    time_s: float
+    source: str
+    device: str
+    fault: str
+    action: str
+    outcome: str
+    fault_id: Optional[int] = None
+    detail: str = ""
+
+
+class IncidentLog:
+    """Append-only, order-preserving list of :class:`Incident` entries."""
+
+    def __init__(self) -> None:
+        self._incidents: List[Incident] = []
+
+    # ------------------------------------------------------------------
+    # Collection surface
+    # ------------------------------------------------------------------
+    def append(self, incident: Incident) -> None:
+        """Record one incident."""
+        self._incidents.append(incident)
+
+    def __len__(self) -> int:
+        return len(self._incidents)
+
+    def __iter__(self) -> Iterator[Incident]:
+        return iter(self._incidents)
+
+    def __getitem__(self, index):
+        return self._incidents[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IncidentLog):
+            return self._incidents == other._incidents
+        return NotImplemented
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def for_source(self, source: str) -> Tuple[Incident, ...]:
+        """All incidents from one side (``"injector"``/``"supervisor"``)."""
+        return tuple(i for i in self._incidents if i.source == source)
+
+    def counts_by_outcome(self) -> Dict[str, int]:
+        """Histogram of outcomes across the whole log."""
+        counts: Dict[str, int] = {}
+        for i in self._incidents:
+            counts[i.outcome] = counts.get(i.outcome, 0) + 1
+        return counts
+
+    def fault_ids(self, source: Optional[str] = None) -> Set[int]:
+        """All distinct fault ids mentioned (optionally by one source)."""
+        return {
+            i.fault_id
+            for i in self._incidents
+            if i.fault_id is not None and (source is None or i.source == source)
+        }
+
+    def unresolved_fault_ids(self) -> Set[int]:
+        """Injected faults that *raised* but have no supervisor response.
+
+        The resilience acceptance check: this must be empty — every raised
+        fault was either retried, contained, or triggered a fail-safe.
+        Silent faults (frozen counters, wraps, value glitches) surface as
+        telemetry noise rather than exceptions, so no response is expected.
+        """
+        raised = {
+            i.fault_id
+            for i in self._incidents
+            if i.source == "injector" and i.outcome == "raised" and i.fault_id is not None
+        }
+        return raised - self.fault_ids("supervisor")
+
+    def format(self) -> str:
+        """Render the log as aligned text lines (one per incident)."""
+        if not self._incidents:
+            return "(no incidents)"
+        lines = []
+        for i in self._incidents:
+            fid = f"#{i.fault_id}" if i.fault_id is not None else "-"
+            lines.append(
+                f"t={i.time_s:8.3f}s {i.source:<10} {i.device:<9} "
+                f"{i.fault:<22} {i.action:<9} {i.outcome:<11} {fid:<5} {i.detail}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IncidentLog({len(self._incidents)} incidents)"

@@ -1,0 +1,324 @@
+"""FaultInjector: interprets a FaultPlan against a TelemetryHub.
+
+The injector wraps every device of a hub behind a thin proxy (composition +
+``__getattr__`` passthrough, so untouched methods keep their exact cost and
+semantics).  Each proxied access asks the injector whether an active fault
+window wants it to fail; if so, the access is *charged to the caller's
+meter exactly as if it had succeeded* — a failed MSR read still interrupted
+the core, a dropped PCM aggregation still spanned its window — and then the
+fault surfaces as the telemetry error it models (with a ``fault_id``
+attribute tying it back to the campaign's incident log).
+
+Silent faults never raise: a frozen PCM counter simply stops advancing, a
+RAPL glitch returns a reset register, a counter wrap shifts every fixed
+counter to just below 2^48 so it wraps within the next few ticks (the shift
+is uniform, so wrap-safe modular readers see exact deltas for every window
+except the single one spanning the injection).
+
+Activation depends only on simulated time and access order — both
+deterministic — so the same plan replays the same incident log.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import FaultInjectionError, MSRAccessError, TelemetryError
+from repro.faults.incidents import Incident, IncidentLog
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.telemetry.hsmp import _MAILBOX_ENERGY_J, _MAILBOX_TIME_S
+from repro.telemetry.msr import COUNTER_WIDTH_BITS, MSR_UNCORE_RATIO_LIMIT
+from repro.telemetry.sampling import AccessMeter
+
+__all__ = ["FaultInjector"]
+
+_COUNTER_MOD = 1 << COUNTER_WIDTH_BITS
+#: A wrap injection parks the highest counter this far below 2^48.
+_WRAP_LEAD = 1_000_000
+
+
+class FaultInjector:
+    """Executes one :class:`~repro.faults.plan.FaultPlan` against one hub.
+
+    Parameters
+    ----------
+    plan:
+        The campaign to run.
+    log:
+        Incident log to append injections to; a fresh one is created if
+        omitted (supervised runs share one log between injector and
+        supervisor).
+    """
+
+    def __init__(self, plan: FaultPlan, log: Optional[IncidentLog] = None):
+        self.plan = plan
+        self.log = log if log is not None else IncidentLog()
+        self.now_s = 0.0
+        self._remaining: List[float] = [
+            float("inf") if spec.count is None else float(spec.count) for spec in plan.specs
+        ]
+        self._fired: List[bool] = [False] * len(plan.specs)
+        self._next_fault_id = 1
+        self._hub = None
+        self._msr = None
+
+    # ------------------------------------------------------------------
+    # Arming
+    # ------------------------------------------------------------------
+    def arm(self, hub) -> None:
+        """Replace the hub's devices with fault proxies (called by the hub).
+
+        Use :meth:`TelemetryHub.install_fault_injector`; arming the same
+        injector or hub twice is an error.
+        """
+        if self._hub is not None:
+            raise FaultInjectionError("fault injector is already armed")
+        self._hub = hub
+        self._msr = hub.msr
+        hub.msr = _FaultyMSRDevice(hub.msr, self)
+        hub.pcm = _FaultyPCMCounters(hub.pcm, self)
+        hub.rapl = _FaultyRAPLCounters(hub.rapl, self)
+        if hub.hsmp is not None:
+            hub.hsmp = _FaultyHSMPDevice(hub.hsmp, self)
+
+    # ------------------------------------------------------------------
+    # Time-driven faults
+    # ------------------------------------------------------------------
+    def on_tick(self, dt_s: float) -> None:
+        """Advance campaign time; fire point faults and window entries."""
+        self.now_s += dt_s
+        for i, spec in enumerate(self.plan.specs):
+            if spec.kind == "wrap" and not self._fired[i] and self.now_s >= spec.start_s:
+                self._fired[i] = True
+                if self._remaining[i] >= 1:
+                    self._remaining[i] -= 1
+                    self._inject_wrap(spec)
+            elif spec.kind == "freeze" and not self._fired[i] and self._in_window(spec):
+                self._fired[i] = True
+                if self._remaining[i] >= 1:
+                    self._remaining[i] -= 1
+                    self._log_injection(spec, outcome="silent", detail="counter frozen")
+
+    def _inject_wrap(self, spec: FaultSpec) -> None:
+        instr, cycles = self._msr.read_all_core_counters(None)
+        top = int(max(int(instr.max(initial=0)), int(cycles.max(initial=0))))
+        offset = (_COUNTER_MOD - _WRAP_LEAD - top) % _COUNTER_MOD
+        self._msr.jump_counters(offset)
+        self._log_injection(
+            spec, outcome="silent", detail=f"counters shifted +{offset} to 2^48-{_WRAP_LEAD}"
+        )
+
+    # ------------------------------------------------------------------
+    # Access-driven faults
+    # ------------------------------------------------------------------
+    def trip(self, device: str, kind: str, detail: str = "") -> Optional[int]:
+        """Consume one injection if a matching window is active.
+
+        Returns the campaign-unique fault id, or ``None`` when no fault
+        wants this access to fail.
+        """
+        for i, spec in enumerate(self.plan.specs):
+            if (
+                spec.device == device
+                and spec.kind == kind
+                and self._remaining[i] >= 1
+                and self._in_window(spec)
+            ):
+                self._remaining[i] -= 1
+                outcome = "silent" if spec.silent else "raised"
+                return self._log_injection(spec, outcome=outcome, detail=detail)
+        return None
+
+    def pcm_frozen(self) -> bool:
+        """True while any PCM freeze window is active."""
+        return any(
+            spec.kind == "freeze" and self._in_window(spec) for spec in self.plan.specs
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _in_window(self, spec: FaultSpec) -> bool:
+        return spec.start_s <= self.now_s < spec.end_s
+
+    def _log_injection(self, spec: FaultSpec, *, outcome: str, detail: str = "") -> int:
+        fault_id = self._next_fault_id
+        self._next_fault_id += 1
+        self.log.append(
+            Incident(
+                time_s=self.now_s,
+                source="injector",
+                device=spec.device,
+                fault=spec.kind,
+                action="inject",
+                outcome=outcome,
+                fault_id=fault_id,
+                detail=detail,
+            )
+        )
+        return fault_id
+
+    @property
+    def injections(self) -> Tuple[Incident, ...]:
+        """Every fault injected so far (the injector's side of the log)."""
+        return self.log.for_source("injector")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultInjector({self.plan.name!r}, t={self.now_s:.2f}s, {len(self.injections)} injected)"
+
+
+def _fault_error(exc: Exception, fault_id: int) -> Exception:
+    """Tag an injected error with its campaign fault id."""
+    exc.fault_id = fault_id
+    return exc
+
+
+class _FaultyMSRDevice:
+    """MSR proxy: transient read failures + actuation-write failures."""
+
+    def __init__(self, inner, injector: FaultInjector):
+        self._inner = inner
+        self._injector = injector
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def read(self, socket: int, address: int, meter: Optional[AccessMeter] = None, core: int = 0) -> int:
+        value = self._inner.read(socket, address, meter, core)
+        fault_id = self._injector.trip("msr", "read_error", f"read 0x{address:X}")
+        if fault_id is not None:
+            raise _fault_error(
+                MSRAccessError(address, f"injected transient read failure [fault #{fault_id}]"),
+                fault_id,
+            )
+        return value
+
+    def read_all_core_counters(self, meter: Optional[AccessMeter] = None):
+        # The sweep runs (and is charged) in full; the fault corrupts its
+        # result, so the caller must discard and retry.
+        result = self._inner.read_all_core_counters(meter)
+        fault_id = self._injector.trip("msr", "read_error", "per-core counter sweep")
+        if fault_id is not None:
+            raise _fault_error(
+                MSRAccessError(
+                    0x309, f"injected transient sweep failure [fault #{fault_id}]"
+                ),
+                fault_id,
+            )
+        return result
+
+    def write(self, socket: int, address: int, value: int, meter: Optional[AccessMeter] = None) -> None:
+        fault_id = self._injector.trip("actuation", "write_error", f"write 0x{address:X}")
+        if fault_id is not None:
+            # The failed transaction still costs a write; the register is
+            # left untouched.
+            if meter is not None:
+                meter.charge(
+                    "msr_write",
+                    self._inner.costs.msr_write_time_s,
+                    self._inner.costs.msr_write_energy_j,
+                )
+            raise _fault_error(
+                MSRAccessError(address, f"injected write failure [fault #{fault_id}]"),
+                fault_id,
+            )
+        self._inner.write(socket, address, value, meter)
+
+    def set_uncore_max_ghz(self, freq_ghz: float, meter: Optional[AccessMeter] = None) -> None:
+        fault_id = self._injector.trip("actuation", "write_error", "uncore limit write")
+        if fault_id is not None:
+            if meter is not None:
+                meter.charge(
+                    "msr_write",
+                    self._inner.costs.msr_write_time_s,
+                    self._inner.costs.msr_write_energy_j,
+                )
+            raise _fault_error(
+                MSRAccessError(
+                    MSR_UNCORE_RATIO_LIMIT,
+                    f"injected actuation failure [fault #{fault_id}]",
+                ),
+                fault_id,
+            )
+        self._inner.set_uncore_max_ghz(freq_ghz, meter)
+
+
+class _FaultyPCMCounters:
+    """PCM proxy: sample dropouts + frozen/stale counters."""
+
+    def __init__(self, inner, injector: FaultInjector):
+        self._inner = inner
+        self._injector = injector
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def on_tick(self, dt_s: float) -> None:
+        if self._injector.pcm_frozen():
+            return  # the cumulative counter stops advancing
+        self._inner.on_tick(dt_s)
+
+    def read_throughput_mbps(self, meter: Optional[AccessMeter] = None, *, window_s=None) -> float:
+        value = self._inner.read_throughput_mbps(meter, window_s=window_s)
+        fault_id = self._injector.trip("pcm", "dropout", "throughput aggregation")
+        if fault_id is not None:
+            raise _fault_error(
+                TelemetryError(f"injected PCM sample dropout [fault #{fault_id}]"), fault_id
+            )
+        return value
+
+
+class _FaultyRAPLCounters:
+    """RAPL proxy: transient read failures + register-reset glitches."""
+
+    def __init__(self, inner, injector: FaultInjector):
+        self._inner = inner
+        self._injector = injector
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def _faulted_read(self, value: float, what: str) -> float:
+        fault_id = self._injector.trip("rapl", "read_error", what)
+        if fault_id is not None:
+            raise _fault_error(
+                TelemetryError(f"injected RAPL read failure [fault #{fault_id}]"), fault_id
+            )
+        fault_id = self._injector.trip("rapl", "glitch", what)
+        if fault_id is not None:
+            return 0.0  # register-reset glitch: silent value corruption
+        return value
+
+    def energy_j(self, domain: str, meter: Optional[AccessMeter] = None) -> float:
+        return self._faulted_read(self._inner.energy_j(domain, meter), f"energy {domain}")
+
+    def read_register(self, domain: str, meter: Optional[AccessMeter] = None) -> int:
+        return int(self._faulted_read(float(self._inner.read_register(domain, meter)), f"register {domain}"))
+
+    def power_w(self, domain: str, meter: Optional[AccessMeter] = None) -> float:
+        return self._faulted_read(self._inner.power_w(domain, meter), f"power {domain}")
+
+
+class _FaultyHSMPDevice:
+    """HSMP proxy: mailbox actuation failures (the AMD §6.6 path)."""
+
+    def __init__(self, inner, injector: FaultInjector):
+        self._inner = inner
+        self._injector = injector
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def set_fabric_clock_ghz(self, freq_ghz: float, meter: Optional[AccessMeter] = None) -> float:
+        fault_id = self._injector.trip("actuation", "write_error", "fabric P-state request")
+        if fault_id is not None:
+            # One failed mailbox transaction, fabric clock unchanged.
+            if meter is not None:
+                meter.charge("hsmp_mailbox", _MAILBOX_TIME_S, _MAILBOX_ENERGY_J)
+            raise _fault_error(
+                TelemetryError(
+                    f"injected HSMP mailbox failure [fault #{fault_id}]"
+                ),
+                fault_id,
+            )
+        return self._inner.set_fabric_clock_ghz(freq_ghz, meter)

@@ -1,0 +1,226 @@
+"""Fault campaigns: what fails, where, when — fixed before the run starts.
+
+A :class:`FaultPlan` is an ordered tuple of :class:`FaultSpec` windows. Each
+spec names one telemetry device, one fault kind, an activation window in
+simulated time and a budget of injections.  Plans are *data*: the
+:class:`~repro.faults.injector.FaultInjector` interprets them against a
+:class:`~repro.telemetry.hub.TelemetryHub`, and because activation depends
+only on simulated time and access order, a plan replays identically from
+run to run — the incident log is bit-reproducible.
+
+Seeded campaigns come from :meth:`FaultPlan.generate` (fully random mix)
+or :func:`standard_campaign` (the fixed shape used by the resilience
+experiment and the chaos CI job: one of each fault family, with the exact
+times jittered by the seed).
+
+Fault kinds by device
+---------------------
+========== ============== ====================================================
+device     kind           behaviour while active
+========== ============== ====================================================
+msr        read_error     MSR counter reads raise :class:`MSRAccessError`
+                          (the read still charges the meter — time was spent)
+msr        wrap           fixed counters jump to just below 2^48 and wrap
+                          (silent; readers must delta modulo 2^48)
+pcm        dropout        throughput reads raise :class:`TelemetryError`
+pcm        freeze         the cumulative counter stops advancing (silent;
+                          reads return stale throughput)
+rapl       read_error     energy/power reads raise :class:`TelemetryError`
+rapl       glitch         energy reads return 0 — a register-reset glitch
+                          (silent value corruption)
+actuation  write_error    uncore-limit writes (MSR 0x620 or HSMP mailbox)
+                          raise without applying the request
+========== ============== ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import FaultInjectionError
+
+__all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan", "standard_campaign"]
+
+#: Valid fault kinds per device.
+FAULT_KINDS = {
+    "msr": ("read_error", "wrap"),
+    "pcm": ("dropout", "freeze"),
+    "rapl": ("read_error", "glitch"),
+    "actuation": ("write_error",),
+}
+
+#: Kinds that never raise: they corrupt or stall data instead.
+SILENT_KINDS = ("wrap", "freeze", "glitch")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault window.
+
+    Attributes
+    ----------
+    device:
+        Which device family fails (see :data:`FAULT_KINDS`).
+    kind:
+        The fault kind, valid for the device.
+    start_s:
+        Window start, simulated seconds.
+    duration_s:
+        Window length. Point faults (``wrap``) fire once at ``start_s`` and
+        ignore the duration; access faults trigger on accesses that fall
+        inside ``[start_s, start_s + duration_s)``.
+    count:
+        Maximum number of injections charged to this spec (``None`` =
+        unlimited within the window). A ``freeze`` spec counts as a single
+        injection covering its whole window.
+    """
+
+    device: str
+    kind: str
+    start_s: float
+    duration_s: float = 1.0
+    count: Optional[int] = 1
+
+    def __post_init__(self) -> None:
+        if self.device not in FAULT_KINDS:
+            raise FaultInjectionError(
+                f"unknown device {self.device!r}; known: {sorted(FAULT_KINDS)}"
+            )
+        if self.kind not in FAULT_KINDS[self.device]:
+            raise FaultInjectionError(
+                f"device {self.device!r} has no fault kind {self.kind!r}; "
+                f"known: {FAULT_KINDS[self.device]}"
+            )
+        if self.start_s < 0 or self.duration_s < 0:
+            raise FaultInjectionError(
+                f"fault window must be non-negative, got start={self.start_s!r} "
+                f"duration={self.duration_s!r}"
+            )
+        if self.count is not None and self.count < 1:
+            raise FaultInjectionError(f"count must be >= 1 or None, got {self.count!r}")
+
+    @property
+    def end_s(self) -> float:
+        """Window end (exclusive)."""
+        return self.start_s + self.duration_s
+
+    @property
+    def silent(self) -> bool:
+        """True if this fault corrupts data instead of raising."""
+        return self.kind in SILENT_KINDS
+
+    def describe(self) -> str:
+        """One-line human summary."""
+        budget = "∞" if self.count is None else str(self.count)
+        return (
+            f"{self.device}/{self.kind} @ [{self.start_s:.2f}, {self.end_s:.2f})s "
+            f"x{budget}"
+        )
+
+
+class FaultPlan:
+    """An ordered, immutable campaign of fault windows.
+
+    Parameters
+    ----------
+    specs:
+        The fault windows, matched in the given order when an access could
+        satisfy several.
+    seed:
+        The seed the campaign was generated from, if any — carried for
+        reporting only; the plan itself is already fully deterministic.
+    name:
+        Campaign label for reports.
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec], *, seed: Optional[int] = None, name: str = "campaign"):
+        self.specs: Tuple[FaultSpec, ...] = tuple(specs)
+        self.seed = seed
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    def describe(self) -> str:
+        """Multi-line summary of the campaign."""
+        seed = f" (seed {self.seed})" if self.seed is not None else ""
+        head = f"{self.name}{seed}: {len(self.specs)} fault windows"
+        return "\n".join([head] + [f"  {spec.describe()}" for spec in self.specs])
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        *,
+        horizon_s: float = 20.0,
+        n_faults: int = 8,
+        name: str = "generated",
+    ) -> "FaultPlan":
+        """Draw a fully random campaign from a seed.
+
+        Every device/kind pair is equally likely; windows are uniform over
+        the horizon with ~0.5 s durations and small injection budgets. The
+        same ``(seed, horizon_s, n_faults)`` triple always produces the
+        same plan.
+        """
+        if horizon_s <= 0:
+            raise FaultInjectionError(f"horizon must be positive, got {horizon_s!r}")
+        if n_faults < 1:
+            raise FaultInjectionError(f"n_faults must be >= 1, got {n_faults!r}")
+        rng = np.random.default_rng(seed)
+        pairs = [(d, k) for d, kinds in sorted(FAULT_KINDS.items()) for k in kinds]
+        specs = []
+        for _ in range(n_faults):
+            device, kind = pairs[int(rng.integers(len(pairs)))]
+            start = float(rng.uniform(0.05, 0.9) * horizon_s)
+            duration = float(rng.uniform(0.2, 0.8))
+            count = int(rng.integers(1, 4))
+            specs.append(FaultSpec(device, kind, round(start, 3), round(duration, 3), count))
+        specs.sort(key=lambda s: s.start_s)
+        return cls(specs, seed=seed, name=name)
+
+
+def standard_campaign(seed: int = 1, *, horizon_s: float = 20.0) -> FaultPlan:
+    """The resilience experiment's standard fault mix.
+
+    One window per fault family, anchored at fixed fractions of the horizon
+    with a small seed-driven jitter (±2 % of the horizon), so different
+    seeds probe different alignments against governor cycles while keeping
+    the campaign's shape comparable across systems and runtimes:
+
+    * transient MSR read failures early on (hits the UPS per-core sweep),
+    * PCM sample dropouts (hits the MAGUS throughput read),
+    * a fixed-counter wrap mid-run (silent; UPS must delta modulo 2^48),
+    * a RAPL read failure and a later RAPL register-reset glitch,
+    * one actuation-write failure,
+    * two sustained outages — every PCM read failing for a stretch, then
+      every MSR read — long enough to exhaust any bounded retry budget, so
+      whichever runtime depends on the dead device must fail safe and
+      later re-arm,
+    * a frozen PCM counter window near the end.
+    """
+    rng = np.random.default_rng(seed)
+
+    def at(frac: float) -> float:
+        return round(float((frac + rng.uniform(-0.02, 0.02)) * horizon_s), 3)
+
+    win = round(horizon_s * 0.06, 3)
+    outage = round(horizon_s * 0.08, 3)
+    specs = (
+        FaultSpec("msr", "read_error", at(0.12), win, count=2),
+        FaultSpec("pcm", "dropout", at(0.22), win, count=2),
+        FaultSpec("msr", "wrap", at(0.32), 0.0, count=1),
+        FaultSpec("rapl", "read_error", at(0.40), win, count=1),
+        FaultSpec("actuation", "write_error", at(0.48), win, count=1),
+        FaultSpec("pcm", "dropout", at(0.56), outage, count=None),
+        FaultSpec("msr", "read_error", at(0.68), outage, count=None),
+        FaultSpec("rapl", "glitch", at(0.78), win, count=1),
+        FaultSpec("pcm", "freeze", at(0.86), round(horizon_s * 0.05, 3), count=1),
+    )
+    return FaultPlan(specs, seed=seed, name="standard")

@@ -98,6 +98,20 @@ class UncoreGovernor(abc.ABC):
     def on_attach(self, context: GovernorContext) -> None:
         """Subclass hook for post-attach initialisation (optional)."""
 
+    def on_rearm(self) -> None:
+        """Hook called by a supervising runtime before re-arming this policy.
+
+        After a fail-safe transition (the governor crashed or its telemetry
+        stayed down through every retry), the supervisor pins the uncore at
+        the vendor-default ceiling and, after a cooldown, gives the policy
+        another chance.  Policies holding measurement state that spans the
+        outage (reference counters, windowed averages) should reset it
+        here; the default is a no-op.  ``sample_and_decide`` must also obey
+        the *retry contract*: read all telemetry before mutating internal
+        state, so an access that fails mid-cycle can be retried without the
+        policy double-counting its own observations.
+        """
+
     @property
     def context(self) -> GovernorContext:
         """The bound context.

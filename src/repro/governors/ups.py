@@ -31,12 +31,11 @@ import numpy as np
 
 from repro.errors import GovernorError
 from repro.governors.base import Decision, GovernorContext, UncoreGovernor
+from repro.telemetry.msr import counter_delta_array
 from repro.telemetry.rapl import RAPL_DRAM
 from repro.telemetry.sampling import AccessMeter
 
 __all__ = ["UPSConfig", "UPSGovernor"]
-
-_COUNTER_MOD = 1 << 48
 
 
 @dataclass(frozen=True)
@@ -109,6 +108,22 @@ class UPSGovernor(UncoreGovernor):
         self._state = self._EXPLORING
         self._ref_ipc = None
 
+    def on_rearm(self) -> None:
+        """Restart from a fresh phase after a supervised outage.
+
+        The measurement windows spanning the outage are meaningless (the
+        node may have sat pinned at the fail-safe ceiling for seconds), so
+        drop them and re-enter exploration exactly as at launch.
+        """
+        self._prev_instr = None
+        self._prev_cycles = None
+        self._prev_dram_energy_j = None
+        self._prev_time_s = None
+        self._prev_dram_power_w = None
+        self._state = self._EXPLORING
+        self._ref_ipc = None
+        self._settled_cycles = 0
+
     # ------------------------------------------------------------------
     # Measurement helpers
     # ------------------------------------------------------------------
@@ -125,8 +140,11 @@ class UPSGovernor(UncoreGovernor):
         ipc: Optional[float] = None
         dram_power: Optional[float] = None
         if self._prev_instr is not None and self._prev_time_s is not None:
-            d_instr = (instr.astype(np.int64) - self._prev_instr.astype(np.int64)) % _COUNTER_MOD
-            d_cycles = (cycles.astype(np.int64) - self._prev_cycles.astype(np.int64)) % _COUNTER_MOD
+            # Wrap-safe modular deltas: a fixed counter crossing 2^48
+            # between sweeps (or shifted there by a fault campaign) must
+            # not corrupt the IPC window.
+            d_instr = counter_delta_array(instr, self._prev_instr)
+            d_cycles = counter_delta_array(cycles, self._prev_cycles)
             total_cycles = int(d_cycles.sum())
             ipc = float(d_instr.sum() / total_cycles) if total_cycles > 0 else 0.0
             elapsed = now_s - self._prev_time_s

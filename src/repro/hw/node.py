@@ -92,6 +92,11 @@ class HeterogeneousNode:
         #: each decision cycle (energy of its counter reads amortised over
         #: the cycle). Charged to the package domain.
         self.monitor_power_w = 0.0
+        #: True while a supervising runtime has failed-safe: the governor
+        #: is down and the uncore sits pinned at the vendor-default
+        #: ceiling. Cleared on successful re-arm. Schedulers treat degraded
+        #: nodes as serving-but-unmanaged (power waste, not an outage).
+        self.degraded = False
         self._last_state: Optional[NodeTickState] = None
         self._time_s = 0.0
 

@@ -65,6 +65,10 @@ class MonitorDaemon:
         self.app_present = app_present
         self._next_fire_s = float("inf")
         self._initialised = False
+        # A decision sampled but not yet actuated: a retried invocation
+        # resumes at the actuation step instead of re-running the policy
+        # (which would double-count its observations).
+        self._pending_decision: Optional[Decision] = None
         #: Per-cycle invocation times (meter time totals), for Table 2.
         self.invocation_times_s: List[float] = []
         #: Total monitoring energy charged, joules.
@@ -111,21 +115,55 @@ class MonitorDaemon:
         """Simulated time of the next invocation."""
         return self._next_fire_s
 
-    def invoke(self, now_s: float) -> None:
-        """One monitoring/decision cycle."""
+    def invoke(self, now_s: float, meter: Optional[AccessMeter] = None) -> None:
+        """One monitoring/decision cycle.
+
+        Parameters
+        ----------
+        now_s:
+            Simulated time of the invocation.
+        meter:
+            Meter to charge the cycle to. A supervisor retrying a failed
+            cycle passes the *same* meter across attempts so the failed
+            accesses (and any backoff it charged) land in the successful
+            cycle's invocation time and monitoring energy — Table 2 stays
+            honest under faults. Omitted, a fresh meter is used (the
+            fault-free path, bit-identical to the pre-supervision daemon).
+
+        Raises
+        ------
+        Exception
+            Whatever the telemetry or the governor raised. On any failure
+            the partially-run cycle is *not* accounted: no invocation time
+            is recorded, the schedule does not advance, and the node's
+            monitoring power is reset to zero rather than left stale from
+            the prior cycle (it will be re-established by a successful
+            retry, or by :meth:`abandon_cycle` when the supervisor gives
+            up).
+        """
         gov = self.governor
-        meter = AccessMeter()
+        meter = meter if meter is not None else AccessMeter()
 
-        if not self._initialised:
-            # Software runtime launch: program the governor's initial
-            # uncore frequency through the normal MSR path.
-            self.hub.set_uncore_max_ghz(gov.initial_uncore_ghz, meter)
-            self._initialised = True
+        try:
+            if not self._initialised:
+                # Software runtime launch: program the governor's initial
+                # uncore frequency through the normal MSR path.
+                self.hub.set_uncore_max_ghz(gov.initial_uncore_ghz, meter)
+                self._initialised = True
 
-        decision = gov.sample_and_decide(now_s, meter)
-        self.decisions.append(decision)
-        if decision.target_ghz is not None:
-            self.hub.set_uncore_max_ghz(decision.target_ghz, meter)
+            if self._pending_decision is None:
+                self._pending_decision = gov.sample_and_decide(now_s, meter)
+            decision = self._pending_decision
+            if decision.target_ghz is not None:
+                self.hub.set_uncore_max_ghz(decision.target_ghz, meter)
+            self._pending_decision = None
+            self.decisions.append(decision)
+        except BaseException:
+            if not gov.hardware:
+                # Never leave the prior cycle's monitoring power on the
+                # node: the runtime is (for now) not monitoring.
+                self.node.monitor_power_w = 0.0
+            raise
 
         if gov.hardware:
             # Firmware: no software cost.
@@ -149,6 +187,22 @@ class MonitorDaemon:
             self._next_fire_s = float("inf")
         else:
             self._next_fire_s = now_s + cycle_s
+
+    def abandon_cycle(self, meter: AccessMeter) -> None:
+        """Close the books on a cycle that will never complete.
+
+        Called by a supervisor after retries are exhausted: the energy the
+        failed attempts burned is still real and is folded into the
+        monitoring total, but no invocation time is recorded (the cycle
+        produced no decision), the node's monitoring power is zeroed, and
+        any half-made decision is discarded so a later re-arm starts a
+        fresh cycle.  The schedule is intentionally *not* advanced — the
+        supervisor owns recovery timing.
+        """
+        if not self.governor.hardware:
+            self.monitor_energy_j += meter.energy_j
+            self.node.monitor_power_w = 0.0
+        self._pending_decision = None
 
     # ------------------------------------------------------------------
     # Reporting helpers

@@ -20,6 +20,9 @@ from typing import Dict, List, Optional, Union
 from repro.errors import ConfigError, GovernorError
 from repro.core.config import MagusConfig
 from repro.core.magus import MagusGovernor
+from repro.faults.incidents import Incident, IncidentLog
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.governors.base import Decision, UncoreGovernor
 from repro.governors.default import VendorDefaultGovernor
 from repro.governors.oracle import OracleGovernor
@@ -28,6 +31,7 @@ from repro.governors.static import StaticUncoreGovernor
 from repro.governors.ups import UPSConfig, UPSGovernor
 from repro.hw.presets import SystemPreset, get_preset
 from repro.runtime.daemon import MonitorDaemon
+from repro.runtime.supervisor import SupervisedDaemon, SupervisorConfig
 from repro.sim.clock import SimClock
 from repro.sim.engine import SimulationEngine
 from repro.sim.observers import standard_observers
@@ -97,6 +101,16 @@ class RunResult:
     decision_period_s: Optional[float]
     traces: Dict[str, TimeSeries] = field(repr=False, default_factory=dict)
     decisions: List[Decision] = field(repr=False, default_factory=list)
+    #: Incident log of a supervised/faulted run (injections + responses).
+    incidents: List[Incident] = field(repr=False, default_factory=list)
+    #: Whether the run executed under a SupervisedDaemon.
+    supervised: bool = False
+    #: Simulated seconds the node spent degraded (failed-safe).
+    degraded_time_s: float = 0.0
+    #: Fail-safe transitions, re-arms and watchdog trips (supervised runs).
+    failsafe_count: int = 0
+    rearm_count: int = 0
+    missed_deadlines: int = 0
 
     @property
     def cpu_energy_j(self) -> float:
@@ -157,6 +171,10 @@ def run_application(
     max_time_s: float = 600.0,
     per_core_channels: bool = True,
     extra_observers=(),
+    fault_plan: Optional[FaultPlan] = None,
+    supervise: Optional[bool] = None,
+    supervisor_config: Optional[SupervisorConfig] = None,
+    incident_log: Optional[IncidentLog] = None,
 ) -> RunResult:
     """Simulate one workload under one governor on one system.
 
@@ -184,6 +202,21 @@ def run_application(
         Additional :class:`~repro.sim.observers.TickObserver` instances
         spliced into the engine's stack before the runtime-firing stage
         (after any observers the governor itself contributes).
+    fault_plan:
+        A :class:`~repro.faults.plan.FaultPlan` to inject against the
+        node's telemetry, or ``None`` for a fault-free run.
+    supervise:
+        Wrap the daemon in a :class:`~repro.runtime.supervisor.
+        SupervisedDaemon`. Defaults to ``True`` when a fault plan is given
+        (an unsupervised faulted run unwinds on the first raised fault —
+        occasionally useful as a control, so it stays expressible with
+        ``supervise=False``) and ``False`` otherwise.
+    supervisor_config:
+        Supervision tunables; defaults apply when omitted.
+    incident_log:
+        Shared log for injections and supervisor responses; a fresh one is
+        created when omitted. The final contents are returned on
+        ``RunResult.incidents``.
 
     Returns
     -------
@@ -206,13 +239,29 @@ def run_application(
     node.force_uncore_all(preset.uncore_min_ghz)
     hub = TelemetryHub(node, preset.telemetry, vendor=preset.vendor)
 
+    if supervise is None:
+        supervise = fault_plan is not None
+    log = incident_log if incident_log is not None else IncidentLog()
+    if fault_plan is not None:
+        hub.install_fault_injector(FaultInjector(fault_plan, log=log))
+
     runtimes = []
     daemon: Optional[MonitorDaemon] = None
+    supervisor: Optional[SupervisedDaemon] = None
     policy_observers = []
     if governor is not None:
         daemon = MonitorDaemon(governor, hub, node, app_present=workload is not None)
-        runtimes.append(daemon)
-        policy_observers.extend(daemon.observers)
+        if supervise:
+            supervisor = SupervisedDaemon(
+                daemon,
+                supervisor_config if supervisor_config is not None else SupervisorConfig(),
+                log=log,
+            )
+            runtimes.append(supervisor)
+            policy_observers.extend(supervisor.observers)
+        else:
+            runtimes.append(daemon)
+            policy_observers.extend(daemon.observers)
 
     observers = standard_observers(
         node,
@@ -229,6 +278,9 @@ def run_application(
     dram_energy = traces["dram_w"].integral()
     gpu_energy = traces["gpu_w"].integral()
     duration = max(result.runtime_s, 1e-9)
+    degraded_time_s = (
+        traces["supervisor_degraded"].integral() if "supervisor_degraded" in traces else 0.0
+    )
 
     return RunResult(
         workload_name=workload.name if workload is not None else "<idle>",
@@ -248,4 +300,10 @@ def run_application(
         decision_period_s=daemon.decision_period_s if daemon is not None else None,
         traces=traces,
         decisions=list(daemon.decisions) if daemon is not None else [],
+        incidents=list(log),
+        supervised=supervisor is not None,
+        degraded_time_s=degraded_time_s,
+        failsafe_count=supervisor.failsafe_count if supervisor is not None else 0,
+        rearm_count=supervisor.rearm_count if supervisor is not None else 0,
+        missed_deadlines=supervisor.missed_deadlines if supervisor is not None else 0,
     )

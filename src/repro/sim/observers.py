@@ -46,6 +46,7 @@ __all__ = [
     "TelemetryObserver",
     "NodeStateObserver",
     "CoreFrequencyObserver",
+    "DegradedStateObserver",
     "RuntimeObserver",
     "core_freq_channels",
     "standard_observers",
@@ -232,6 +233,42 @@ class CoreFrequencyObserver(BaseTickObserver):
         for (cpu, _), offset in zip(self.node.sockets, self._offsets):
             freqs = cpu.core_freqs_ghz
             row[start + offset : start + offset + len(freqs)] = freqs
+
+
+class DegradedStateObserver(BaseTickObserver):
+    """Records a supervised runtime's health as trace channels.
+
+    ``supervisor_degraded`` is 1.0 while the node runs in degraded mode
+    (governor failed-safe, uncore pinned at the vendor-default ceiling,
+    awaiting re-arm or permanently dead) and 0.0 otherwise; integrating it
+    gives the run's degraded-mode dwell time.  ``supervisor_incidents`` is
+    the cumulative incident count, so incident bursts are visible on the
+    shared time base of every other channel.
+
+    ``source`` is anything with a boolean ``degraded`` attribute and an
+    integer ``incident_count`` property — in practice a
+    :class:`~repro.runtime.supervisor.SupervisedDaemon`; the protocol keeps
+    the sim layer free of runtime imports.
+    """
+
+    CHANNELS = ("supervisor_degraded", "supervisor_incidents")
+
+    def __init__(self, source) -> None:
+        self.source = source
+        self._row = None
+        self._sl: Optional[slice] = None
+
+    def declare_channels(self, registry: ChannelRegistry) -> None:
+        self._sl = registry.declare("supervision", self.CHANNELS).slice
+
+    def on_start(self, engine: "SimulationEngine") -> None:
+        self._row = engine.trace_row
+
+    def on_tick(self, state, execution) -> None:
+        self._row[self._sl] = (
+            1.0 if self.source.degraded else 0.0,
+            float(self.source.incident_count),
+        )
 
 
 class RuntimeObserver(BaseTickObserver):

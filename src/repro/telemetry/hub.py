@@ -54,9 +54,30 @@ class TelemetryHub:
         self.rapl = RAPLCounters(node, costs)
         self.nvml = NVMLDevice(node)
         self.hsmp: Optional[HSMPDevice] = HSMPDevice(node, costs) if vendor == "amd" else None
+        #: Installed fault injector, if any (see :meth:`install_fault_injector`).
+        self.fault_injector = None
+
+    def install_fault_injector(self, injector) -> None:
+        """Wrap every device behind ``injector``'s fault proxies.
+
+        This is the injectable seam the robustness experiments use: after
+        installation, ``hub.msr``/``hub.pcm``/``hub.rapl`` (and ``hub.hsmp``
+        on AMD) are proxies that realise the injector's
+        :class:`~repro.faults.plan.FaultPlan` while preserving per-access
+        meter charging.  A hub accepts at most one injector for its
+        lifetime.
+        """
+        if self.fault_injector is not None:
+            raise TelemetryError("hub already has a fault injector installed")
+        injector.arm(self)
+        self.fault_injector = injector
 
     def on_tick(self, dt_s: float) -> None:
         """Advance every device's accumulators by one tick."""
+        if self.fault_injector is not None:
+            # Campaign time advances first so faults scheduled at this
+            # tick's boundary are active for the accesses that follow.
+            self.fault_injector.on_tick(dt_s)
         self.msr.on_tick(dt_s)
         self.pcm.on_tick(dt_s)
         self.rapl.on_tick(dt_s)

@@ -25,7 +25,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import MSRAccessError
+from repro.errors import CounterOverflowError, MSRAccessError
 from repro.hw.node import HeterogeneousNode
 from repro.hw.presets import TelemetryCosts
 from repro.telemetry.sampling import AccessMeter
@@ -39,6 +39,7 @@ __all__ = [
     "encode_uncore_ratio_limit",
     "decode_uncore_ratio_limit",
     "counter_delta",
+    "counter_delta_array",
     "MSRDevice",
 ]
 
@@ -80,8 +81,39 @@ def decode_uncore_ratio_limit(value: int) -> Tuple[int, int]:
 
 
 def counter_delta(later: int, earlier: int) -> int:
-    """Difference of two wrapping 48-bit counter reads (handles one wrap)."""
+    """Difference of two wrapping 48-bit counter reads (handles one wrap).
+
+    >>> counter_delta(5, (1 << 48) - 10)
+    15
+
+    Raises
+    ------
+    CounterOverflowError
+        If either read is outside the counter's 48-bit range — such a value
+        cannot have come from the register, so the delta is unrecoverable.
+    """
+    if not (0 <= later < _COUNTER_MOD and 0 <= earlier < _COUNTER_MOD):
+        raise CounterOverflowError(
+            f"counter reads outside 48-bit range: later={later!r}, earlier={earlier!r}"
+        )
     return (later - earlier) % _COUNTER_MOD
+
+
+def counter_delta_array(later: np.ndarray, earlier: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`counter_delta` over per-core counter sweeps.
+
+    Both arrays are validated against the 48-bit range and differenced
+    modulo 2^48, so one wrap between sweeps (a busy core wraps IA32_FIXED_*
+    roughly every day; a campaign-injected wrap, much sooner) yields the
+    true advance rather than a ~2^48 garbage delta.
+    """
+    later = np.asarray(later, dtype=np.uint64)
+    earlier = np.asarray(earlier, dtype=np.uint64)
+    if bool((later >= _COUNTER_MOD).any()) or bool((earlier >= _COUNTER_MOD).any()):
+        raise CounterOverflowError("counter sweep contains values outside the 48-bit range")
+    # 2^64 is a multiple of 2^48, so uint64 wraparound followed by mod 2^48
+    # is exact for one counter wrap.
+    return (later - earlier) % np.uint64(_COUNTER_MOD)
 
 
 class MSRDevice:
@@ -229,6 +261,19 @@ class MSRDevice:
                 n=2 * self.node.n_cores,
             )
         return self._instructions.copy(), self._cycles.copy()
+
+    def jump_counters(self, offset: int) -> None:
+        """Shift every fixed counter by ``offset`` modulo 2^48.
+
+        The test/fault seam behind counter-wrap injection: a *uniform*
+        shift parks the counters wherever a campaign wants (just below the
+        wrap boundary, typically) while modular readers keep seeing exact
+        deltas for every window that does not span the shift itself.
+        """
+        off = np.uint64(offset % _COUNTER_MOD)
+        mod = np.uint64(_COUNTER_MOD)
+        self._instructions = (self._instructions + off) % mod
+        self._cycles = (self._cycles + off) % mod
 
     def _check_core(self, core: int) -> None:
         if not (0 <= core < self.node.n_cores):

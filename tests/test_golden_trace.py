@@ -56,3 +56,77 @@ class TestGoldenEquivalence:
         # channels beyond the old fixed core0..core3), never a subset.
         _, result = golden_pair
         assert set(gen_golden_trace.GOLDEN_CHANNELS) <= set(result.recorder.channels)
+
+
+def _instrumented_golden_run(governor_name: str, *, supervised: bool):
+    """``golden_run``, returning the daemon (and supervisor) handles too."""
+    from repro.hw.presets import intel_a100
+    from repro.runtime.daemon import MonitorDaemon
+    from repro.runtime.session import make_governor
+    from repro.runtime.supervisor import SupervisedDaemon
+    from repro.sim.clock import SimClock
+    from repro.sim.engine import SimulationEngine
+    from repro.sim.observers import standard_observers
+    from repro.sim.rng import RngStreams
+    from repro.telemetry.hub import TelemetryHub
+    from repro.workloads.registry import get_workload
+
+    preset = intel_a100()
+    node = preset.build_node(RngStreams(gen_golden_trace.SEED))
+    node.force_uncore_all(preset.uncore_min_ghz)
+    hub = TelemetryHub(node, preset.telemetry, vendor=preset.vendor)
+    daemon = MonitorDaemon(make_governor(governor_name), hub, node)
+    supervisor = SupervisedDaemon(daemon) if supervised else None
+    runtime = supervisor if supervised else daemon
+    observers = standard_observers(node, hub, [runtime], extra=tuple(runtime.observers))
+    engine = SimulationEngine(
+        node, observers=observers, clock=SimClock(gen_golden_trace.DT_S)
+    )
+    workload = get_workload(gen_golden_trace.WORKLOAD, seed=gen_golden_trace.SEED)
+    result = engine.run(workload, max_time_s=gen_golden_trace.MAX_TIME_S)
+    return result, daemon, supervisor
+
+
+class TestSupervisionIsPassThrough:
+    """Supervision with zero faults must not perturb a single sample.
+
+    The fault-free path of :class:`SupervisedDaemon` is a strict
+    pass-through: golden traces stay bit-identical, and invocation times /
+    monitoring energy match the unsupervised daemon exactly — the paper's
+    overhead numbers are supervision-invariant.
+    """
+
+    @pytest.fixture(scope="class", params=["magus", "ups"])
+    def supervised_pair(self, request):
+        golden_path = os.path.join(
+            os.path.dirname(__file__), "data", f"golden_trace_{request.param}.npz"
+        )
+        golden = np.load(golden_path)
+        supervised = _instrumented_golden_run(request.param, supervised=True)
+        plain = _instrumented_golden_run(request.param, supervised=False)
+        return golden, supervised, plain
+
+    def test_traces_bit_identical_to_golden(self, supervised_pair):
+        golden, (result, _daemon, _sup), _plain = supervised_pair
+        mismatched = [
+            channel
+            for channel in gen_golden_trace.GOLDEN_CHANNELS
+            if not np.array_equal(golden[channel], result.recorder.series(channel).values)
+        ]
+        assert mismatched == []
+
+    def test_accounting_identical_to_unsupervised(self, supervised_pair):
+        _golden, (_r, daemon, _sup), (_rp, plain_daemon, _) = supervised_pair
+        assert daemon.invocation_times_s == plain_daemon.invocation_times_s
+        assert daemon.monitor_energy_j == plain_daemon.monitor_energy_j
+        assert daemon.decisions == plain_daemon.decisions
+
+    def test_no_incidents_and_never_degraded(self, supervised_pair):
+        _golden, (result, _daemon, supervisor), _plain = supervised_pair
+        assert len(supervisor.log) == 0
+        assert not supervisor.degraded
+        assert supervisor.failsafe_count == 0
+        assert supervisor.missed_deadlines == 0
+        # The degraded channel exists and is identically zero.
+        degraded = result.recorder.series("supervisor_degraded").values
+        assert degraded.max() == 0.0

@@ -66,6 +66,50 @@ class TestPCM:
             a100_hub.pcm.on_tick(0.0)
 
 
+class TestPCMDegenerateWindows:
+    """Edge-case semantics of the windowed read, pinned for the fault code.
+
+    The fault proxies and the supervisor lean on these behaviours (a frozen
+    counter yields a stale-but-finite reading; a first-tick read does not
+    divide by zero), so they are contracts, not accidents.
+    """
+
+    def test_read_before_any_tick_returns_zero(self, a100_hub):
+        # Only the (0, 0) genesis snapshot exists: no elapsed time, no crash.
+        assert a100_hub.pcm.read_throughput_mbps() == 0.0
+
+    def test_first_tick_read_uses_single_sample(self, a100_node, a100_hub):
+        a100_node.force_uncore_all(2.2)
+        drive(a100_node, a100_hub, seconds=0.01, demand=10.0)
+        # One 10 ms sample against a 100 ms requested window: the walk-back
+        # clamps to the genesis snapshot and averages what actually exists.
+        mbps = a100_hub.pcm.read_throughput_mbps()
+        assert 0.0 < mbps <= 10_000.0 * 1.05
+
+    def test_window_longer_than_history_clamps(self, a100_node, a100_hub):
+        a100_node.force_uncore_all(2.2)
+        drive(a100_node, a100_hub, seconds=0.5, demand=10.0)
+        # 10 s window >> 0.5 s of history (and > the 2 s retention span):
+        # the read degrades to the oldest retained snapshot, i.e. the
+        # whole-history average, rather than raising or extrapolating.
+        clamped = a100_hub.pcm.read_throughput_mbps(window_s=10.0)
+        full = a100_hub.pcm.read_throughput_mbps(window_s=0.5)
+        assert clamped == pytest.approx(full, rel=1e-9)
+        assert clamped == pytest.approx(10_000.0, rel=0.05)
+
+    def test_zero_elapsed_window_returns_zero(self, a100_node, a100_hub):
+        # Degenerate history where every retained snapshot shares one
+        # timestamp (a stalled clock source): zero elapsed must read as
+        # zero throughput, not divide by zero.
+        pcm = a100_hub.pcm
+        drive(a100_node, a100_hub, seconds=0.05, demand=10.0)
+        snapshot = (pcm._time_s, pcm.bytes_total)
+        pcm._history.clear()
+        pcm._history.append(snapshot)
+        pcm._history.append(snapshot)
+        assert pcm.read_throughput_mbps(window_s=1.0) == 0.0
+
+
 class TestRAPL:
     def test_energy_integrates_power(self, a100_node, a100_hub):
         drive(a100_node, a100_hub, seconds=1.0)

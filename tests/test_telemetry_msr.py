@@ -1,13 +1,16 @@
 """MSRDevice: 0x620 codec, actuation semantics, counters, access costs."""
 
+import numpy as np
 import pytest
 
-from repro.errors import MSRAccessError
+from repro.errors import CounterOverflowError, MSRAccessError
 from repro.telemetry.msr import (
+    COUNTER_WIDTH_BITS,
     IA32_FIXED_CTR0,
     IA32_FIXED_CTR1,
     MSR_UNCORE_RATIO_LIMIT,
     counter_delta,
+    counter_delta_array,
     decode_uncore_ratio_limit,
     encode_uncore_ratio_limit,
 )
@@ -38,16 +41,61 @@ class TestRatioLimitCodec:
             decode_uncore_ratio_limit(-1)
 
 
+_MOD = 1 << COUNTER_WIDTH_BITS
+
+
 class TestCounterDelta:
     def test_simple_delta(self):
         assert counter_delta(100, 40) == 60
 
     def test_wraparound(self):
-        width = 1 << 48
-        assert counter_delta(5, width - 10) == 15
+        assert counter_delta(5, _MOD - 10) == 15
 
     def test_zero(self):
         assert counter_delta(7, 7) == 0
+
+    def test_boundary_values_accepted(self):
+        # 2^48 - 1 is the last representable read; the full modulus is not.
+        assert counter_delta(_MOD - 1, 0) == _MOD - 1
+        assert counter_delta(0, _MOD - 1) == 1
+
+    def test_exact_width_value_rejected(self):
+        with pytest.raises(CounterOverflowError):
+            counter_delta(_MOD, 0)
+        with pytest.raises(CounterOverflowError):
+            counter_delta(0, _MOD)
+
+    def test_negative_read_rejected(self):
+        with pytest.raises(CounterOverflowError):
+            counter_delta(-1, 0)
+
+
+class TestCounterDeltaArray:
+    def test_matches_scalar_elementwise(self):
+        later = np.array([100, 5, 0, _MOD - 1], dtype=np.uint64)
+        earlier = np.array([40, _MOD - 10, _MOD - 1, 0], dtype=np.uint64)
+        expected = [counter_delta(int(a), int(b)) for a, b in zip(later, earlier)]
+        assert counter_delta_array(later, earlier).tolist() == expected
+
+    def test_out_of_range_sweep_rejected(self):
+        good = np.zeros(3, dtype=np.uint64)
+        bad = np.array([0, _MOD, 0], dtype=np.uint64)
+        with pytest.raises(CounterOverflowError):
+            counter_delta_array(bad, good)
+        with pytest.raises(CounterOverflowError):
+            counter_delta_array(good, bad)
+
+    def test_uniform_shift_preserves_deltas(self):
+        # The wrap-injection invariant: shifting both sweeps by the same
+        # offset modulo 2^48 leaves every delta untouched.
+        rng = np.random.default_rng(0)
+        earlier = rng.integers(0, _MOD, size=16, dtype=np.uint64)
+        later = (earlier + rng.integers(0, 1 << 30, size=16, dtype=np.uint64)) % np.uint64(_MOD)
+        shift = np.uint64(_MOD - 12345)
+        shifted = counter_delta_array(
+            (later + shift) % np.uint64(_MOD), (earlier + shift) % np.uint64(_MOD)
+        )
+        assert np.array_equal(shifted, counter_delta_array(later, earlier))
 
 
 class TestActuationPath:
@@ -122,6 +170,46 @@ class TestFixedCounters:
     def test_bad_core_rejected(self, a100_hub):
         with pytest.raises(MSRAccessError):
             a100_hub.msr.read(0, IA32_FIXED_CTR0, core=999)
+
+
+class TestCounterWrapRuns:
+    """A UPS run whose fixed counters wrap mid-run must be unaffected.
+
+    The counters are shifted uniformly *before* the run starts, so every
+    windowed delta is exact modulo 2^48 (the per-tick increments do not
+    depend on the counter values) — the governor must make bit-identical
+    decisions, proving its measurement path survives a 48-bit wrap.
+    """
+
+    def _ups_decisions(self, jump_offset=None):
+        from repro.hw.presets import intel_a100
+        from repro.runtime.daemon import MonitorDaemon
+        from repro.runtime.session import make_governor
+        from repro.sim.clock import SimClock
+        from repro.sim.engine import SimulationEngine
+        from repro.sim.rng import RngStreams
+        from repro.telemetry.hub import TelemetryHub
+        from repro.workloads.registry import get_workload
+
+        preset = intel_a100()
+        node = preset.build_node(RngStreams(1))
+        node.force_uncore_all(preset.uncore_min_ghz)
+        hub = TelemetryHub(node, preset.telemetry, vendor=preset.vendor)
+        if jump_offset is not None:
+            hub.msr.jump_counters(jump_offset)
+        daemon = MonitorDaemon(make_governor("ups"), hub, node)
+        engine = SimulationEngine(node, hub, [daemon], SimClock(0.01))
+        engine.run(get_workload("srad", seed=1), max_time_s=8.0)
+        return hub, daemon.decisions
+
+    def test_run_spans_wrap_without_corrupting_decisions(self):
+        _hub, baseline = self._ups_decisions()
+        # Park the counters so the busiest cores cross 2^48 ~2 s in.
+        hub, wrapped = self._ups_decisions(jump_offset=(1 << 48) - 5_000_000_000)
+        instr, _cycles = hub.msr.read_all_core_counters()
+        assert int(instr.min()) < (1 << 47)  # the wrap actually happened
+        assert len(baseline) > 3
+        assert wrapped == baseline
 
 
 class TestAccessCosts:
