@@ -1,0 +1,29 @@
+"""Journaled, crash-resumable experiment campaigns.
+
+The paper's full protocol (5 repeats, the full Fig. 7 grid, 10-minute
+Table 2 runs) is a long campaign; this subsystem makes it cheap to repeat
+and hard to lose.  The protocol is decomposed into named steps
+(:mod:`repro.campaign.steps`) with content-derived cache keys; each
+completed step persists its artefacts and a durable JSONL journal line
+(:mod:`repro.campaign.journal`), and ``repro campaign run --resume``
+(:func:`repro.campaign.runner.run_campaign`) re-executes only what is
+missing or stale.
+"""
+
+from repro.campaign.journal import Journal, JournalEntry, file_sha256, step_key
+from repro.campaign.runner import JOURNAL_NAME, CampaignResult, StepReport, run_campaign
+from repro.campaign.steps import CampaignStep, paper_steps, resolve_steps
+
+__all__ = [
+    "Journal",
+    "JournalEntry",
+    "step_key",
+    "file_sha256",
+    "CampaignStep",
+    "paper_steps",
+    "resolve_steps",
+    "run_campaign",
+    "CampaignResult",
+    "StepReport",
+    "JOURNAL_NAME",
+]

@@ -1,0 +1,171 @@
+"""Journaled, resumable campaign execution.
+
+``run_campaign`` drives the named steps of the paper protocol with
+crash-resume semantics:
+
+* every completed step persists its artefacts *then* appends a durable
+  journal line (flush + fsync), so a kill -9 mid-campaign costs at most
+  the in-flight step;
+* ``resume=True`` replays the journal and skips steps whose entry matches
+  the current content key (step name, implementation version, seed, quick
+  flag) *and* whose artefacts are still on disk with matching SHA-256 —
+  a changed seed, a bumped step version, or a tampered CSV re-runs the
+  step instead of serving stale artefacts;
+* a resumed campaign's artefacts are bit-identical to an uninterrupted
+  run's, because steps are independent and deterministic in (seed, quick).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.campaign.journal import Journal, JournalEntry, file_sha256, step_key
+from repro.campaign.steps import CampaignStep, resolve_steps
+
+__all__ = ["StepReport", "CampaignResult", "run_campaign", "JOURNAL_NAME"]
+
+#: Journal file name inside the campaign outdir.
+JOURNAL_NAME = "campaign.jsonl"
+
+
+@dataclass(frozen=True)
+class StepReport:
+    """What happened to one step during a campaign run."""
+
+    name: str
+    key: str
+    #: ``"ran"`` (executed this run) or ``"cached"`` (served from journal).
+    status: str
+    artefacts: List[str]
+    duration_s: float
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Outcome of one ``run_campaign`` invocation."""
+
+    outdir: Path
+    journal_path: Path
+    seed: int
+    quick: bool
+    reports: List[StepReport]
+
+    @property
+    def executed(self) -> List[str]:
+        """Names of steps that actually ran."""
+        return [r.name for r in self.reports if r.status == "ran"]
+
+    @property
+    def skipped(self) -> List[str]:
+        """Names of steps served from the journal cache."""
+        return [r.name for r in self.reports if r.status == "cached"]
+
+    @property
+    def artefacts(self) -> List[Path]:
+        """Every artefact of the campaign, in step order."""
+        return [self.outdir / a for r in self.reports for a in r.artefacts]
+
+
+def _entry_satisfies(entry: JournalEntry, key: str, outdir: Path) -> bool:
+    """Whether a journal entry proves the step's artefacts are current."""
+    if entry.key != key:
+        return False
+    if len(entry.artefacts) != len(entry.checksums):
+        return False
+    for rel, checksum in zip(entry.artefacts, entry.checksums):
+        path = outdir / rel
+        if not path.exists() or file_sha256(path) != checksum:
+            return False
+    return True
+
+
+def run_campaign(
+    outdir: Union[str, Path],
+    *,
+    seed: int = 1,
+    quick: bool = True,
+    resume: bool = False,
+    steps: Optional[Sequence[str]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CampaignResult:
+    """Run (or resume) a journaled campaign into ``outdir``.
+
+    Parameters
+    ----------
+    outdir:
+        Campaign directory; artefacts and the JSONL journal land here.
+    seed:
+        Master seed, folded into every step's cache key.
+    quick:
+        Reduced-protocol flag (single repeat, reduced Fig. 7 grid,
+        2-minute overhead runs), folded into every cache key.
+    resume:
+        Replay the journal and skip steps with valid entries.  Without it
+        any existing journal is cleared and every step re-runs.
+    steps:
+        Optional subset of step names (canonical order preserved).
+    progress:
+        Optional callable receiving one human-readable line per step.
+
+    Returns
+    -------
+    CampaignResult
+        Per-step reports (``ran`` vs ``cached``) plus artefact paths.
+    """
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    journal = Journal(outdir / JOURNAL_NAME)
+    selected: List[CampaignStep] = resolve_steps(steps)
+    say = progress if progress is not None else (lambda line: None)
+
+    cached_entries = {}
+    if resume:
+        cached_entries = journal.latest_by_step()
+    else:
+        journal.clear()
+
+    reports: List[StepReport] = []
+    for step in selected:
+        key = step_key(step.name, step.version, seed=seed, quick=quick)
+        entry = cached_entries.get(step.name)
+        if entry is not None and _entry_satisfies(entry, key, outdir):
+            reports.append(
+                StepReport(
+                    name=step.name,
+                    key=key,
+                    status="cached",
+                    artefacts=list(entry.artefacts),
+                    duration_s=0.0,
+                )
+            )
+            say(f"{step.name:<8} cached ({len(entry.artefacts)} artefact(s))")
+            continue
+        t0 = time.perf_counter()
+        paths = step.execute(outdir, seed=seed, quick=quick)
+        duration = time.perf_counter() - t0
+        rel = [str(p.relative_to(outdir)) if p.is_relative_to(outdir) else str(p) for p in paths]
+        journal.append(
+            JournalEntry(
+                step=step.name,
+                key=key,
+                artefacts=tuple(rel),
+                checksums=tuple(file_sha256(p) for p in paths),
+                duration_s=duration,
+            )
+        )
+        reports.append(
+            StepReport(
+                name=step.name, key=key, status="ran", artefacts=rel, duration_s=duration
+            )
+        )
+        say(f"{step.name:<8} ran in {duration:.1f}s -> {', '.join(rel)}")
+    return CampaignResult(
+        outdir=outdir,
+        journal_path=journal.path,
+        seed=seed,
+        quick=quick,
+        reports=reports,
+    )

@@ -1,0 +1,77 @@
+"""Named campaign steps over the paper's artefact exporters.
+
+A step is the unit of crash-resume: each wraps one paper artefact (one
+exporter from :data:`repro.experiments.export.EXPORT_STEPS`), carries an
+implementation ``version`` that is folded into its cache key (bump it when
+a step's output format or semantics change — stale artefacts from older
+code then re-run instead of being served from the journal), and returns
+the artefact paths it wrote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.errors import CampaignError
+from repro.experiments.export import EXPORT_STEPS
+
+__all__ = ["CampaignStep", "paper_steps", "resolve_steps"]
+
+#: Bump when *every* exporter's output changes shape at once (schema-wide
+#: migrations); per-step churn should bump the individual step version.
+_STEP_VERSION = "1"
+
+
+@dataclass(frozen=True)
+class CampaignStep:
+    """One journaled, individually cacheable unit of a campaign.
+
+    Parameters
+    ----------
+    name:
+        Step identity; also the journal key namespace.
+    run:
+        ``run(outdir, seed=..., quick=...)`` producing the artefact paths.
+    version:
+        Implementation version folded into the cache key.
+    """
+
+    name: str
+    run: Callable[..., List[Path]] = field(repr=False)
+    version: str = _STEP_VERSION
+
+    def execute(self, outdir: Union[str, Path], *, seed: int, quick: bool) -> List[Path]:
+        """Run the step and return the artefacts it wrote."""
+        paths = self.run(outdir, seed=seed, quick=quick)
+        if not paths:
+            raise CampaignError(f"step {self.name!r} wrote no artefacts")
+        return [Path(p) for p in paths]
+
+
+def paper_steps() -> List[CampaignStep]:
+    """The full paper protocol as named steps, in canonical order."""
+    return [CampaignStep(name=name, run=func) for name, func in EXPORT_STEPS.items()]
+
+
+def resolve_steps(names: Optional[Sequence[str]] = None) -> List[CampaignStep]:
+    """Select steps by name (canonical order preserved); ``None`` = all.
+
+    Unknown names raise :class:`~repro.errors.CampaignError` listing the
+    valid step names.
+    """
+    steps = paper_steps()
+    if names is None:
+        return steps
+    known = {s.name for s in steps}
+    unknown = [n for n in names if n not in known]
+    if unknown:
+        raise CampaignError(
+            f"unknown step(s) {sorted(unknown)}; known: {', '.join(s.name for s in steps)}"
+        )
+    wanted = set(names)
+    selected = [s for s in steps if s.name in wanted]
+    if not selected:
+        raise CampaignError("no steps selected")
+    return selected

@@ -10,6 +10,9 @@ an entry point). Subcommands mirror the library's main workflows::
     repro suite --figure 4a                      # a Fig. 4 sweep
     repro experiments --quick                    # the full paper report
     repro resilience --seed 2 --check-repro      # fault campaign vs golden runs
+    repro campaign run --outdir out --quick      # journaled, crash-resumable protocol
+    repro campaign run --outdir out --resume     # skip journalled steps, rerun the rest
+    repro fleet --job unet@0 --job bfs@5 --mtbf 300   # fleet under node failures
 """
 
 from __future__ import annotations
@@ -78,6 +81,37 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_p.add_argument("--governor", default="magus", choices=GOVERNORS)
     fleet_p.add_argument("--budget", type=float, default=None, help="power budget in watts")
     fleet_p.add_argument("--seed", type=int, default=1)
+    fleet_p.add_argument(
+        "--mtbf", type=float, default=None, metavar="SECONDS",
+        help="enable the node-failure model with this per-node MTBF",
+    )
+    fleet_p.add_argument(
+        "--restart-delay", type=float, default=5.0, metavar="SECONDS",
+        help="checkpoint-restart delay after a node death (with --mtbf)",
+    )
+    fleet_p.add_argument(
+        "--lost-work", type=float, default=1.0, metavar="FRACTION",
+        help="fraction of a killed segment's work lost (1.0 = no checkpointing)",
+    )
+
+    camp_p = sub.add_parser(
+        "campaign", help="journaled, crash-resumable runs of the paper protocol"
+    )
+    camp_sub = camp_p.add_subparsers(dest="campaign_command", required=True)
+    camp_run = camp_sub.add_parser("run", help="run (or resume) a campaign")
+    camp_run.add_argument("--outdir", required=True, help="campaign directory (artefacts + journal)")
+    camp_run.add_argument("--seed", type=int, default=1)
+    camp_run.add_argument("--quick", action="store_true", help="reduced protocol")
+    camp_run.add_argument(
+        "--resume", action="store_true",
+        help="skip steps whose journal entry and artefacts are still valid",
+    )
+    camp_run.add_argument(
+        "--steps", default=None, metavar="NAME[,NAME...]",
+        help="comma-separated subset of steps (default: all)",
+    )
+    camp_status = camp_sub.add_parser("status", help="show the campaign journal")
+    camp_status.add_argument("--outdir", required=True, help="campaign directory")
 
     res_p = sub.add_parser(
         "resilience", help="governors under a seeded fault campaign vs fault-free golden runs"
@@ -178,7 +212,7 @@ def _cmd_suite(args) -> int:
 
 
 def _cmd_fleet(args) -> int:
-    from repro.cluster import ClusterJob, ClusterSimulator, compare_fleets
+    from repro.cluster import ClusterJob, ClusterSimulator, NodeFailureModel, compare_fleets
 
     jobs = []
     for i, spec in enumerate(args.job):
@@ -186,9 +220,17 @@ def _cmd_fleet(args) -> int:
         jobs.append(
             ClusterJob(f"job{i}-{name}", name, float(start) if start else 0.0, seed=args.seed + i)
         )
+    model = None
+    if args.mtbf is not None:
+        model = NodeFailureModel(
+            mtbf_s=args.mtbf,
+            seed=args.seed,
+            restart_delay_s=args.restart_delay,
+            lost_work_fraction=args.lost_work,
+        )
     sim = ClusterSimulator(args.system, jobs, n_nodes=args.nodes)
-    baseline = sim.run_fleet("default")
-    method = sim.run_fleet(args.governor)
+    baseline = sim.run_fleet("default", failure_model=model)
+    method = sim.run_fleet(args.governor, failure_model=model)
     comparison = compare_fleets(baseline, method, budget_w=args.budget)
     print(
         format_table(
@@ -200,7 +242,61 @@ def _cmd_fleet(args) -> int:
             title=f"{sim.n_nodes}-node fleet on {args.system}",
         )
     )
+    if model is not None:
+        rows = [
+            (
+                f.governor,
+                str(f.n_failures),
+                f"{f.lost_work_s:.1f}",
+                f"{f.wasted_energy_j / 1000:.2f}",
+                f"{f.total_restart_delay_s:.1f}",
+            )
+            for f in (baseline, method)
+        ]
+        print(
+            format_table(
+                ("policy", "node deaths", "lost work (s)", "wasted energy (kJ)", "restart delay (s)"),
+                rows,
+                title=f"churn under MTBF {args.mtbf:.0f}s (failure seed {args.seed})",
+            )
+        )
     print(str(comparison))
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    from repro.campaign import JOURNAL_NAME, Journal, run_campaign
+
+    if args.campaign_command == "status":
+        journal = Journal(f"{args.outdir}/{JOURNAL_NAME}")
+        entries = journal.entries()
+        if not entries:
+            print(f"no journal at {journal.path}")
+            return 0
+        print(
+            format_table(
+                ("step", "key", "artefacts", "duration (s)"),
+                [
+                    (e.step, e.key[:12], ", ".join(e.artefacts), f"{e.duration_s:.1f}")
+                    for e in entries
+                ],
+                title=f"campaign journal ({journal.path})",
+            )
+        )
+        return 0
+    steps = args.steps.split(",") if args.steps else None
+    result = run_campaign(
+        args.outdir,
+        seed=args.seed,
+        quick=args.quick,
+        resume=args.resume,
+        steps=steps,
+        progress=print,
+    )
+    print(
+        f"campaign complete: {len(result.executed)} step(s) ran, "
+        f"{len(result.skipped)} cached; journal at {result.journal_path}"
+    )
     return 0
 
 
@@ -273,6 +369,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_verify(args)
         if args.command == "fleet":
             return _cmd_fleet(args)
+        if args.command == "campaign":
+            return _cmd_campaign(args)
         parser.error(f"unknown command {args.command!r}")
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

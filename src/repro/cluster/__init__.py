@@ -8,6 +8,7 @@ a chosen uncore policy, with the aggregate power profile, peak demand and
 budget-violation time computed across the fleet.
 """
 
+from repro.cluster.failures import NodeFailureEvent, NodeFailureModel, Segment
 from repro.cluster.job import ClusterJob
 from repro.cluster.simulator import (
     ClusterSimulator,
@@ -26,4 +27,7 @@ __all__ = [
     "JobOutcome",
     "Placement",
     "compare_fleets",
+    "NodeFailureModel",
+    "NodeFailureEvent",
+    "Segment",
 ]

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import ExperimentError
 
@@ -26,6 +27,10 @@ class ClusterJob:
         Workload jitter seed (also the node's hardware-noise seed).
     gpu_count:
         GPUs the application spans (must not exceed the preset's count).
+    max_time_s:
+        Optional per-job simulation horizon; ``None`` uses the runtime
+        default.  Short horizons (below the aggregation grid step) are
+        valid — instant jobs contribute only their idle-replacement window.
     """
 
     name: str
@@ -33,6 +38,7 @@ class ClusterJob:
     start_time_s: float = 0.0
     seed: int = 0
     gpu_count: int = 1
+    max_time_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -41,3 +47,5 @@ class ClusterJob:
             raise ExperimentError(f"job {self.name!r}: negative start time {self.start_time_s!r}")
         if self.gpu_count < 1:
             raise ExperimentError(f"job {self.name!r}: invalid gpu_count {self.gpu_count!r}")
+        if self.max_time_s is not None and self.max_time_s <= 0:
+            raise ExperimentError(f"job {self.name!r}: invalid max_time_s {self.max_time_s!r}")

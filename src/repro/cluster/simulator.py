@@ -12,6 +12,14 @@ The quantities the §6.1 budget argument cares about:
 * **peak aggregate power** — what the facility must provision for;
 * **time over budget** — how long a given cap would have been violated;
 * **fleet energy** — the sum the energy-saving metric generalises to.
+
+With an optional :class:`~repro.cluster.failures.NodeFailureModel` the run
+additionally models fail-stop node deaths: a killed node's job requeues
+FIFO onto the surviving nodes (checkpoint-restart, configurable lost-work
+fraction), dead nodes stop contributing idle power, and the
+:class:`FleetResult` carries the failure/requeue accounting (wasted energy,
+restart delay, per-node failure log) so :func:`compare_fleets` can report
+governor deltas under churn.
 """
 
 from __future__ import annotations
@@ -23,15 +31,27 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ExperimentError
+from repro.cluster.failures import NodeFailureEvent, NodeFailureModel, Segment
 from repro.cluster.job import ClusterJob
 from repro.hw.presets import SystemPreset, get_preset
 from repro.parallel.pool import map_parallel
+from repro.parallel.retry import RetryPolicy
 from repro.runtime.session import make_governor, run_application
 
-__all__ = ["JobOutcome", "Placement", "FleetResult", "ClusterSimulator", "FleetComparison", "compare_fleets"]
+__all__ = [
+    "JobOutcome",
+    "Placement",
+    "FleetResult",
+    "ClusterSimulator",
+    "FleetComparison",
+    "compare_fleets",
+]
 
 #: Aggregation grid step (cluster time).
 GRID_S = 0.5
+
+#: Default per-job simulation horizon (matches ``run_application``).
+_DEFAULT_JOB_HORIZON_S = 600.0
 
 
 @dataclass(frozen=True)
@@ -61,6 +81,7 @@ def _run_job(preset_name: str, job: ClusterJob, governor_name: str, dt_s: float)
         make_governor(governor_name),
         seed=job.seed,
         dt_s=dt_s,
+        max_time_s=job.max_time_s if job.max_time_s is not None else _DEFAULT_JOB_HORIZON_S,
         per_core_channels=False,
     )
     trace = result.traces["total_w"].resample(GRID_S)
@@ -73,6 +94,20 @@ def _run_job(preset_name: str, job: ClusterJob, governor_name: str, dt_s: float)
         power_times_s=trace.times,
         power_values_w=trace.values,
     )
+
+
+def _window_energy(times: np.ndarray, values: np.ndarray, t0: float, t1: float) -> float:
+    """Trapezoidal energy of a power trace over the job-local window [t0, t1].
+
+    Out-of-range queries clamp to the trace's edge values (``np.interp``
+    semantics); degenerate windows and empty traces integrate to zero.
+    """
+    if t1 <= t0 or times.size == 0:
+        return 0.0
+    inner = times[(times > t0) & (times < t1)]
+    xs = np.concatenate(([t0], inner, [t1]))
+    ys = np.interp(xs, times, values)
+    return float(np.trapezoid(ys, xs))
 
 
 @dataclass(frozen=True)
@@ -94,8 +129,13 @@ class FleetResult:
     grid_times_s: np.ndarray
     aggregate_power_w: np.ndarray
     idle_node_power_w: float
-    #: job name -> placement (node + actual start after any queueing).
+    #: job name -> placement (first node + actual start after any queueing).
     placements: Dict[str, "Placement"] = field(default_factory=dict)
+    #: Node deaths that interrupted a job, in time order (failure runs only).
+    failures: List[NodeFailureEvent] = field(default_factory=list)
+    #: job name -> execution segments (populated when a failure model ran;
+    #: a never-interrupted job has exactly one segment).
+    executions: Dict[str, List[Segment]] = field(default_factory=dict)
 
     def placement(self, job_name: str) -> "Placement":
         """Look up one job's placement."""
@@ -112,6 +152,8 @@ class FleetResult:
     @property
     def makespan_s(self) -> float:
         """Cluster time at which the last job completes."""
+        if self.executions:
+            return max(seg.end_s for segs in self.executions.values() for seg in segs)
         return max(
             self.placements[o.job.name].actual_start_s + o.runtime_s for o in self.outcomes
         )
@@ -132,6 +174,47 @@ class FleetResult:
             raise ExperimentError(f"budget must be positive, got {budget_w!r}")
         over = self.aggregate_power_w > budget_w
         return float(over.sum() * GRID_S)
+
+    # -- failure/requeue accounting (zero on fault-free runs) ---------------
+
+    @property
+    def n_failures(self) -> int:
+        """Node deaths that interrupted a running job."""
+        return len(self.failures)
+
+    @property
+    def wasted_energy_j(self) -> float:
+        """Energy spent on work lost to failures (replayed after requeue)."""
+        return sum(e.wasted_energy_j for e in self.failures)
+
+    @property
+    def lost_work_s(self) -> float:
+        """Job-seconds of work lost to failures."""
+        return sum(e.lost_work_s for e in self.failures)
+
+    @property
+    def total_restart_delay_s(self) -> float:
+        """Cluster time jobs spent between a failure and their resumption
+        (restart delay plus any wait for a surviving node)."""
+        total = 0.0
+        for segs in self.executions.values():
+            for prev, nxt in zip(segs, segs[1:]):
+                total += nxt.start_s - prev.end_s
+        return total
+
+    @property
+    def requeue_counts(self) -> Dict[str, int]:
+        """job name -> number of times the job was requeued (0 omitted)."""
+        return {
+            name: len(segs) - 1 for name, segs in self.executions.items() if len(segs) > 1
+        }
+
+    def node_failure_log(self) -> Dict[int, List[NodeFailureEvent]]:
+        """Failures grouped per node id (only nodes that killed a job)."""
+        log: Dict[int, List[NodeFailureEvent]] = {}
+        for event in self.failures:
+            log.setdefault(event.node_id, []).append(event)
+        return log
 
 
 class ClusterSimulator:
@@ -193,11 +276,18 @@ class ClusterSimulator:
         *,
         dt_s: float = 0.01,
         n_workers: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
+        failure_model: Optional[NodeFailureModel] = None,
     ) -> FleetResult:
         """Run every job under ``governor_name`` and aggregate.
 
         Job simulations are independent and run through the process pool;
-        results are deterministic regardless of worker count.
+        results are deterministic regardless of worker count.  ``retry``
+        forwards a :class:`~repro.parallel.retry.RetryPolicy` to the pool
+        (long fleets survive a transiently killed worker).  With a
+        ``failure_model`` the *simulated* fleet additionally suffers seeded
+        node deaths: interrupted jobs requeue FIFO onto surviving nodes and
+        the result carries the failure accounting.
         """
         outcomes: List[JobOutcome] = map_parallel(
             _run_job,
@@ -206,12 +296,43 @@ class ClusterSimulator:
                 for job in self.jobs
             ],
             n_workers=n_workers,
+            retry=retry,
         )
         idle_w = self.idle_node_power_w(dt_s)
+        if failure_model is None:
+            placements = self._place_fifo(outcomes)
+            grid, aggregate = self._aggregate(outcomes, placements, idle_w)
+            return FleetResult(
+                preset_name=self.preset.name,
+                governor=governor_name,
+                outcomes=outcomes,
+                grid_times_s=grid,
+                aggregate_power_w=aggregate,
+                idle_node_power_w=idle_w,
+                placements=placements,
+            )
+        placements, executions, events, deaths = self._place_with_failures(
+            outcomes, failure_model
+        )
+        grid, aggregate = self._aggregate_segments(outcomes, executions, idle_w, deaths)
+        return FleetResult(
+            preset_name=self.preset.name,
+            governor=governor_name,
+            outcomes=outcomes,
+            grid_times_s=grid,
+            aggregate_power_w=aggregate,
+            idle_node_power_w=idle_w,
+            placements=placements,
+            failures=events,
+            executions=executions,
+        )
 
-        # FIFO placement: jobs in requested-start order onto the first
-        # node to free up (trivially their requested starts when the fleet
-        # has one node per job).
+    # -- placement ---------------------------------------------------------
+
+    def _place_fifo(self, outcomes: Sequence[JobOutcome]) -> Dict[str, Placement]:
+        """FIFO placement: jobs in requested-start order onto the first
+        node to free up (trivially their requested starts when the fleet
+        has one node per job)."""
         placements: Dict[str, Placement] = {}
         node_free = [(0.0, node_id) for node_id in range(self._n_nodes)]
         heapq.heapify(node_free)
@@ -225,27 +346,188 @@ class ClusterSimulator:
                 queue_wait_s=actual - o.job.start_time_s,
             )
             heapq.heappush(node_free, (actual + o.runtime_s, node_id))
+        return placements
 
+    def _place_with_failures(
+        self, outcomes: Sequence[JobOutcome], model: NodeFailureModel
+    ) -> Tuple[
+        Dict[str, Placement], Dict[str, List[Segment]], List[NodeFailureEvent], np.ndarray
+    ]:
+        """FIFO placement under seeded fail-stop node deaths.
+
+        A node whose death time falls inside a job's execution kills the
+        segment: the retained progress is ``executed * (1 - lost_work
+        _fraction)`` and the job re-enters the FIFO queue (after the
+        model's restart delay) to resume on the first surviving node to
+        free up.  Dead nodes never come back.  Deterministic: the only
+        randomness is the model's seeded death-time draw.
+        """
+        deaths = model.death_times(self._n_nodes)
+        by_outcome = {o.job.name: o for o in outcomes}
+        placements: Dict[str, Placement] = {}
+        executions: Dict[str, List[Segment]] = {o.job.name: [] for o in outcomes}
+        events: List[NodeFailureEvent] = []
+
+        node_free = [(0.0, node_id) for node_id in range(self._n_nodes)]
+        heapq.heapify(node_free)
+        # Pending queue: (ready_time, fifo_seq, job_name); requeued jobs
+        # get a fresh (later) sequence number, preserving FIFO order.
+        seq = 0
+        pending: List[Tuple[float, int, str]] = []
+        remaining: Dict[str, float] = {}
+        offset: Dict[str, float] = {}
+        for o in sorted(outcomes, key=lambda o: (o.job.start_time_s, o.job.name)):
+            heapq.heappush(pending, (o.job.start_time_s, seq, o.job.name))
+            remaining[o.job.name] = o.runtime_s
+            offset[o.job.name] = 0.0
+            seq += 1
+
+        while pending:
+            ready, _, name = heapq.heappop(pending)
+            o = by_outcome[name]
+            # First surviving node to free up; nodes found dead by the time
+            # they would start the job are discarded for good.
+            node_id = None
+            while node_free:
+                free_at, candidate = heapq.heappop(node_free)
+                start = max(ready, free_at)
+                if deaths[candidate] <= start:
+                    continue
+                node_id = candidate
+                break
+            if node_id is None:
+                raise ExperimentError(
+                    f"all {self._n_nodes} nodes failed before the schedule drained "
+                    f"(job {name!r} still pending); lower the failure rate or add nodes"
+                )
+            if name not in placements:
+                placements[name] = Placement(
+                    node_id=node_id,
+                    actual_start_s=start,
+                    queue_wait_s=start - o.job.start_time_s,
+                )
+            end = start + remaining[name]
+            if deaths[node_id] < end:
+                # Node dies mid-job: book the partial segment, charge the
+                # lost work, and requeue onto the survivors.
+                time_of_death = float(deaths[node_id])
+                executed = time_of_death - start
+                retained = executed * (1.0 - model.lost_work_fraction)
+                lost = executed - retained
+                wasted = _window_energy(
+                    o.power_times_s,
+                    o.power_values_w,
+                    offset[name] + retained,
+                    offset[name] + executed,
+                )
+                executions[name].append(
+                    Segment(
+                        node_id=node_id,
+                        start_s=start,
+                        offset_s=offset[name],
+                        duration_s=executed,
+                    )
+                )
+                events.append(
+                    NodeFailureEvent(
+                        node_id=node_id,
+                        time_s=time_of_death,
+                        job_name=name,
+                        lost_work_s=lost,
+                        wasted_energy_j=wasted,
+                    )
+                )
+                offset[name] += retained
+                remaining[name] -= retained
+                heapq.heappush(pending, (time_of_death + model.restart_delay_s, seq, name))
+                seq += 1
+                # The dead node is not returned to the free heap.
+            else:
+                executions[name].append(
+                    Segment(
+                        node_id=node_id,
+                        start_s=start,
+                        offset_s=offset[name],
+                        duration_s=remaining[name],
+                    )
+                )
+                heapq.heappush(node_free, (end, node_id))
+        events.sort(key=lambda e: (e.time_s, e.node_id))
+        return placements, executions, events, deaths
+
+    # -- aggregation -------------------------------------------------------
+
+    @staticmethod
+    def _job_horizon_s(outcome: JobOutcome) -> float:
+        """Length of one job's power contribution on the cluster grid.
+
+        Guards the degenerate traces of instant/zero-length jobs: a run
+        shorter than the engine tick records no samples at all, so the
+        resampled trace can be empty — fall back to the job's runtime
+        (floored to one grid step) instead of indexing ``times[-1]``.
+        """
+        if outcome.power_times_s.size:
+            return float(outcome.power_times_s[-1])
+        return max(outcome.runtime_s, GRID_S)
+
+    def _aggregate(
+        self,
+        outcomes: Sequence[JobOutcome],
+        placements: Dict[str, Placement],
+        idle_w: float,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Failure-free aggregation on the common cluster-time grid."""
         horizon = (
-            max(placements[o.job.name].actual_start_s + o.power_times_s[-1] for o in outcomes)
+            max(placements[o.job.name].actual_start_s + self._job_horizon_s(o) for o in outcomes)
             + GRID_S
         )
         grid = np.arange(GRID_S, horizon + GRID_S / 2, GRID_S)
         aggregate = np.full(grid.shape, float(self._n_nodes) * idle_w)
         for o in outcomes:
+            if o.power_times_s.size == 0:
+                continue
             shifted = placements[o.job.name].actual_start_s + o.power_times_s
             inside = (grid >= shifted[0]) & (grid <= shifted[-1])
             # Replace the node's idle contribution with the job's profile.
             aggregate[inside] += np.interp(grid[inside], shifted, o.power_values_w) - idle_w
-        return FleetResult(
-            preset_name=self.preset.name,
-            governor=governor_name,
-            outcomes=outcomes,
-            grid_times_s=grid,
-            aggregate_power_w=aggregate,
-            idle_node_power_w=idle_w,
-            placements=placements,
-        )
+        return grid, aggregate
+
+    def _aggregate_segments(
+        self,
+        outcomes: Sequence[JobOutcome],
+        executions: Dict[str, List[Segment]],
+        idle_w: float,
+        deaths: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Aggregation over per-segment executions under node failures.
+
+        Each segment contributes the slice of its job's power profile
+        starting at the segment's checkpoint offset; dead nodes stop
+        contributing idle power from their time of death.
+        """
+        horizon = max(
+            (seg.end_s for segs in executions.values() for seg in segs), default=GRID_S
+        ) + GRID_S
+        grid = np.arange(GRID_S, horizon + GRID_S / 2, GRID_S)
+        aggregate = np.full(grid.shape, float(self._n_nodes) * idle_w)
+        for node_id in range(self._n_nodes):
+            if deaths[node_id] < grid[-1]:
+                aggregate[grid > deaths[node_id]] -= idle_w
+        by_outcome = {o.job.name: o for o in outcomes}
+        for name, segs in executions.items():
+            o = by_outcome[name]
+            if o.power_times_s.size == 0:
+                continue
+            for seg in segs:
+                inside = (grid >= seg.start_s) & (grid <= seg.end_s)
+                if not inside.any():
+                    continue
+                local = seg.offset_s + (grid[inside] - seg.start_s)
+                power = np.interp(local, o.power_times_s, o.power_values_w)
+                # The node was alive through the segment, so its idle
+                # contribution is still in the baseline: swap, don't add.
+                aggregate[inside] += power - idle_w
+        return grid, aggregate
 
 
 @dataclass(frozen=True)
@@ -261,6 +543,11 @@ class FleetComparison:
     budget_w: Optional[float]
     baseline_time_over_budget_s: Optional[float]
     method_time_over_budget_s: Optional[float]
+    #: Churn accounting (zero when neither fleet ran a failure model).
+    baseline_failures: int = 0
+    method_failures: int = 0
+    baseline_wasted_energy_j: float = 0.0
+    method_wasted_energy_j: float = 0.0
 
     def __str__(self) -> str:
         text = (
@@ -274,6 +561,12 @@ class FleetComparison:
                 f"; time over {self.budget_w:.0f}W budget: "
                 f"{self.baseline_time_over_budget_s:.1f}s -> {self.method_time_over_budget_s:.1f}s"
             )
+        if self.baseline_failures or self.method_failures:
+            text += (
+                f"; churn: {self.baseline_failures} vs {self.method_failures} node deaths, "
+                f"wasted energy {self.baseline_wasted_energy_j / 1000:.2f} -> "
+                f"{self.method_wasted_energy_j / 1000:.2f} kJ"
+            )
         return text
 
 
@@ -285,7 +578,10 @@ def compare_fleets(
 ) -> FleetComparison:
     """Summarise a paired fleet comparison.
 
-    Both fleets must have run the same schedule on the same preset.
+    Both fleets must have run the same schedule on the same preset.  When
+    either ran under a :class:`~repro.cluster.failures.NodeFailureModel`
+    the comparison also carries the churn accounting, so governor deltas
+    can be read under node failures as well as in the clean case.
     """
     if baseline.preset_name != method.preset_name:
         raise ExperimentError("fleets ran on different presets")
@@ -302,4 +598,8 @@ def compare_fleets(
         budget_w=budget_w,
         baseline_time_over_budget_s=baseline.time_over_budget_s(budget_w) if budget_w else None,
         method_time_over_budget_s=method.time_over_budget_s(budget_w) if budget_w else None,
+        baseline_failures=baseline.n_failures,
+        method_failures=method.n_failures,
+        baseline_wasted_energy_j=baseline.wasted_energy_j,
+        method_wasted_energy_j=method.wasted_energy_j,
     )

@@ -25,6 +25,9 @@ __all__ = [
     "UnknownWorkloadError",
     "GovernorError",
     "ExperimentError",
+    "PoolError",
+    "TaskTimeoutError",
+    "CampaignError",
 ]
 
 
@@ -111,3 +114,34 @@ class GovernorError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised by the experiment harness (missing artefacts, bad grids...)."""
+
+
+class PoolError(ExperimentError):
+    """Raised when a parallel sweep fails after retries are exhausted.
+
+    Carries the structured :class:`~repro.parallel.retry.TaskFailure`
+    records of every task that could not be completed, so callers in
+    ``on_error="raise"`` mode still learn *which* grid points died and why.
+    """
+
+    def __init__(self, message: str, failures: tuple = ()):  # type: ignore[type-arg]
+        self.failures = tuple(failures)
+        super().__init__(message)
+
+
+class TaskTimeoutError(PoolError):
+    """Raised inside a pool worker when one task exceeds its time budget."""
+
+    def __init__(self, timeout_s: float):
+        self.timeout_s = timeout_s
+        # Single-argument super() keeps the exception picklable across the
+        # process boundary (pickle re-calls __init__ with ``args``).
+        super().__init__(f"task exceeded its {timeout_s:.3g}s timeout")
+
+    def __reduce__(self):
+        return (TaskTimeoutError, (self.timeout_s,))
+
+
+class CampaignError(ExperimentError):
+    """Raised by the journaled-campaign runner (bad step names, corrupt
+    journal entries, cache-key mismatches...)."""

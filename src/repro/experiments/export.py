@@ -15,7 +15,22 @@ from typing import Dict, List, Union
 from repro.errors import ExperimentError
 from repro.sim.trace import TimeSeries
 
-__all__ = ["export_series_csv", "export_rows_csv", "export_all"]
+__all__ = [
+    "export_series_csv",
+    "export_rows_csv",
+    "export_all",
+    "EXPORT_STEPS",
+    "export_fig1",
+    "export_fig2",
+    "export_fig4a",
+    "export_fig4b",
+    "export_fig4c",
+    "export_fig5",
+    "export_fig6",
+    "export_table1",
+    "export_fig7",
+    "export_table2",
+]
 
 
 def export_series_csv(path: Union[str, Path], series: Dict[str, TimeSeries], *, period_s: float = 0.5) -> None:
@@ -55,63 +70,95 @@ def export_rows_csv(path: Union[str, Path], header: List[str], rows: List[List])
             writer.writerow(row)
 
 
-def export_all(outdir: Union[str, Path], *, seed: int = 1, quick: bool = True) -> List[Path]:
-    """Run every experiment and write one CSV per artefact.
+def _fig4_step(figure: str):
+    """Build the exporter for one Fig. 4 panel (shared row schema)."""
 
-    Returns the list of files written. Reuses the same experiment
-    entry points as the printed reports.
-    """
-    from repro.experiments.fig1_profiling import run_fig1
-    from repro.experiments.fig2_power_profiles import run_fig2
-    from repro.experiments.fig4_end_to_end import run_fig4a, run_fig4b, run_fig4c
-    from repro.experiments.fig5_srad_throughput import run_fig5
-    from repro.experiments.fig6_srad_uncore import run_fig6
-    from repro.experiments.fig7_sensitivity import run_fig7, threshold_grid
-    from repro.experiments.table1_jaccard import PAPER_JACCARD, run_table1
-    from repro.experiments.table2_overhead import run_table2
+    def _export(outdir: Union[str, Path], *, seed: int = 1, quick: bool = True) -> List[Path]:
+        from repro.experiments.fig4_end_to_end import run_fig4a, run_fig4b, run_fig4c
 
-    outdir = Path(outdir)
-    written: List[Path] = []
-
-    def _series(name: str, series, period_s: float = 0.5) -> None:
-        path = outdir / name
-        export_series_csv(path, series, period_s=period_s)
-        written.append(path)
-
-    def _rows(name: str, header, rows) -> None:
-        path = outdir / name
-        export_rows_csv(path, header, rows)
-        written.append(path)
-
-    fig1 = run_fig1(seed=seed)
-    _series(
-        "fig1_profiling.csv",
-        {**fig1.core_freq_traces, "gpu_clock_ghz": fig1.gpu_clock_trace, "uncore_ghz": fig1.uncore_freq_trace},
-    )
-
-    fig2 = run_fig2(seed=seed)
-    _series("fig2_power_profiles.csv", {"cpu_w_max_uncore": fig2.max_cpu_power_trace, "cpu_w_min_uncore": fig2.min_cpu_power_trace})
-
-    for name, runner in (("fig4a", run_fig4a), ("fig4b", run_fig4b), ("fig4c", run_fig4c)):
+        runner = {"fig4a": run_fig4a, "fig4b": run_fig4b, "fig4c": run_fig4c}[figure]
         rows = runner(repeats=1 if quick else 5, base_seed=seed)
-        _rows(
-            f"{name}_end_to_end.csv",
+        path = Path(outdir) / f"{figure}_end_to_end.csv"
+        export_rows_csv(
+            path,
             ["workload", "method", "performance_loss", "power_saving", "energy_saving"],
             [[r.workload, r.method, f"{r.performance_loss:.5f}", f"{r.power_saving:.5f}", f"{r.energy_saving:.5f}"] for r in rows],
         )
+        return [path]
+
+    _export.__name__ = f"export_{figure}"
+    _export.__doc__ = f"Write the Fig. {figure[3:]} end-to-end sweep CSV."
+    return _export
+
+
+def export_fig1(outdir: Union[str, Path], *, seed: int = 1, quick: bool = True) -> List[Path]:
+    """Write the Fig. 1 profiling traces CSV."""
+    from repro.experiments.fig1_profiling import run_fig1
+
+    fig1 = run_fig1(seed=seed)
+    path = Path(outdir) / "fig1_profiling.csv"
+    export_series_csv(
+        path,
+        {**fig1.core_freq_traces, "gpu_clock_ghz": fig1.gpu_clock_trace, "uncore_ghz": fig1.uncore_freq_trace},
+    )
+    return [path]
+
+
+def export_fig2(outdir: Union[str, Path], *, seed: int = 1, quick: bool = True) -> List[Path]:
+    """Write the Fig. 2 power-profiles CSV."""
+    from repro.experiments.fig2_power_profiles import run_fig2
+
+    fig2 = run_fig2(seed=seed)
+    path = Path(outdir) / "fig2_power_profiles.csv"
+    export_series_csv(
+        path,
+        {"cpu_w_max_uncore": fig2.max_cpu_power_trace, "cpu_w_min_uncore": fig2.min_cpu_power_trace},
+    )
+    return [path]
+
+
+export_fig4a = _fig4_step("fig4a")
+export_fig4b = _fig4_step("fig4b")
+export_fig4c = _fig4_step("fig4c")
+
+
+def export_fig5(outdir: Union[str, Path], *, seed: int = 1, quick: bool = True) -> List[Path]:
+    """Write the Fig. 5 SRAD memory-throughput CSV."""
+    from repro.experiments.fig5_srad_throughput import run_fig5
 
     fig5 = run_fig5(seed=seed)
-    _series("fig5_srad_throughput.csv", fig5.throughput_traces, period_s=0.2)
+    path = Path(outdir) / "fig5_srad_throughput.csv"
+    export_series_csv(path, fig5.throughput_traces, period_s=0.2)
+    return [path]
+
+
+def export_fig6(outdir: Union[str, Path], *, seed: int = 1, quick: bool = True) -> List[Path]:
+    """Write the Fig. 6 SRAD uncore-frequency CSV."""
+    from repro.experiments.fig6_srad_uncore import run_fig6
 
     fig6 = run_fig6(seed=seed)
-    _series("fig6_srad_uncore.csv", fig6.uncore_traces, period_s=0.2)
+    path = Path(outdir) / "fig6_srad_uncore.csv"
+    export_series_csv(path, fig6.uncore_traces, period_s=0.2)
+    return [path]
+
+
+def export_table1(outdir: Union[str, Path], *, seed: int = 1, quick: bool = True) -> List[Path]:
+    """Write the Table 1 Jaccard-similarity CSV."""
+    from repro.experiments.table1_jaccard import PAPER_JACCARD, run_table1
 
     table1 = run_table1(seed=seed)
-    _rows(
-        "table1_jaccard.csv",
+    path = Path(outdir) / "table1_jaccard.csv"
+    export_rows_csv(
+        path,
         ["application", "jaccard_measured", "jaccard_paper"],
         [[r.workload, f"{r.jaccard:.3f}", PAPER_JACCARD.get(r.workload, "")] for r in table1],
     )
+    return [path]
+
+
+def export_fig7(outdir: Union[str, Path], *, seed: int = 1, quick: bool = True) -> List[Path]:
+    """Write the Fig. 7 threshold-sensitivity CSV."""
+    from repro.experiments.fig7_sensitivity import run_fig7, threshold_grid
 
     grid = threshold_grid() if not quick else threshold_grid()[::4]
     fig7 = run_fig7(seed=seed, grid=grid)
@@ -120,12 +167,50 @@ def export_all(outdir: Union[str, Path], *, seed: int = 1, quick: bool = True) -
         front = set(id(p) for p in fig7.fronts[app])
         for p in points:
             fig7_rows.append([app, p.label, f"{p.runtime_s:.4f}", f"{p.energy_j:.1f}", int(id(p) in front)])
-    _rows("fig7_sensitivity.csv", ["application", "config", "runtime_s", "energy_j", "on_front"], fig7_rows)
+    path = Path(outdir) / "fig7_sensitivity.csv"
+    export_rows_csv(path, ["application", "config", "runtime_s", "energy_j", "on_front"], fig7_rows)
+    return [path]
+
+
+def export_table2(outdir: Union[str, Path], *, seed: int = 1, quick: bool = True) -> List[Path]:
+    """Write the Table 2 runtime-overheads CSV."""
+    from repro.experiments.table2_overhead import run_table2
 
     table2 = run_table2(duration_s=120.0 if quick else 600.0, seed=seed)
-    _rows(
-        "table2_overhead.csv",
+    path = Path(outdir) / "table2_overhead.csv"
+    export_rows_csv(
+        path,
         ["system", "method", "power_overhead_frac", "invocation_s", "decision_period_s"],
         [[r.system, r.method, f"{r.power_overhead_frac:.5f}", f"{r.invocation_s:.4f}", f"{r.decision_period_s:.4f}"] for r in table2],
     )
+    return [path]
+
+
+#: Paper artefact exporters in campaign order: step name -> exporter.  The
+#: journaled-campaign runner (:mod:`repro.campaign`) wraps these as named,
+#: individually cacheable steps; :func:`export_all` runs them back to back.
+EXPORT_STEPS = {
+    "fig1": export_fig1,
+    "fig2": export_fig2,
+    "fig4a": export_fig4a,
+    "fig4b": export_fig4b,
+    "fig4c": export_fig4c,
+    "fig5": export_fig5,
+    "fig6": export_fig6,
+    "table1": export_table1,
+    "fig7": export_fig7,
+    "table2": export_table2,
+}
+
+
+def export_all(outdir: Union[str, Path], *, seed: int = 1, quick: bool = True) -> List[Path]:
+    """Run every experiment and write one CSV per artefact.
+
+    Returns the list of files written. Reuses the same experiment
+    entry points as the printed reports; for a crash-resumable version of
+    the same sweep use ``repro campaign run`` (:mod:`repro.campaign`).
+    """
+    written: List[Path] = []
+    for step in EXPORT_STEPS.values():
+        written.extend(step(outdir, seed=seed, quick=quick))
     return written

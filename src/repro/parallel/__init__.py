@@ -1,5 +1,6 @@
 """Process-parallel sweep execution for experiment grids."""
 
-from repro.parallel.pool import map_parallel, run_grid
+from repro.parallel.pool import default_workers, map_parallel, run_grid
+from repro.parallel.retry import NO_RETRY, RetryPolicy, TaskFailure
 
-__all__ = ["map_parallel", "run_grid"]
+__all__ = ["map_parallel", "run_grid", "default_workers", "RetryPolicy", "TaskFailure", "NO_RETRY"]

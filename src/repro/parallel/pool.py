@@ -8,25 +8,48 @@ experiment harness needs:
 * **Determinism** — results are returned in submission order regardless of
   completion order, so a parallel sweep is bit-identical to a serial one.
 * **Top-level callables only** — workers receive picklable (function,
-  kwargs) pairs; passing a lambda raises immediately with a clear message
-  instead of a cryptic pickling error from inside the pool.
+  kwargs) pairs; passing a lambda — or a non-picklable kwarg such as an
+  open file or a live ``Node`` — raises immediately with a clear message
+  naming the offender instead of a cryptic pickling error from inside the
+  pool.
+* **Resilience** — tasks are submitted as individual futures (not
+  ``pool.map``), so one crashed worker no longer aborts an entire Fig. 4
+  sweep: per-task timeouts, bounded retry-with-backoff
+  (:class:`~repro.parallel.retry.RetryPolicy`), ``BrokenProcessPool``
+  recovery (the executor is rebuilt and only unfinished tasks resubmitted)
+  and an ``on_error="collect"`` mode that returns structured
+  :class:`~repro.parallel.retry.TaskFailure` records in failed slots.
 * **Graceful degradation** — ``n_workers=1`` (or a single task) runs
-  serially in-process, which keeps coverage tools and debuggers usable.
+  serially in-process with identical retry/timeout/collect semantics,
+  which keeps coverage tools and debuggers usable.
+* **Clean interrupt** — ``KeyboardInterrupt`` cancels queued tasks and
+  terminates the worker processes before re-raising, so a Ctrl-C leaves no
+  orphaned workers burning CPU.
 """
 
 from __future__ import annotations
 
+import heapq
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+import signal
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, PoolError, TaskTimeoutError
+from repro.parallel.retry import NO_RETRY, RetryPolicy, TaskFailure
 
-__all__ = ["map_parallel", "run_grid"]
+__all__ = ["map_parallel", "run_grid", "default_workers"]
+
+_ON_ERROR_MODES = ("raise", "collect")
 
 
-def _check_picklable(func: Callable[..., Any]) -> None:
+def _check_picklable(func: Callable[..., Any], kwargs_list: Sequence[Dict[str, Any]] = ()) -> None:
+    """Validate that the function *and every task kwarg* cross the process
+    boundary, raising a clear :class:`ExperimentError` naming the offender."""
     try:
         pickle.dumps(func)
     except Exception as exc:  # pickling failures vary by type
@@ -34,16 +57,217 @@ def _check_picklable(func: Callable[..., Any]) -> None:
             f"{func!r} is not picklable (lambdas/closures cannot cross process "
             f"boundaries); define it at module top level"
         ) from exc
+    for i, kwargs in enumerate(kwargs_list):
+        try:
+            pickle.dumps(kwargs)
+        except Exception:
+            # Re-pickle key by key so the error names the offending kwarg.
+            for key, value in kwargs.items():
+                try:
+                    pickle.dumps(value)
+                except Exception as exc:
+                    raise ExperimentError(
+                        f"task[{i}] kwarg {key!r} ({type(value).__name__}) is not "
+                        f"picklable and cannot be sent to a pool worker; pass "
+                        f"constructor arguments instead of live objects"
+                    ) from exc
+            raise  # dict pickles per-value but not whole — genuinely odd
 
 
 def default_workers() -> int:
-    """A sensible worker count: physical parallelism minus one, at least 1."""
+    """A sensible worker count: physical parallelism minus one, at least 1.
+
+    The ``REPRO_WORKERS`` environment variable overrides the detected value
+    (validated integer >= 1), so CI and memory-constrained boxes can pin
+    pool width without threading ``n_workers`` through every call site.
+    """
+    override = os.environ.get("REPRO_WORKERS")
+    if override is not None:
+        try:
+            workers = int(override)
+        except ValueError:
+            raise ExperimentError(
+                f"REPRO_WORKERS must be an integer >= 1, got {override!r}"
+            ) from None
+        if workers < 1:
+            raise ExperimentError(f"REPRO_WORKERS must be an integer >= 1, got {override!r}")
+        return workers
     return max(1, (os.cpu_count() or 2) - 1)
 
 
-def _invoke(task: Tuple[Callable[..., Any], Dict[str, Any]]) -> Any:
-    func, kwargs = task
-    return func(**kwargs)
+def _run_with_timeout(func: Callable[..., Any], kwargs: Dict[str, Any], timeout_s: Optional[float]) -> Any:
+    """Run one task, raising :class:`TaskTimeoutError` past ``timeout_s``.
+
+    The budget is enforced with ``SIGALRM`` *inside* the executing process
+    (pool workers run tasks on their main thread), so a timed-out task
+    raises and the worker survives — no pool teardown needed.  Off the main
+    thread, or on platforms without ``SIGALRM``, the task runs unbounded.
+    """
+    if (
+        timeout_s is None
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        return func(**kwargs)
+
+    def _on_alarm(signum, frame):
+        raise TaskTimeoutError(timeout_s)
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        return func(**kwargs)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _invoke(task: Tuple[Callable[..., Any], Dict[str, Any], Optional[float]]) -> Any:
+    func, kwargs, timeout_s = task
+    return _run_with_timeout(func, kwargs, timeout_s)
+
+
+def _run_serial(
+    func: Callable[..., Any],
+    kwargs_list: Sequence[Dict[str, Any]],
+    timeout_s: Optional[float],
+    policy: RetryPolicy,
+    on_error: str,
+) -> List[Any]:
+    """In-process execution with the same retry/timeout/collect semantics."""
+    results: List[Any] = []
+    for i, kwargs in enumerate(kwargs_list):
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                results.append(_run_with_timeout(func, dict(kwargs), timeout_s))
+                break
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                if policy.should_retry(exc, attempts):
+                    time.sleep(policy.backoff(attempts))
+                    continue
+                failure = TaskFailure.from_exception(i, kwargs, attempts, exc)
+                if on_error == "raise":
+                    raise PoolError(str(failure), (failure,)) from exc
+                results.append(failure)
+                break
+    return results
+
+
+def _terminate_workers(pool: ProcessPoolExecutor) -> None:
+    """Hard-stop a pool: terminate the workers, then join the executor.
+
+    Order matters: the workers are killed *first* (their death sentinels
+    wake the executor's management thread, which marks the pool broken),
+    and only then is ``shutdown`` called to join that thread.  Calling
+    ``shutdown(wait=False)`` first consumes the executor's only wakeup
+    signal and can leave the management thread blocked in ``select`` with
+    nothing left to wake it — the interpreter then hangs joining it at
+    exit (observed on Ctrl-C).
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for proc in list(processes.values()):
+        try:
+            proc.terminate()
+        except Exception:  # pragma: no cover - already-dead workers
+            pass
+    pool.shutdown(wait=True, cancel_futures=True)
+
+
+# Test seam: the wait primitive the scheduling loop blocks on.
+_wait = wait
+
+
+def _run_pool(
+    func: Callable[..., Any],
+    kwargs_list: Sequence[Dict[str, Any]],
+    width: int,
+    timeout_s: Optional[float],
+    policy: RetryPolicy,
+    on_error: str,
+) -> List[Any]:
+    """Per-task future scheduling with retries and broken-pool recovery."""
+    n = len(kwargs_list)
+    results: List[Any] = [None] * n
+    done_flags = [False] * n
+    attempts = [0] * n
+    failures: Dict[int, TaskFailure] = {}
+    retry_heap: List[Tuple[float, int]] = []  # (due_monotonic, index)
+    future_of: Dict[Future, int] = {}
+    pool = ProcessPoolExecutor(max_workers=width)
+
+    def submit(index: int) -> None:
+        attempts[index] += 1
+        fut = pool.submit(_invoke, (func, dict(kwargs_list[index]), timeout_s))
+        future_of[fut] = index
+
+    def settle_failure(index: int, exc: BaseException) -> None:
+        failure = TaskFailure.from_exception(index, kwargs_list[index], attempts[index], exc)
+        failures[index] = failure
+        results[index] = failure
+        done_flags[index] = True
+
+    try:
+        for i in range(n):
+            submit(i)
+        while future_of or retry_heap:
+            now = time.monotonic()
+            while retry_heap and retry_heap[0][0] <= now:
+                _, idx = heapq.heappop(retry_heap)
+                submit(idx)
+            if not future_of:
+                time.sleep(max(0.0, retry_heap[0][0] - now))
+                continue
+            block = None if not retry_heap else max(0.0, retry_heap[0][0] - now)
+            done, _ = _wait(set(future_of), timeout=block, return_when=FIRST_COMPLETED)
+            now = time.monotonic()
+            broken: List[int] = []
+            for fut in done:
+                idx = future_of.pop(fut)
+                try:
+                    results[idx] = fut.result()
+                    done_flags[idx] = True
+                except BrokenProcessPool:
+                    broken.append(idx)
+                except KeyboardInterrupt:
+                    raise
+                except BaseException as exc:
+                    if policy.should_retry(exc, attempts[idx]):
+                        heapq.heappush(retry_heap, (now + policy.backoff(attempts[idx]), idx))
+                    else:
+                        settle_failure(idx, exc)
+            if broken:
+                # The pool is dead: every in-flight future is doomed, not
+                # just the task that killed its worker.  Rebuild the
+                # executor and resubmit only unfinished tasks, charging
+                # each one attempt (the culprit is unidentifiable, and a
+                # bounded charge keeps a crash-looping task from cycling
+                # the pool forever).
+                exc = BrokenProcessPool("a pool worker died unexpectedly")
+                broken.extend(future_of.values())
+                future_of.clear()
+                _terminate_workers(pool)
+                pool = ProcessPoolExecutor(max_workers=width)
+                for idx in sorted(broken):
+                    if attempts[idx] < policy.max_attempts:
+                        heapq.heappush(retry_heap, (now + policy.backoff(attempts[idx]), idx))
+                    else:
+                        settle_failure(idx, exc)
+            if failures and on_error == "raise":
+                _terminate_workers(pool)
+                ordered = tuple(failures[i] for i in sorted(failures))
+                raise PoolError(
+                    f"{len(ordered)} task(s) failed; first: {ordered[0]}", ordered
+                ) from None
+        return results
+    except KeyboardInterrupt:
+        _terminate_workers(pool)
+        raise
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
 
 
 def map_parallel(
@@ -51,6 +275,9 @@ def map_parallel(
     kwargs_list: Sequence[Dict[str, Any]],
     *,
     n_workers: Optional[int] = None,
+    timeout_s: Optional[float] = None,
+    retry: Optional[RetryPolicy] = None,
+    on_error: str = "raise",
 ) -> List[Any]:
     """Run ``func(**kwargs)`` for every kwargs dict, preserving order.
 
@@ -62,23 +289,41 @@ def map_parallel(
         One kwargs dict per task.
     n_workers:
         Pool size; default :func:`default_workers`. ``1`` runs serially.
+    timeout_s:
+        Per-task wall-clock budget; a task past it raises
+        :class:`~repro.errors.TaskTimeoutError` (retryable like any other
+        failure).  ``None`` (default) runs unbounded.
+    retry:
+        A :class:`~repro.parallel.retry.RetryPolicy` for transient
+        failures; ``None`` (default) means one attempt, fail fast.
+    on_error:
+        ``"raise"`` (default) aborts the sweep with a
+        :class:`~repro.errors.PoolError` carrying the
+        :class:`~repro.parallel.retry.TaskFailure` records; ``"collect"``
+        finishes the sweep and returns failures in their tasks' result
+        slots, so one bad grid point costs one result, not the campaign.
 
     Returns
     -------
     list
-        Results in the order of ``kwargs_list``.
+        Results in the order of ``kwargs_list`` (failed slots hold
+        :class:`TaskFailure` records in ``"collect"`` mode).
     """
-    tasks = [(func, dict(kw)) for kw in kwargs_list]
+    if on_error not in _ON_ERROR_MODES:
+        raise ExperimentError(f"on_error must be one of {_ON_ERROR_MODES}, got {on_error!r}")
+    if timeout_s is not None and timeout_s <= 0:
+        raise ExperimentError(f"timeout_s must be positive, got {timeout_s!r}")
+    tasks = [dict(kw) for kw in kwargs_list]
     if not tasks:
         return []
     workers = n_workers if n_workers is not None else default_workers()
     if workers < 1:
         raise ExperimentError(f"n_workers must be >= 1, got {workers!r}")
+    policy = retry if retry is not None else NO_RETRY
     if workers == 1 or len(tasks) == 1:
-        return [_invoke(t) for t in tasks]
-    _check_picklable(func)
-    with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
-        return list(pool.map(_invoke, tasks))
+        return _run_serial(func, tasks, timeout_s, policy, on_error)
+    _check_picklable(func, tasks)
+    return _run_pool(func, tasks, min(workers, len(tasks)), timeout_s, policy, on_error)
 
 
 def run_grid(
@@ -87,6 +332,9 @@ def run_grid(
     *,
     common: Optional[Dict[str, Any]] = None,
     n_workers: Optional[int] = None,
+    timeout_s: Optional[float] = None,
+    retry: Optional[RetryPolicy] = None,
+    on_error: str = "raise",
 ) -> List[Tuple[Dict[str, Any], Any]]:
     """Evaluate ``func`` over a parameter grid, pairing params with results.
 
@@ -98,12 +346,17 @@ def run_grid(
         Per-point parameter dicts.
     common:
         Parameters merged into every point (grid values win on conflict).
+    n_workers, timeout_s, retry, on_error:
+        Forwarded to :func:`map_parallel`.
 
     Returns
     -------
     list of (params, result)
-        In grid order.
+        In grid order (failed points carry their :class:`TaskFailure` in
+        the result slot when ``on_error="collect"``).
     """
     merged = [{**(common or {}), **point} for point in grid]
-    results = map_parallel(func, merged, n_workers=n_workers)
+    results = map_parallel(
+        func, merged, n_workers=n_workers, timeout_s=timeout_s, retry=retry, on_error=on_error
+    )
     return list(zip([dict(p) for p in grid], results))

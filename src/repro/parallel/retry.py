@@ -1,0 +1,136 @@
+"""Retry policies and failure records for resilient parallel sweeps.
+
+A long experiment campaign (the paper's 5-repeat Fig. 4 protocol, the full
+Fig. 7 grid) is exactly the workload where one OOM-killed worker or one
+transiently bad seed must not cost the whole sweep.  This module holds the
+pure-data pieces of that story:
+
+* :class:`RetryPolicy` — bounded retry-with-backoff configuration; decides
+  whether an exception is worth another attempt and how long to wait.
+* :class:`TaskFailure` — the structured record :func:`~repro.parallel.pool.
+  map_parallel` returns (``on_error="collect"``) or attaches to a raised
+  :class:`~repro.errors.PoolError` when a task exhausts its attempts.
+
+Both are deliberately free of pool mechanics so they pickle cleanly and can
+be asserted on in tests without spinning up workers.
+"""
+
+from __future__ import annotations
+
+import traceback as _traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple, Type
+
+from repro.errors import ExperimentError
+
+__all__ = ["RetryPolicy", "TaskFailure", "NO_RETRY"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry-with-exponential-backoff for transient task failures.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries per task (first run included).  ``1`` disables retries.
+    backoff_s:
+        Delay before the first retry.
+    backoff_multiplier:
+        Factor applied to the delay after each further failure.
+    max_backoff_s:
+        Ceiling on any single delay.
+    retry_on:
+        Exception types considered transient.  Anything else fails the task
+        immediately.  A broken pool (``BrokenProcessPool``) is always
+        treated as transient — the executor is rebuilt and unfinished tasks
+        recharged one attempt — because the dead worker, not the task, is
+        usually at fault.
+    """
+
+    max_attempts: int = 3
+    backoff_s: float = 0.1
+    backoff_multiplier: float = 2.0
+    max_backoff_s: float = 5.0
+    retry_on: Tuple[Type[BaseException], ...] = (Exception,)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ExperimentError(f"max_attempts must be >= 1, got {self.max_attempts!r}")
+        if self.backoff_s < 0:
+            raise ExperimentError(f"backoff_s must be >= 0, got {self.backoff_s!r}")
+        if self.backoff_multiplier < 1.0:
+            raise ExperimentError(
+                f"backoff_multiplier must be >= 1, got {self.backoff_multiplier!r}"
+            )
+        if self.max_backoff_s < 0:
+            raise ExperimentError(f"max_backoff_s must be >= 0, got {self.max_backoff_s!r}")
+
+    def should_retry(self, exc: BaseException, attempts_used: int) -> bool:
+        """Whether a task that has already run ``attempts_used`` times gets
+        another try after raising ``exc``."""
+        if attempts_used >= self.max_attempts:
+            return False
+        return isinstance(exc, self.retry_on)
+
+    def backoff(self, attempts_used: int) -> float:
+        """Delay (seconds) before the retry following attempt ``attempts_used``.
+
+        Deterministic (no jitter): a retried sweep waits the same schedule
+        every run, which keeps "parallel == serial" comparisons honest.
+        """
+        if attempts_used < 1:
+            return 0.0
+        delay = self.backoff_s * self.backoff_multiplier ** (attempts_used - 1)
+        return min(delay, self.max_backoff_s)
+
+
+#: Policy that never retries (one attempt, fail fast).
+NO_RETRY = RetryPolicy(max_attempts=1)
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """One task that exhausted its attempts.
+
+    ``map_parallel(..., on_error="collect")`` returns these in the failed
+    tasks' result slots (submission order preserved); ``on_error="raise"``
+    attaches them to the raised :class:`~repro.errors.PoolError`.
+    """
+
+    #: Index of the task in the submitted ``kwargs_list``.
+    index: int
+    #: The task's kwargs (as submitted).
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    #: Attempts consumed (including the first run).
+    attempts: int = 1
+    #: Exception class name of the final failure.
+    error_type: str = ""
+    #: ``str(exc)`` of the final failure.
+    error: str = ""
+    #: Formatted traceback of the final failure (best effort).
+    traceback: str = ""
+
+    @classmethod
+    def from_exception(
+        cls, index: int, kwargs: Dict[str, Any], attempts: int, exc: BaseException
+    ) -> "TaskFailure":
+        """Build a record from the exception that ended the task."""
+        try:
+            tb = "".join(_traceback.format_exception(type(exc), exc, exc.__traceback__))
+        except Exception:  # pragma: no cover - formatting is best effort
+            tb = ""
+        return cls(
+            index=index,
+            kwargs=dict(kwargs),
+            attempts=attempts,
+            error_type=type(exc).__name__,
+            error=str(exc),
+            traceback=tb,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"task[{self.index}] failed after {self.attempts} attempt(s): "
+            f"{self.error_type}: {self.error}"
+        )

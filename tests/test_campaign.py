@@ -1,0 +1,261 @@
+"""Journaled campaigns: cache keys, journal durability, crash-resume."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import (
+    JOURNAL_NAME,
+    CampaignStep,
+    Journal,
+    JournalEntry,
+    file_sha256,
+    resolve_steps,
+    run_campaign,
+    step_key,
+)
+from repro.cli import main
+from repro.errors import CampaignError
+
+
+class TestStepKey:
+    def test_every_input_changes_the_key(self):
+        base = step_key("fig1", "1", seed=1, quick=True)
+        assert step_key("fig2", "1", seed=1, quick=True) != base
+        assert step_key("fig1", "2", seed=1, quick=True) != base
+        assert step_key("fig1", "1", seed=2, quick=True) != base
+        assert step_key("fig1", "1", seed=1, quick=False) != base
+
+    def test_key_is_stable(self):
+        assert step_key("fig1", "1", seed=1, quick=True) == step_key(
+            "fig1", "1", seed=1, quick=True
+        )
+
+
+class TestJournal:
+    def entry(self, step="fig1", key="k"):
+        return JournalEntry(
+            step=step, key=key, artefacts=("a.csv",), checksums=("c1",), duration_s=0.5
+        )
+
+    def test_round_trip(self):
+        entry = self.entry()
+        assert JournalEntry.from_json(entry.to_json()) == entry
+
+    def test_malformed_entry_raises(self):
+        with pytest.raises(CampaignError):
+            JournalEntry.from_json('{"step": "fig1"}')
+
+    def test_append_and_replay(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.append(self.entry("fig1"))
+        journal.append(self.entry("fig2"))
+        assert [e.step for e in journal.entries()] == ["fig1", "fig2"]
+
+    def test_truncated_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path)
+        journal.append(self.entry("fig1"))
+        with path.open("a") as fh:
+            fh.write('{"step": "fig2", "key"')  # crash mid-write
+        assert [e.step for e in journal.entries()] == ["fig1"]
+
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path)
+        journal.append(self.entry("fig1"))
+        with path.open("a") as fh:
+            fh.write("garbage\n")
+        journal.append(self.entry("fig2"))
+        with pytest.raises(CampaignError, match="corrupt journal line"):
+            journal.entries()
+
+    def test_latest_entry_per_step_wins(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.append(self.entry("fig1", key="old"))
+        journal.append(self.entry("fig1", key="new"))
+        assert journal.latest_by_step()["fig1"].key == "new"
+
+    def test_clear_drops_the_file(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl")
+        journal.append(self.entry())
+        journal.clear()
+        assert not journal.exists()
+        assert journal.entries() == []
+
+
+class TestStepResolution:
+    def test_all_steps_in_canonical_order(self):
+        names = [s.name for s in resolve_steps()]
+        assert names[:3] == ["fig1", "fig2", "fig4a"]
+        assert "table2" in names
+
+    def test_subset_preserves_order(self):
+        assert [s.name for s in resolve_steps(["fig2", "fig1"])] == ["fig1", "fig2"]
+
+    def test_unknown_step_rejected(self):
+        with pytest.raises(CampaignError, match="unknown step"):
+            resolve_steps(["fig99"])
+
+    def test_step_must_write_artefacts(self, tmp_path):
+        step = CampaignStep(name="empty", run=lambda outdir, *, seed, quick: [])
+        with pytest.raises(CampaignError, match="wrote no artefacts"):
+            step.execute(tmp_path, seed=1, quick=True)
+
+
+def _fake_steps(calls):
+    """Two cheap, deterministic steps; ``calls`` records executions."""
+
+    def make(name):
+        def run(outdir, *, seed, quick):
+            calls.append(name)
+            path = Path(outdir) / f"{name}.txt"
+            path.write_text(f"{name} seed={seed} quick={quick}\n")
+            return [path]
+
+        return run
+
+    return [CampaignStep(name=n, run=make(n)) for n in ("alpha", "beta")]
+
+
+@pytest.fixture
+def fake_campaign(monkeypatch):
+    """Patch the step registry with cheap fakes; returns the call log."""
+    import repro.campaign.runner as runner
+
+    calls = []
+    monkeypatch.setattr(runner, "resolve_steps", lambda names=None: _fake_steps(calls))
+    return calls
+
+
+class TestRunCampaign:
+    def test_fresh_run_executes_everything(self, tmp_path, fake_campaign):
+        result = run_campaign(tmp_path, seed=1)
+        assert result.executed == ["alpha", "beta"]
+        assert result.skipped == []
+        assert fake_campaign == ["alpha", "beta"]
+        assert all(p.exists() for p in result.artefacts)
+        assert (tmp_path / JOURNAL_NAME).exists()
+
+    def test_resume_skips_completed_steps(self, tmp_path, fake_campaign):
+        run_campaign(tmp_path, seed=1)
+        result = run_campaign(tmp_path, seed=1, resume=True)
+        assert result.skipped == ["alpha", "beta"]
+        assert fake_campaign == ["alpha", "beta"]  # no re-execution
+
+    def test_changed_seed_invalidates_cache(self, tmp_path, fake_campaign):
+        run_campaign(tmp_path, seed=1)
+        result = run_campaign(tmp_path, seed=2, resume=True)
+        assert result.executed == ["alpha", "beta"]
+        assert (tmp_path / "alpha.txt").read_text() == "alpha seed=2 quick=True\n"
+
+    def test_tampered_artefact_reruns_step(self, tmp_path, fake_campaign):
+        run_campaign(tmp_path, seed=1)
+        (tmp_path / "alpha.txt").write_text("tampered\n")
+        result = run_campaign(tmp_path, seed=1, resume=True)
+        assert result.executed == ["alpha"]
+        assert result.skipped == ["beta"]
+        assert (tmp_path / "alpha.txt").read_text() == "alpha seed=1 quick=True\n"
+
+    def test_deleted_artefact_reruns_step(self, tmp_path, fake_campaign):
+        run_campaign(tmp_path, seed=1)
+        (tmp_path / "beta.txt").unlink()
+        result = run_campaign(tmp_path, seed=1, resume=True)
+        assert result.executed == ["beta"]
+        assert result.skipped == ["alpha"]
+
+    def test_without_resume_everything_reruns(self, tmp_path, fake_campaign):
+        run_campaign(tmp_path, seed=1)
+        result = run_campaign(tmp_path, seed=1)
+        assert result.executed == ["alpha", "beta"]
+        assert fake_campaign == ["alpha", "beta", "alpha", "beta"]
+
+    def test_progress_callback_sees_every_step(self, tmp_path, fake_campaign):
+        lines = []
+        run_campaign(tmp_path, seed=1, progress=lines.append)
+        assert len(lines) == 2 and all("ran" in line for line in lines)
+        lines.clear()
+        run_campaign(tmp_path, seed=1, resume=True, progress=lines.append)
+        assert all("cached" in line for line in lines)
+
+
+class TestCrashResume:
+    def test_kill_and_resume_is_bit_identical(self, tmp_path):
+        """Kill a campaign after its first step; ``--resume`` re-executes
+        only the unfinished step and the artefacts match an uninterrupted
+        run bit for bit (acceptance criterion)."""
+        interrupted = tmp_path / "interrupted"
+        clean = tmp_path / "clean"
+        script = textwrap.dedent(
+            f"""
+            from repro.campaign import run_campaign
+            run_campaign({str(interrupted)!r}, seed=1, quick=True, steps=["fig1", "fig2"])
+            """
+        )
+        env = dict(os.environ, PYTHONPATH="src")
+        repo_root = os.path.dirname(os.path.dirname(__file__))
+        proc = subprocess.Popen([sys.executable, "-c", script], env=env, cwd=repo_root)
+        journal_path = interrupted / JOURNAL_NAME
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            if journal_path.exists() and journal_path.read_text().count("\n") >= 1:
+                break
+            time.sleep(0.05)
+        else:
+            proc.kill()
+            pytest.fail("first step never journalled")
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+
+        resumed = run_campaign(interrupted, seed=1, quick=True, resume=True,
+                               steps=["fig1", "fig2"])
+        assert resumed.skipped == ["fig1"]
+        assert resumed.executed == ["fig2"]
+
+        reference = run_campaign(clean, seed=1, quick=True, steps=["fig1", "fig2"])
+        for report in reference.reports:
+            for rel in report.artefacts:
+                assert file_sha256(interrupted / rel) == file_sha256(clean / rel), rel
+
+    def test_resume_journal_entries_validate(self, tmp_path):
+        """The resumed journal's entries carry keys matching the inputs."""
+        outdir = tmp_path / "c"
+        run_campaign(outdir, seed=3, quick=True, steps=["fig1"])
+        entry = Journal(outdir / JOURNAL_NAME).latest_by_step()["fig1"]
+        expected = step_key("fig1", resolve_steps(["fig1"])[0].version, seed=3, quick=True)
+        assert entry.key == expected
+
+
+class TestCampaignCli:
+    def test_cli_run_and_status(self, tmp_path, capsys, monkeypatch):
+        import repro.campaign.runner as runner
+
+        monkeypatch.setattr(runner, "resolve_steps", lambda names=None: _fake_steps([]))
+        rc = main(["campaign", "run", "--outdir", str(tmp_path), "--seed", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "alpha" in out and "beta" in out
+        rc = main(["campaign", "status", "--outdir", str(tmp_path)])
+        assert rc == 0
+        assert "alpha" in capsys.readouterr().out
+
+    def test_cli_rejects_unknown_step(self, tmp_path, capsys):
+        rc = main(["campaign", "run", "--outdir", str(tmp_path), "--steps", "nope"])
+        assert rc == 2
+        assert "unknown step" in capsys.readouterr().err
+
+    def test_journal_lines_are_valid_json(self, tmp_path, monkeypatch):
+        import repro.campaign.runner as runner
+
+        monkeypatch.setattr(runner, "resolve_steps", lambda names=None: _fake_steps([]))
+        run_campaign(tmp_path, seed=1)
+        for line in (tmp_path / JOURNAL_NAME).read_text().splitlines():
+            record = json.loads(line)
+            assert {"step", "key", "artefacts", "checksums", "duration_s"} <= set(record)

@@ -1,0 +1,303 @@
+"""Resilient-pool error paths: timeouts, retries, broken pools, interrupts."""
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+import pytest
+
+from repro.errors import ExperimentError, PoolError, TaskTimeoutError
+from repro.parallel.pool import map_parallel
+from repro.parallel.retry import NO_RETRY, RetryPolicy, TaskFailure
+
+
+# --- worker functions (module top level: picklable) ------------------------
+
+def ident(x):
+    return x
+
+
+def boom(x, bad=3):
+    if x == bad:
+        raise ValueError(f"bad point {x}")
+    return x
+
+
+def sleep_for(t):
+    time.sleep(t)
+    return t
+
+
+def flaky(path, fail_times):
+    """Fails the first ``fail_times`` invocations (counter shared via file)."""
+    n = int(open(path).read()) if os.path.exists(path) else 0
+    with open(path, "w") as fh:
+        fh.write(str(n + 1))
+    if n < fail_times:
+        raise OSError(f"transient failure #{n}")
+    return "ok"
+
+
+def die_once(x, marker):
+    """Kills its worker process (once) when x == 2."""
+    if x == 2 and not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("died")
+        os._exit(43)
+    return x
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ExperimentError):
+            RetryPolicy(backoff_s=-1.0)
+        with pytest.raises(ExperimentError):
+            RetryPolicy(backoff_multiplier=0.5)
+        with pytest.raises(ExperimentError):
+            RetryPolicy(max_backoff_s=-0.1)
+
+    def test_backoff_schedule_deterministic_and_capped(self):
+        policy = RetryPolicy(max_attempts=5, backoff_s=0.1, backoff_multiplier=2.0, max_backoff_s=0.3)
+        assert policy.backoff(1) == pytest.approx(0.1)
+        assert policy.backoff(2) == pytest.approx(0.2)
+        assert policy.backoff(3) == pytest.approx(0.3)  # capped
+        assert policy.backoff(4) == pytest.approx(0.3)
+
+    def test_should_retry_respects_types_and_budget(self):
+        policy = RetryPolicy(max_attempts=2, retry_on=(OSError,))
+        assert policy.should_retry(OSError(), 1)
+        assert not policy.should_retry(ValueError(), 1)
+        assert not policy.should_retry(OSError(), 2)  # budget exhausted
+
+    def test_no_retry_single_attempt(self):
+        assert NO_RETRY.max_attempts == 1
+
+
+class TestTaskFailureRecords:
+    def test_collect_returns_failure_in_slot(self):
+        out = map_parallel(boom, [{"x": i} for i in range(5)], n_workers=2, on_error="collect")
+        assert out[:3] == [0, 1, 2] and out[4] == 4
+        failure = out[3]
+        assert isinstance(failure, TaskFailure)
+        assert failure.index == 3
+        assert failure.kwargs == {"x": 3}
+        assert failure.error_type == "ValueError"
+        assert "bad point 3" in failure.error
+        assert failure.attempts == 1
+
+    def test_collect_ordering_deterministic(self):
+        kwargs = [{"x": i} for i in range(8)]
+        runs = [
+            map_parallel(boom, kwargs, n_workers=w, on_error="collect")
+            for w in (1, 2, 4)
+        ]
+        for out in runs:
+            assert [r.index if isinstance(r, TaskFailure) else r for r in out] == list(range(8))
+
+    def test_raise_mode_carries_failures(self):
+        with pytest.raises(PoolError) as err:
+            map_parallel(boom, [{"x": i} for i in range(5)], n_workers=2)
+        assert len(err.value.failures) >= 1
+        assert err.value.failures[0].index == 3
+
+    def test_serial_raise_chains_cause(self):
+        with pytest.raises(PoolError) as err:
+            map_parallel(boom, [{"x": 3}], n_workers=1)
+        assert isinstance(err.value.__cause__, ValueError)
+
+    def test_invalid_on_error_rejected(self):
+        with pytest.raises(ExperimentError):
+            map_parallel(ident, [{"x": 1}], on_error="ignore")
+
+
+class TestTimeouts:
+    def test_timeout_fires_in_pool(self):
+        out = map_parallel(
+            sleep_for, [{"t": 0.01}, {"t": 30.0}], n_workers=2, timeout_s=0.5, on_error="collect"
+        )
+        assert out[0] == 0.01
+        assert isinstance(out[1], TaskFailure)
+        assert out[1].error_type == "TaskTimeoutError"
+
+    def test_timeout_fires_serially(self):
+        with pytest.raises(PoolError):
+            map_parallel(sleep_for, [{"t": 30.0}], n_workers=1, timeout_s=0.2)
+
+    def test_fast_task_unaffected_by_timeout(self):
+        assert map_parallel(sleep_for, [{"t": 0.01}], n_workers=1, timeout_s=5.0) == [0.01]
+
+    def test_invalid_timeout_rejected(self):
+        with pytest.raises(ExperimentError):
+            map_parallel(ident, [{"x": 1}], timeout_s=0.0)
+
+    def test_timeout_error_pickles(self):
+        import pickle
+
+        exc = pickle.loads(pickle.dumps(TaskTimeoutError(1.5)))
+        assert isinstance(exc, TaskTimeoutError) and exc.timeout_s == 1.5
+
+
+class TestRetries:
+    def test_retry_then_succeed_serial(self, tmp_path):
+        counter = tmp_path / "count"
+        out = map_parallel(
+            flaky,
+            [{"path": str(counter), "fail_times": 2}],
+            n_workers=1,
+            retry=RetryPolicy(max_attempts=4, backoff_s=0.01),
+        )
+        assert out == ["ok"]
+        assert counter.read_text() == "3"  # 2 failures + 1 success
+
+    def test_retry_then_succeed_in_pool(self, tmp_path):
+        counter = tmp_path / "count"
+        out = map_parallel(
+            flaky,
+            [{"path": str(counter), "fail_times": 2}, {"path": str(tmp_path / "other"), "fail_times": 0}],
+            n_workers=2,
+            retry=RetryPolicy(max_attempts=4, backoff_s=0.01),
+        )
+        assert out == ["ok", "ok"]
+
+    def test_transient_failure_matches_fault_free_serial_run(self, tmp_path):
+        """A sweep with one transiently failing task returns results
+        identical to a fault-free serial sweep (acceptance criterion)."""
+        counter = tmp_path / "count"
+        kwargs = [{"path": str(tmp_path / f"c{i}"), "fail_times": 0} for i in range(6)]
+        kwargs[3] = {"path": str(counter), "fail_times": 1}
+        faulted = map_parallel(
+            flaky, kwargs, n_workers=3, retry=RetryPolicy(max_attempts=3, backoff_s=0.01)
+        )
+        clean = ["ok"] * 6
+        assert faulted == clean
+
+    def test_attempts_exhausted_reports_count(self, tmp_path):
+        counter = tmp_path / "count"
+        out = map_parallel(
+            flaky,
+            [{"path": str(counter), "fail_times": 99}],
+            n_workers=1,
+            retry=RetryPolicy(max_attempts=3, backoff_s=0.0),
+            on_error="collect",
+        )
+        assert isinstance(out[0], TaskFailure)
+        assert out[0].attempts == 3
+
+    def test_non_retryable_type_fails_immediately(self, tmp_path):
+        out = map_parallel(
+            boom,
+            [{"x": 3}],
+            n_workers=1,
+            retry=RetryPolicy(max_attempts=5, backoff_s=0.0, retry_on=(OSError,)),
+            on_error="collect",
+        )
+        assert out[0].attempts == 1
+
+
+class TestBrokenPoolRecovery:
+    def test_worker_death_recovers_with_retry(self, tmp_path):
+        marker = str(tmp_path / "died")
+        out = map_parallel(
+            die_once,
+            [{"x": i, "marker": marker} for i in range(4)],
+            n_workers=2,
+            retry=RetryPolicy(max_attempts=3, backoff_s=0.01),
+        )
+        assert out == [0, 1, 2, 3]
+        assert os.path.exists(marker)  # the crash really happened
+
+    def test_worker_death_without_retry_raises_pool_error(self, tmp_path):
+        marker = str(tmp_path / "died")
+        with pytest.raises(PoolError):
+            map_parallel(
+                die_once,
+                [{"x": i, "marker": marker} for i in range(4)],
+                n_workers=2,
+            )
+
+
+class TestKeyboardInterrupt:
+    def test_interrupt_terminates_workers(self, tmp_path):
+        """SIGINT during a sweep exits promptly and leaves no orphan workers."""
+        pids_file = tmp_path / "pids"
+        script = textwrap.dedent(
+            f"""
+            import os, time
+            from repro.parallel.pool import map_parallel
+
+            def slow(i):
+                with open({str(pids_file)!r}, "a") as fh:
+                    fh.write(str(os.getpid()) + "\\n")
+                time.sleep(120)
+
+            map_parallel(slow, [{{"i": i}} for i in range(2)], n_workers=2)
+            """
+        )
+        env = dict(os.environ, PYTHONPATH="src")
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script], env=env, cwd=os.path.dirname(os.path.dirname(__file__))
+        )
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            if pids_file.exists() and len(pids_file.read_text().splitlines()) >= 2:
+                break
+            time.sleep(0.1)
+        else:
+            proc.kill()
+            pytest.fail("workers never started")
+        proc.send_signal(signal.SIGINT)
+        assert proc.wait(timeout=30) != 0
+        worker_pids = [int(p) for p in pids_file.read_text().split()]
+        time.sleep(0.5)  # give terminate() a beat to land
+        for pid in worker_pids:
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)
+
+    def test_interrupt_in_scheduler_reraises(self, monkeypatch):
+        """A KeyboardInterrupt inside the wait loop tears the pool down and
+        propagates (the CLI sees Ctrl-C, not a swallowed sweep)."""
+        import repro.parallel.pool as pool_mod
+
+        def interrupting_wait(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(pool_mod, "_wait", interrupting_wait)
+        with pytest.raises(KeyboardInterrupt):
+            map_parallel(ident, [{"x": i} for i in range(4)], n_workers=2)
+
+
+class TestPicklabilityValidation:
+    def test_unpicklable_kwarg_named(self):
+        with pytest.raises(ExperimentError, match=r"task\[1\] kwarg 'x'"):
+            map_parallel(ident, [{"x": 1}, {"x": open(os.devnull)}], n_workers=2)
+
+    def test_lambda_still_rejected(self):
+        with pytest.raises(ExperimentError, match="top level"):
+            map_parallel(lambda x: x, [{"x": 1}, {"x": 2}], n_workers=2)
+
+
+class TestWorkerEnvOverride:
+    def test_env_override_honored(self, monkeypatch):
+        from repro.parallel.pool import default_workers
+
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert default_workers() == 3
+
+    def test_env_override_validated(self, monkeypatch):
+        from repro.parallel.pool import default_workers
+
+        for bad in ("0", "-2", "many"):
+            monkeypatch.setenv("REPRO_WORKERS", bad)
+            with pytest.raises(ExperimentError):
+                default_workers()
+
+    def test_env_absent_falls_back(self, monkeypatch):
+        from repro.parallel.pool import default_workers
+
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert default_workers() >= 1
