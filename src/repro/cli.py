@@ -18,6 +18,7 @@ an entry point). Subcommands mirror the library's main workflows::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -134,6 +135,31 @@ def build_parser() -> argparse.ArgumentParser:
     ver_p = sub.add_parser("verify", help="check every encoded paper claim")
     ver_p.add_argument("--full", action="store_true", help="full Fig. 4a suite + 10-min idle runs")
     ver_p.add_argument("--seed", type=int, default=1)
+
+    lint_p = sub.add_parser(
+        "lint", help="AST invariant checks: determinism, MSR safety, units, meters, pickling"
+    )
+    lint_p.add_argument(
+        "paths", nargs="*", default=["src"], help="files/directories to check (default: src)"
+    )
+    lint_p.add_argument("--format", choices=("text", "json"), default="text")
+    lint_p.add_argument(
+        "--baseline", default="lint-baseline.json", metavar="PATH",
+        help="baseline file of accepted violations (missing file = empty)",
+    )
+    lint_p.add_argument(
+        "--no-baseline", action="store_true", help="report every violation, baseline ignored"
+    )
+    lint_p.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from the current violations and exit 0",
+    )
+    lint_p.add_argument("--out", default=None, metavar="PATH", help="also write the report to a file")
+    lint_p.add_argument("--list-rules", action="store_true", help="print the rule catalogue and exit")
+    lint_p.add_argument(
+        "--package-root", default=None, metavar="DIR",
+        help="directory standing in for the repro package root (fixture trees)",
+    )
 
     return parser
 
@@ -338,6 +364,41 @@ def _cmd_verify(args) -> int:
     return 0 if all(r.passed for r in results) else 1
 
 
+def _cmd_lint(args) -> int:
+    from repro.lintkit import (
+        Baseline,
+        default_rules,
+        format_json,
+        format_text,
+        lint_paths,
+        load_baseline,
+        save_baseline,
+    )
+
+    if args.list_rules:
+        print(
+            format_table(
+                ("code", "name", "protects"),
+                [(r.code, r.name, r.rationale) for r in default_rules()],
+                title="repro lint rules",
+            )
+        )
+        return 0
+    violations, n_files = lint_paths(args.paths, root=args.package_root)
+    if args.update_baseline:
+        n = save_baseline(args.baseline, violations)
+        print(f"baseline {args.baseline} rewritten with {n} entr{'y' if n == 1 else 'ies'}")
+        return 0
+    baseline = Baseline() if args.no_baseline else load_baseline(args.baseline)
+    new = baseline.filter_new(violations)
+    report = format_json(new, n_files) if args.format == "json" else format_text(new, n_files)
+    print(report, end="" if report.endswith("\n") else "\n")
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report if report.endswith("\n") else report + "\n")
+    return 1 if new else 0
+
+
 def _cmd_experiments(args) -> int:
     from repro.experiments.runner import run_all
 
@@ -371,10 +432,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_fleet(args)
         if args.command == "campaign":
             return _cmd_campaign(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
         parser.error(f"unknown command {args.command!r}")
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed early (``repro lint --list-rules |
+        # head``); that is their prerogative, not an error. Reopen stdout
+        # on devnull so interpreter shutdown does not re-raise on flush.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
     return 0
 
 

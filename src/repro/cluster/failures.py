@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ExperimentError
+from repro.sim.rng import spawn_generator
 
 __all__ = ["NodeFailureModel", "NodeFailureEvent", "Segment"]
 
@@ -74,7 +75,7 @@ class NodeFailureModel:
         """
         if n_nodes < 1:
             raise ExperimentError(f"n_nodes must be >= 1, got {n_nodes!r}")
-        rng = np.random.default_rng(self.seed)
+        rng = spawn_generator(self.seed)
         return rng.exponential(self.mtbf_s, size=n_nodes)
 
 

@@ -11,7 +11,7 @@ for rendering.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 import networkx as nx
 
@@ -64,7 +64,7 @@ def build_flowchart() -> "nx.DiGraph":
     return g
 
 
-def flowchart_to_dot(g: "nx.DiGraph" = None) -> str:
+def flowchart_to_dot(g: "Optional[nx.DiGraph]" = None) -> str:
     """Render the flowchart as Graphviz DOT text (no graphviz required)."""
     graph = g if g is not None else build_flowchart()
     lines = [f'digraph "{graph.graph.get("name", "magus")}" {{', "  rankdir=LR;"]

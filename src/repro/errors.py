@@ -8,6 +8,12 @@ telemetry, workloads, governors, and the experiment harness.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Tuple
+
+if TYPE_CHECKING:  # typing-only: errors is the bottom layer; the runtime
+    # import would be circular (retry derives its records from these types).
+    from repro.parallel.retry import TaskFailure
+
 __all__ = [
     "ReproError",
     "ConfigError",
@@ -28,6 +34,7 @@ __all__ = [
     "PoolError",
     "TaskTimeoutError",
     "CampaignError",
+    "LintError",
 ]
 
 
@@ -54,7 +61,7 @@ class HardwareError(ReproError):
 class FrequencyRangeError(HardwareError):
     """Raised when a frequency request falls outside a component's range."""
 
-    def __init__(self, requested_ghz: float, lo_ghz: float, hi_ghz: float):
+    def __init__(self, requested_ghz: float, lo_ghz: float, hi_ghz: float) -> None:
         self.requested_ghz = requested_ghz
         self.lo_ghz = lo_ghz
         self.hi_ghz = hi_ghz
@@ -75,7 +82,7 @@ class TelemetryError(ReproError):
 class MSRAccessError(TelemetryError):
     """Raised on invalid model-specific-register access (bad address/value)."""
 
-    def __init__(self, address: int, reason: str):
+    def __init__(self, address: int, reason: str) -> None:
         self.address = address
         self.reason = reason
         super().__init__(f"MSR 0x{address:X}: {reason}")
@@ -102,7 +109,7 @@ class WorkloadError(ReproError):
 class UnknownWorkloadError(WorkloadError):
     """Raised when a workload name is not present in the registry."""
 
-    def __init__(self, name: str, known: tuple = ()):  # type: ignore[type-arg]
+    def __init__(self, name: str, known: Tuple[str, ...] = ()) -> None:
         self.name = name
         hint = f"; known: {', '.join(sorted(known))}" if known else ""
         super().__init__(f"unknown workload {name!r}{hint}")
@@ -124,7 +131,7 @@ class PoolError(ExperimentError):
     ``on_error="raise"`` mode still learn *which* grid points died and why.
     """
 
-    def __init__(self, message: str, failures: tuple = ()):  # type: ignore[type-arg]
+    def __init__(self, message: str, failures: Tuple["TaskFailure", ...] = ()) -> None:
         self.failures = tuple(failures)
         super().__init__(message)
 
@@ -132,16 +139,22 @@ class PoolError(ExperimentError):
 class TaskTimeoutError(PoolError):
     """Raised inside a pool worker when one task exceeds its time budget."""
 
-    def __init__(self, timeout_s: float):
+    def __init__(self, timeout_s: float) -> None:
         self.timeout_s = timeout_s
         # Single-argument super() keeps the exception picklable across the
         # process boundary (pickle re-calls __init__ with ``args``).
         super().__init__(f"task exceeded its {timeout_s:.3g}s timeout")
 
-    def __reduce__(self):
+    def __reduce__(self) -> Tuple[type, Tuple[float]]:
         return (TaskTimeoutError, (self.timeout_s,))
 
 
 class CampaignError(ExperimentError):
     """Raised by the journaled-campaign runner (bad step names, corrupt
     journal entries, cache-key mismatches...)."""
+
+
+class LintError(ReproError):
+    """Raised when ``repro lint`` itself is misused (bad paths, corrupt
+    baseline files, malformed rule registries) — never for a violation,
+    which is a *finding*, not an error."""

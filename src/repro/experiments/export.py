@@ -47,7 +47,7 @@ def export_series_csv(path: Union[str, Path], series: Dict[str, TimeSeries], *, 
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("w", newline="") as fh:
         writer = csv.writer(fh)
-        writer.writerow(["time_s"] + list(resampled))
+        writer.writerow(["time_s", *resampled])
         for i in range(n):
             row: List[str] = [f"{(i + 1) * period_s:.3f}"]
             for ts in resampled.values():
@@ -164,7 +164,7 @@ def export_fig7(outdir: Union[str, Path], *, seed: int = 1, quick: bool = True) 
     fig7 = run_fig7(seed=seed, grid=grid)
     fig7_rows = []
     for app, points in fig7.points.items():
-        front = set(id(p) for p in fig7.fronts[app])
+        front = {id(p) for p in fig7.fronts[app]}
         for p in points:
             fig7_rows.append([app, p.label, f"{p.runtime_s:.4f}", f"{p.energy_j:.1f}", int(id(p) in front)])
     path = Path(outdir) / "fig7_sensitivity.csv"

@@ -27,7 +27,7 @@ from repro.errors import FaultInjectionError, MSRAccessError, TelemetryError
 from repro.faults.incidents import Incident, IncidentLog
 from repro.faults.plan import FaultPlan, FaultSpec
 from repro.telemetry.hsmp import _MAILBOX_ENERGY_J, _MAILBOX_TIME_S
-from repro.telemetry.msr import COUNTER_WIDTH_BITS, MSR_UNCORE_RATIO_LIMIT
+from repro.telemetry.msr import COUNTER_WIDTH_BITS, IA32_FIXED_CTR0, MSR_UNCORE_RATIO_LIMIT
 from repro.telemetry.sampling import AccessMeter
 
 __all__ = ["FaultInjector"]
@@ -201,7 +201,7 @@ class _FaultyMSRDevice:
         if fault_id is not None:
             raise _fault_error(
                 MSRAccessError(
-                    0x309, f"injected transient sweep failure [fault #{fault_id}]"
+                    IA32_FIXED_CTR0, f"injected transient sweep failure [fault #{fault_id}]"
                 ),
                 fault_id,
             )

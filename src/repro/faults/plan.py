@@ -38,9 +38,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
-import numpy as np
-
 from repro.errors import FaultInjectionError
+from repro.sim.rng import spawn_generator
 
 __all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan", "standard_campaign"]
 
@@ -151,7 +150,7 @@ class FaultPlan:
         """Multi-line summary of the campaign."""
         seed = f" (seed {self.seed})" if self.seed is not None else ""
         head = f"{self.name}{seed}: {len(self.specs)} fault windows"
-        return "\n".join([head] + [f"  {spec.describe()}" for spec in self.specs])
+        return "\n".join([head, *(f"  {spec.describe()}" for spec in self.specs)])
 
     @classmethod
     def generate(
@@ -173,7 +172,7 @@ class FaultPlan:
             raise FaultInjectionError(f"horizon must be positive, got {horizon_s!r}")
         if n_faults < 1:
             raise FaultInjectionError(f"n_faults must be >= 1, got {n_faults!r}")
-        rng = np.random.default_rng(seed)
+        rng = spawn_generator(seed)
         pairs = [(d, k) for d, kinds in sorted(FAULT_KINDS.items()) for k in kinds]
         specs = []
         for _ in range(n_faults):
@@ -205,7 +204,7 @@ def standard_campaign(seed: int = 1, *, horizon_s: float = 20.0) -> FaultPlan:
       later re-arm,
     * a frozen PCM counter window near the end.
     """
-    rng = np.random.default_rng(seed)
+    rng = spawn_generator(seed)
 
     def at(frac: float) -> float:
         return round(float((frac + rng.uniform(-0.02, 0.02)) * horizon_s), 3)

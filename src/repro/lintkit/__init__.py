@@ -1,0 +1,32 @@
+"""``repro lint`` — AST-based invariant checking for this repository.
+
+A domain-specific static-analysis pass that turns the repo's core
+invariants (bit-reproducibility, MSR table discipline, unit-suffix
+hygiene, meter-preserving exception handling, picklable pool tasks) from
+tribal knowledge into CI-enforced rules.  See ``docs/STATIC_ANALYSIS.md``
+for the rule catalogue and suppression syntax.
+"""
+
+from repro.lintkit.baseline import Baseline, load_baseline, save_baseline
+from repro.lintkit.core import LintContext, Rule, Violation
+from repro.lintkit.engine import collect_files, lint_file, lint_paths
+from repro.lintkit.reporters import format_json, format_text
+from repro.lintkit.rules import default_rules
+from repro.lintkit.suppressions import SuppressionIndex, scan_suppressions
+
+__all__ = [
+    "Baseline",
+    "LintContext",
+    "Rule",
+    "SuppressionIndex",
+    "Violation",
+    "collect_files",
+    "default_rules",
+    "format_json",
+    "format_text",
+    "lint_file",
+    "lint_paths",
+    "load_baseline",
+    "save_baseline",
+    "scan_suppressions",
+]

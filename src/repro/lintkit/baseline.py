@@ -1,0 +1,77 @@
+"""The committed lint baseline: known violations that do not fail CI.
+
+A baseline is a JSON file listing ``(path, rule, line)`` triples.  A
+fresh tree ships an *empty* baseline — the point of the exercise is that
+the repository has zero grandfathered debt — but the mechanism exists so
+a future sweep that adds a rule can land it without blocking on fixing
+every historical hit in the same commit, then burn the entries down.
+
+``repro lint --update-baseline`` rewrites the file from the current
+violation set; entries are kept sorted so diffs review cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Tuple
+
+from repro.errors import LintError
+from repro.lintkit.core import Violation
+
+__all__ = ["Baseline", "load_baseline", "save_baseline"]
+
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """An immutable set of accepted ``(path, rule, line)`` triples."""
+
+    entries: FrozenSet[Tuple[str, str, int]] = frozenset()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def filter_new(self, violations: Iterable[Violation]) -> List[Violation]:
+        """Return only the violations not covered by this baseline."""
+        return [v for v in violations if v.key() not in self.entries]
+
+
+def load_baseline(path: str) -> Baseline:
+    """Load a baseline file; a missing file is an empty baseline.
+
+    Raises
+    ------
+    LintError
+        If the file exists but is not a valid version-1 baseline.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except FileNotFoundError:
+        return Baseline()
+    except (OSError, json.JSONDecodeError) as exc:
+        raise LintError(f"unreadable baseline {path!r}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+        raise LintError(f"baseline {path!r} is not a version-{_VERSION} baseline file")
+    entries = set()
+    for item in payload.get("entries", ()):
+        try:
+            entries.add((str(item["path"]), str(item["rule"]), int(item["line"])))
+        except (TypeError, KeyError, ValueError) as exc:
+            raise LintError(f"malformed baseline entry in {path!r}: {item!r}") from exc
+    return Baseline(entries=frozenset(entries))
+
+
+def save_baseline(path: str, violations: Iterable[Violation]) -> int:
+    """Write ``violations`` as the new baseline; returns the entry count."""
+    entries = sorted({v.key() for v in violations})
+    payload = {
+        "version": _VERSION,
+        "entries": [{"path": p, "rule": r, "line": n} for p, r, n in entries],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    return len(entries)

@@ -1,0 +1,182 @@
+"""Core datatypes of the ``repro lint`` static-analysis engine.
+
+A lint run is a pipeline: collect files → parse each into an AST →
+hand a :class:`LintContext` to every registered :class:`Rule` → filter
+the resulting :class:`Violation` stream through suppression comments and
+the committed baseline.  This module owns the pieces every rule sees:
+the violation record, the per-file context, and the rule base class.
+
+Rules are pure functions of the context — no filesystem access, no
+imports of the linted code (the checker must be able to lint a file that
+does not even import) — which is what keeps the engine fast and safe to
+run on arbitrary trees.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["Violation", "LintContext", "Rule", "dotted_name", "last_segment"]
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule hit at one source location.
+
+    Attributes
+    ----------
+    path:
+        Path of the offending file as given to the engine (posix form).
+    line:
+        1-based source line.
+    col:
+        0-based column of the offending node.
+    rule:
+        The rule code (``RL001``...).
+    message:
+        Human-readable explanation with the suggested fix.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def location(self) -> str:
+        """``path:line:col`` — the clickable prefix of the text reporter."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def key(self) -> Tuple[str, str, int]:
+        """The identity used by baseline matching (path, rule, line)."""
+        return (self.path, self.rule, self.line)
+
+
+@dataclass
+class LintContext:
+    """Everything one rule needs to check one file.
+
+    Attributes
+    ----------
+    path:
+        The file path as reported in violations (posix form).
+    pkg_path:
+        The file's path relative to the ``repro`` package root (or to the
+        lint root when the file is outside any package), e.g.
+        ``sim/clock.py``.  Rule scoping matches against this, so fixture
+        trees that mirror the package layout exercise the same scopes.
+    tree:
+        The parsed module AST.
+    source:
+        Full source text.
+    lines:
+        Source split into lines (0-based index = line - 1).
+    """
+
+    path: str
+    pkg_path: str
+    tree: ast.Module
+    source: str
+    lines: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+    @property
+    def top_dir(self) -> str:
+        """First directory component of :attr:`pkg_path` ("" at the root)."""
+        return self.pkg_path.split("/")[0] if "/" in self.pkg_path else ""
+
+    def segment(self, node: ast.AST) -> str:
+        """Best-effort source text of ``node`` (empty string if unknown)."""
+        try:
+            lineno = node.lineno  # type: ignore[attr-defined]
+            col = node.col_offset  # type: ignore[attr-defined]
+        except AttributeError:
+            return ""
+        if not (1 <= lineno <= len(self.lines)):
+            return ""
+        end_col = getattr(node, "end_col_offset", None)
+        line = self.lines[lineno - 1]
+        if getattr(node, "end_lineno", lineno) == lineno and end_col is not None:
+            return line[col:end_col]
+        return line[col:]
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set :attr:`code` / :attr:`name` / :attr:`rationale` and
+    implement :meth:`check`, yielding :class:`Violation` records.  The
+    engine instantiates each rule once per run; rules must not keep
+    per-file state across :meth:`check` calls.
+    """
+
+    #: Stable rule code used in reports, suppressions and the baseline.
+    code: str = "RL000"
+    #: Short kebab-ish name shown by ``repro lint --list-rules``.
+    name: str = "abstract-rule"
+    #: One-line statement of the invariant the rule protects.
+    rationale: str = ""
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        """Yield every violation of this rule in ``ctx``."""
+        raise NotImplementedError
+        yield  # pragma: no cover - makes the abstract method a generator
+
+    def hit(self, ctx: LintContext, node: ast.AST, message: str) -> Violation:
+        """Build a :class:`Violation` for ``node`` with this rule's code."""
+        return Violation(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.code,
+            message=message,
+        )
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render a ``Name``/``Attribute`` chain as ``a.b.c`` (else ``None``).
+
+    >>> import ast
+    >>> dotted_name(ast.parse("self.meter.charge", mode="eval").body)
+    'self.meter.charge'
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def last_segment(node: ast.AST) -> Optional[str]:
+    """The final attribute/name of a call target (``a.b.c`` → ``c``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def iter_child_rules(rules: Sequence[Rule]) -> List[Rule]:
+    """Validate a rule set: unique, well-formed codes; returns a list.
+
+    Raises ``ValueError`` on duplicate or malformed codes so a bad
+    registry fails at configuration time, not mid-run.
+    """
+    seen = set()
+    out: List[Rule] = []
+    for rule in rules:
+        if not rule.code.startswith("RL") or not rule.code[2:].isdigit():
+            raise ValueError(f"malformed rule code {rule.code!r} on {type(rule).__name__}")
+        if rule.code in seen:
+            raise ValueError(f"duplicate rule code {rule.code}")
+        seen.add(rule.code)
+        out.append(rule)
+    return out

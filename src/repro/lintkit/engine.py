@@ -1,0 +1,145 @@
+"""File collection, parsing and rule dispatch for ``repro lint``.
+
+The engine is deliberately import-free with respect to the linted code:
+files are read and parsed with :mod:`ast`, never executed, so the linter
+can check a tree whose dependencies are absent (CI bootstraps) or whose
+modules would have import-time side effects.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import LintError
+from repro.lintkit.core import LintContext, Rule, Violation
+from repro.lintkit.rules import default_rules
+from repro.lintkit.suppressions import scan_suppressions
+
+__all__ = ["collect_files", "lint_file", "lint_paths", "package_relative"]
+
+#: The package directory whose layout defines rule scopes.
+_PACKAGE = "repro"
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "build", "dist"})
+
+
+def collect_files(paths: Sequence[str]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list.
+
+    Raises
+    ------
+    LintError
+        If a given path does not exist (a typo must not lint "clean").
+    """
+    out = []
+    seen = set()
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise LintError(f"no such file or directory: {raw!r}")
+        candidates: Iterable[Path]
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for file in candidates:
+            if any(part in _SKIP_DIRS for part in file.parts):
+                continue
+            key = file.resolve()
+            if key not in seen:
+                seen.add(key)
+                out.append(file)
+    return out
+
+
+def package_relative(path: Path, root: Optional[Path] = None) -> str:
+    """The path rules scope on: relative to the ``repro`` package root.
+
+    ``src/repro/sim/clock.py`` → ``sim/clock.py``.  Files outside any
+    ``repro`` directory fall back to being relative to ``root`` (the lint
+    invocation root) — which is how fixture trees that mirror the package
+    layout (``lint_fixtures/sim/bad.py``) land in the right scope.
+    """
+    parts = path.parts
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == _PACKAGE:
+            return "/".join(parts[i + 1 :])
+    if root is not None:
+        try:
+            return path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            pass
+    return path.as_posix()
+
+
+def lint_file(
+    path: Path, rules: Sequence[Rule], *, root: Optional[Path] = None
+) -> List[Violation]:
+    """Lint one file, returning its (suppression-filtered) violations.
+
+    A file the parser rejects yields a single ``RL000`` violation at the
+    offending line rather than aborting the run.
+    """
+    display = path.as_posix()
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return [Violation(display, 1, 0, "RL000", f"unreadable file: {exc}")]
+    try:
+        tree = ast.parse(source, filename=display)
+    except SyntaxError as exc:
+        return [
+            Violation(display, exc.lineno or 1, 0, "RL000", f"syntax error: {exc.msg}")
+        ]
+    ctx = LintContext(
+        path=display,
+        pkg_path=package_relative(path, root),
+        tree=tree,
+        source=source,
+    )
+    suppressions = scan_suppressions(source)
+    found: List[Violation] = []
+    for rule in rules:
+        for violation in rule.check(ctx):
+            if not suppressions.is_suppressed(violation.rule, violation.line):
+                found.append(violation)
+    return found
+
+
+def lint_paths(
+    paths: Sequence[str],
+    *,
+    rules: Optional[Sequence[Rule]] = None,
+    root: Optional[str] = None,
+) -> Tuple[List[Violation], int]:
+    """Lint every file under ``paths`` with ``rules`` (default: all).
+
+    Parameters
+    ----------
+    paths:
+        Files and/or directories to check.
+    rules:
+        Rule instances to run (default: the full shipped set).
+    root:
+        Directory that stands in for the ``repro`` package root when a
+        file is outside any ``repro`` directory (fixture trees).  When
+        omitted and exactly one directory was passed, that directory is
+        the root.
+
+    Returns
+    -------
+    (violations, n_files)
+        Sorted violations plus the number of files checked.
+    """
+    active = tuple(rules) if rules is not None else default_rules()
+    files = collect_files(paths)
+    if root is not None:
+        anchor: Optional[Path] = Path(root)
+    else:
+        roots = [Path(p) for p in paths if Path(p).is_dir()]
+        anchor = roots[0] if len(roots) == 1 else None
+    violations: List[Violation] = []
+    for file in files:
+        violations.extend(lint_file(file, active, root=anchor))
+    return sorted(violations), len(files)

@@ -1,0 +1,43 @@
+"""The shipped rule set of ``repro lint``.
+
+Each rule lives in its own module with the rationale for the invariant
+it protects; :func:`default_rules` assembles the registry the CLI runs.
+Adding a rule means adding a module here and listing it below — the
+fixture-driven tests in ``tests/test_lintkit.py`` hold every rule to a
+fires-on-bad / silent-on-clean pair.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.lintkit.core import Rule, iter_child_rules
+from repro.lintkit.rules.determinism import DeterminismRule
+from repro.lintkit.rules.meters import MeterExceptionRule
+from repro.lintkit.rules.msr import MSRSafetyRule
+from repro.lintkit.rules.pickles import PickleSafetyRule
+from repro.lintkit.rules.units import UnitsRule
+
+__all__ = [
+    "DeterminismRule",
+    "MSRSafetyRule",
+    "UnitsRule",
+    "MeterExceptionRule",
+    "PickleSafetyRule",
+    "default_rules",
+]
+
+
+def default_rules() -> Tuple[Rule, ...]:
+    """Instantiate the full shipped rule set, in code order."""
+    return tuple(
+        iter_child_rules(
+            [
+                DeterminismRule(),
+                MSRSafetyRule(),
+                UnitsRule(),
+                MeterExceptionRule(),
+                PickleSafetyRule(),
+            ]
+        )
+    )

@@ -1,0 +1,129 @@
+"""RL001 — determinism: no wall clocks or global RNGs in simulated code.
+
+The golden-trace tests pin entire runs bit-for-bit, fault campaigns
+replay from a seed, and campaign resume validates artefact hashes.  All
+of that dies the moment simulated code reads the host's clock or an
+unseeded/global random stream.  Inside the simulation packages
+(``sim/``, ``governors/``, ``cluster/``, ``faults/``) time must come
+from :class:`repro.sim.clock.SimClock` and randomness from
+:mod:`repro.sim.rng` (``RngStreams`` / ``spawn_generator``), never from
+``time.time()``-style wall clocks, the ``random`` module, or direct
+``numpy.random`` constructors.
+
+``sim/clock.py`` and ``sim/rng.py`` are exempt: they *are* the sanctioned
+implementations.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional
+
+from repro.lintkit.core import LintContext, Rule, Violation
+
+__all__ = ["DeterminismRule"]
+
+#: Packages whose code runs inside (or replays against) the simulation.
+_SCOPED_DIRS = frozenset({"sim", "governors", "cluster", "faults"})
+
+#: The sanctioned clock/rng implementations themselves.
+_EXEMPT_FILES = frozenset({"sim/clock.py", "sim/rng.py"})
+
+#: Exact canonical call targets that read the host clock.
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Canonical module prefixes whose *call* targets are nondeterministic
+#: (or bypass the seed-derivation discipline of :mod:`repro.sim.rng`).
+_BANNED_PREFIXES = ("random.", "numpy.random.")
+
+
+def _import_map(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to canonical dotted import paths.
+
+    ``import numpy as np`` → ``{"np": "numpy"}``;
+    ``from time import perf_counter as pc`` → ``{"pc": "time.perf_counter"}``.
+    Star imports are ignored (the chain simply fails to resolve).
+    """
+    mapping: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                canonical = alias.name if alias.asname else alias.name.split(".")[0]
+                mapping[local] = canonical
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue  # relative imports cannot reach stdlib/numpy
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                mapping[local] = f"{node.module}.{alias.name}"
+    return mapping
+
+
+def _canonical(node: ast.AST, imports: Dict[str, str]) -> Optional[str]:
+    """Resolve a call target to its canonical dotted path, if it is one."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    root = imports.get(node.id)
+    if root is None:
+        return None
+    return ".".join([root, *reversed(parts)])
+
+
+class DeterminismRule(Rule):
+    """Flag wall-clock reads and global/unmanaged RNG use in simulated code."""
+
+    code = "RL001"
+    name = "determinism"
+    rationale = (
+        "simulated code must draw time from sim.clock and randomness from "
+        "sim.rng so runs replay bit-for-bit from a seed"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        """Yield a violation for every banned clock/RNG call."""
+        if ctx.top_dir not in _SCOPED_DIRS or ctx.pkg_path in _EXEMPT_FILES:
+            return
+        imports = _import_map(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _canonical(node.func, imports)
+            if target is None:
+                continue
+            if target in _WALL_CLOCK_CALLS:
+                yield self.hit(
+                    ctx,
+                    node,
+                    f"wall-clock call {target}() in simulated code; use the "
+                    f"SimClock the engine hands you (repro.sim.clock)",
+                )
+            elif target.startswith(_BANNED_PREFIXES) or target == "random":
+                yield self.hit(
+                    ctx,
+                    node,
+                    f"direct RNG construction/use {target}() in simulated code; "
+                    f"draw from repro.sim.rng (RngStreams.get or spawn_generator) "
+                    f"so streams derive from the run seed",
+                )

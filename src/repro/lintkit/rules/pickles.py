@@ -1,0 +1,87 @@
+"""RL005 — pickle safety: only top-level callables cross the pool.
+
+:func:`repro.parallel.pool.map_parallel` ships ``(function, kwargs)``
+pairs to worker processes by pickling them.  Lambdas, closures and
+functions defined inside other functions cannot be pickled; today the
+pool raises a clear error at runtime, but a sweep that only hits the bad
+path on one grid point fails an hour into a campaign.  This rule moves
+the failure to lint time: submission APIs (``map_parallel``,
+``run_grid``, ``pool.submit``, ``apply_async``) must receive a callable
+defined at module top level.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.lintkit.core import LintContext, Rule, Violation, last_segment
+
+__all__ = ["PickleSafetyRule"]
+
+#: Callable last-segments that submit work to a process pool.
+_SUBMISSION_APIS = frozenset({"map_parallel", "run_grid", "submit", "apply_async"})
+
+
+def _nested_callables(tree: ast.Module) -> Set[str]:
+    """Names bound to non-module-level functions or lambdas anywhere.
+
+    Collects functions defined inside other functions plus every
+    ``name = lambda ...`` binding (module-level lambdas are just as
+    unpicklable as nested defs).
+    """
+    nested: Set[str] = set()
+
+    def visit(node: ast.AST, inside_function: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if inside_function:
+                    nested.add(child.name)
+                visit(child, True)
+            elif isinstance(child, ast.Assign) and isinstance(child.value, ast.Lambda):
+                for target in child.targets:
+                    if isinstance(target, ast.Name):
+                        nested.add(target.id)
+                visit(child, inside_function)
+            else:
+                visit(child, inside_function)
+
+    visit(tree, False)
+    return nested
+
+
+class PickleSafetyRule(Rule):
+    """Flag lambdas/nested functions handed to pool-submission APIs."""
+
+    code = "RL005"
+    name = "pickle-safety"
+    rationale = (
+        "pool workers receive their task by pickling; a lambda or nested "
+        "function fails at runtime, possibly deep into a sweep"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        """Yield a violation for every unpicklable submission target."""
+        nested = _nested_callables(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            api = last_segment(node.func)
+            if api not in _SUBMISSION_APIS or not node.args:
+                continue
+            func_arg = node.args[0]
+            if isinstance(func_arg, ast.Lambda):
+                yield self.hit(
+                    ctx,
+                    node,
+                    f"lambda passed to {api}(); pool tasks are pickled — "
+                    f"define the task at module top level",
+                )
+            elif isinstance(func_arg, ast.Name) and func_arg.id in nested:
+                yield self.hit(
+                    ctx,
+                    node,
+                    f"locally-defined callable {func_arg.id!r} passed to "
+                    f"{api}(); pool tasks are pickled — move it to module "
+                    f"top level",
+                )

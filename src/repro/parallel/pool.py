@@ -35,6 +35,7 @@ import pickle
 import signal
 import threading
 import time
+import types
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -110,7 +111,7 @@ def _run_with_timeout(func: Callable[..., Any], kwargs: Dict[str, Any], timeout_
     ):
         return func(**kwargs)
 
-    def _on_alarm(signum, frame):
+    def _on_alarm(signum: int, frame: Optional[types.FrameType]) -> None:
         raise TaskTimeoutError(timeout_s)
 
     previous = signal.signal(signal.SIGALRM, _on_alarm)

@@ -155,10 +155,10 @@ class RunResult:
         base = self.traces[names[0]]
         with open(path, "w", newline="") as fh:
             writer = _csv.writer(fh)
-            writer.writerow(["time_s"] + names)
+            writer.writerow(["time_s", *names])
             columns = [self.traces[n].values for n in names]
             for i, t in enumerate(base.times):
-                writer.writerow([f"{t:.4f}"] + [f"{col[i]:.6g}" for col in columns])
+                writer.writerow([f"{t:.4f}", *(f"{col[i]:.6g}" for col in columns)])
 
 
 def run_application(

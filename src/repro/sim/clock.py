@@ -35,7 +35,7 @@ class SimClock:
 
     __slots__ = ("_dt", "_tick")
 
-    def __init__(self, dt: float = 0.01):
+    def __init__(self, dt: float = 0.01) -> None:
         if not (dt > 0):
             raise ClockError(f"tick width must be positive, got {dt!r}")
         self._dt = float(dt)

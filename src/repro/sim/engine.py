@@ -58,7 +58,8 @@ __all__ = [
 #:    existing importers and trace-completeness assertions keep working:
 #:    every engine composed with the standard observer stack on a node
 #:    with >= 4 cores still records a superset of these channels.
-TRACE_CHANNELS = NodeStateObserver.CHANNELS + (
+TRACE_CHANNELS = (
+    *NodeStateObserver.CHANNELS,
     "core0_freq_ghz",
     "core1_freq_ghz",
     "core2_freq_ghz",
@@ -123,7 +124,7 @@ class SimulationEngine:
         clock: Optional[SimClock] = None,
         *,
         observers: Optional[Sequence[TickObserver]] = None,
-    ):
+    ) -> None:
         if observers is not None and (telemetry is not None or runtimes):
             raise SimulationError(
                 "pass either the legacy (telemetry, runtimes) pair or an explicit "

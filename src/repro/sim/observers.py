@@ -29,12 +29,15 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, List, Optional, Protocol, Sequence
 
+import numpy as np
+
 from repro.errors import SimulationError
 from repro.sim.channels import ChannelRegistry
 
 if TYPE_CHECKING:  # typing-only: sim is the bottom layer and must not
     # runtime-import the hardware/telemetry/workload packages built on it.
     from repro.hw.node import HeterogeneousNode, NodeTickState
+    from repro.sim.clock import SimClock
     from repro.sim.engine import EngineResult, SimulationEngine
     from repro.telemetry.hub import TelemetryHub
     from repro.workloads.base import WorkloadExecution
@@ -42,6 +45,7 @@ if TYPE_CHECKING:  # typing-only: sim is the bottom layer and must not
 __all__ = [
     "TickObserver",
     "ScheduledRuntime",
+    "DegradedSource",
     "BaseTickObserver",
     "TelemetryObserver",
     "NodeStateObserver",
@@ -100,7 +104,7 @@ class TelemetryObserver(BaseTickObserver):
     counters that include the current tick (the pre-refactor sequencing).
     """
 
-    def __init__(self, hub: "TelemetryHub"):
+    def __init__(self, hub: "TelemetryHub") -> None:
         self.hub = hub
         self._dt = 0.0
 
@@ -109,7 +113,7 @@ class TelemetryObserver(BaseTickObserver):
             raise SimulationError("telemetry hub is bound to a different node")
         self._dt = engine.clock.dt
 
-    def on_tick(self, state, execution) -> None:
+    def on_tick(self, state: "NodeTickState", execution: Optional["WorkloadExecution"]) -> None:
         self.hub.on_tick(self._dt)
 
 
@@ -143,8 +147,8 @@ class NodeStateObserver(BaseTickObserver):
     )
 
     def __init__(self) -> None:
-        self._row = None
-        self._sl: Optional[slice] = None
+        self._row: np.ndarray = np.empty(0)
+        self._sl: slice = slice(0, 0)
 
     def declare_channels(self, registry: ChannelRegistry) -> None:
         self._sl = registry.declare("node", self.CHANNELS).slice
@@ -152,7 +156,7 @@ class NodeStateObserver(BaseTickObserver):
     def on_start(self, engine: "SimulationEngine") -> None:
         self._row = engine.trace_row
 
-    def on_tick(self, state, execution) -> None:
+    def on_tick(self, state: "NodeTickState", execution: Optional["WorkloadExecution"]) -> None:
         power = state.power
         self._row[self._sl] = (
             state.demand_gbps,
@@ -202,7 +206,7 @@ class CoreFrequencyObserver(BaseTickObserver):
     assignment per socket per tick.
     """
 
-    def __init__(self, node: "HeterogeneousNode"):
+    def __init__(self, node: "HeterogeneousNode") -> None:
         self.node = node
         self._names = tuple(core_freq_channels(node))
         offsets: List[int] = []
@@ -211,7 +215,7 @@ class CoreFrequencyObserver(BaseTickObserver):
             offsets.append(k)
             k += cpu.n_cores
         self._offsets = offsets
-        self._row = None
+        self._row: np.ndarray = np.empty(0)
         self._start = 0
 
     @property
@@ -227,12 +231,30 @@ class CoreFrequencyObserver(BaseTickObserver):
             raise SimulationError("core-frequency observer is bound to a different node")
         self._row = engine.trace_row
 
-    def on_tick(self, state, execution) -> None:
+    def on_tick(self, state: "NodeTickState", execution: Optional["WorkloadExecution"]) -> None:
         row = self._row
         start = self._start
         for (cpu, _), offset in zip(self.node.sockets, self._offsets):
             freqs = cpu.core_freqs_ghz
             row[start + offset : start + offset + len(freqs)] = freqs
+
+
+class DegradedSource(Protocol):
+    """What :class:`DegradedStateObserver` reads: a supervised daemon's health.
+
+    Structural, so the sim layer never imports the runtime package; a
+    :class:`~repro.runtime.supervisor.SupervisedDaemon` satisfies it.
+    """
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the supervised runtime is currently failed-safe."""
+        ...  # pragma: no cover - protocol
+
+    @property
+    def incident_count(self) -> int:
+        """Cumulative incidents recorded so far."""
+        ...  # pragma: no cover - protocol
 
 
 class DegradedStateObserver(BaseTickObserver):
@@ -253,10 +275,10 @@ class DegradedStateObserver(BaseTickObserver):
 
     CHANNELS = ("supervisor_degraded", "supervisor_incidents")
 
-    def __init__(self, source) -> None:
+    def __init__(self, source: DegradedSource) -> None:
         self.source = source
-        self._row = None
-        self._sl: Optional[slice] = None
+        self._row: np.ndarray = np.empty(0)
+        self._sl: slice = slice(0, 0)
 
     def declare_channels(self, registry: ChannelRegistry) -> None:
         self._sl = registry.declare("supervision", self.CHANNELS).slice
@@ -264,7 +286,7 @@ class DegradedStateObserver(BaseTickObserver):
     def on_start(self, engine: "SimulationEngine") -> None:
         self._row = engine.trace_row
 
-    def on_tick(self, state, execution) -> None:
+    def on_tick(self, state: "NodeTickState", execution: Optional["WorkloadExecution"]) -> None:
         self._row[self._sl] = (
             1.0 if self.source.degraded else 0.0,
             float(self.source.incident_count),
@@ -285,17 +307,19 @@ class RuntimeObserver(BaseTickObserver):
     detected and raised.
     """
 
-    def __init__(self, runtimes: Sequence[ScheduledRuntime] = ()):
+    def __init__(self, runtimes: Sequence[ScheduledRuntime] = ()) -> None:
         self.runtimes: List[ScheduledRuntime] = list(runtimes)
-        self._clock = None
+        self._clock: Optional["SimClock"] = None
 
     def on_start(self, engine: "SimulationEngine") -> None:
         self._clock = engine.clock
         for rt in self.runtimes:
             rt.start(engine.clock.now)
 
-    def on_tick(self, state, execution) -> None:
+    def on_tick(self, state: "NodeTickState", execution: Optional["WorkloadExecution"]) -> None:
         clock = self._clock
+        if clock is None:  # pragma: no cover - engine always calls on_start
+            raise SimulationError("RuntimeObserver.on_tick before on_start")
         now = (clock.tick + 1) * clock.dt
         for rt in self.runtimes:
             while rt.next_fire_s() <= now:

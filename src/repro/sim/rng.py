@@ -17,7 +17,7 @@ from typing import Dict
 
 import numpy as np
 
-__all__ = ["RngStreams", "derive_seed"]
+__all__ = ["RngStreams", "derive_seed", "spawn_generator"]
 
 
 def derive_seed(master_seed: int, name: str) -> int:
@@ -33,6 +33,26 @@ def derive_seed(master_seed: int, name: str) -> int:
     """
     digest = hashlib.sha256(f"{master_seed}:{name}".encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "little") & (2**63 - 1)
+
+
+def spawn_generator(seed: int) -> np.random.Generator:
+    """The library's single construction point for seeded NumPy generators.
+
+    Components that need one self-contained stream from an explicit seed
+    (fault plans, the fleet failure model) build it here rather than
+    calling ``np.random.default_rng`` directly, so ``repro lint``'s
+    determinism rule (RL001) can statically prove that every generator in
+    simulated code traces back to a run seed.  The stream is *exactly*
+    ``default_rng(seed)`` — introducing this seam changed no pinned trace.
+
+    >>> a = spawn_generator(7).standard_normal(2)
+    >>> b = spawn_generator(7).standard_normal(2)
+    >>> bool(np.allclose(a, b))
+    True
+    """
+    if not isinstance(seed, int):
+        raise TypeError(f"seed must be an int, got {type(seed).__name__}")
+    return np.random.default_rng(seed)
 
 
 class RngStreams:
@@ -52,7 +72,7 @@ class RngStreams:
     True
     """
 
-    def __init__(self, master_seed: int = 0):
+    def __init__(self, master_seed: int = 0) -> None:
         if not isinstance(master_seed, int):
             raise TypeError(f"master_seed must be an int, got {type(master_seed).__name__}")
         self._master_seed = master_seed

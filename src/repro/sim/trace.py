@@ -13,7 +13,7 @@ remains for sparse callers and tests. Results are exposed as immutable
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -39,7 +39,7 @@ class TimeSeries:
 
     __slots__ = ("_times", "_values", "name")
 
-    def __init__(self, times: np.ndarray, values: np.ndarray, name: str = ""):
+    def __init__(self, times: np.ndarray, values: np.ndarray, name: str = "") -> None:
         times = np.asarray(times, dtype=float)
         values = np.asarray(values, dtype=float)
         if times.shape != values.shape or times.ndim != 1:
@@ -169,7 +169,7 @@ class TraceRecorder:
       and no per-channel schema check (the row length is the schema).
     """
 
-    def __init__(self, channels: Iterable[str]):
+    def __init__(self, channels: Iterable[str]) -> None:
         self._channels: Tuple[str, ...] = tuple(channels)
         if len(set(self._channels)) != len(self._channels):
             raise SimulationError(f"duplicate channel names: {self._channels}")
@@ -216,7 +216,7 @@ class TraceRecorder:
             raise SimulationError(f"channel mismatch: missing={sorted(missing)} extra={sorted(extra)}")
         self.record_row(time_s, [values[c] for c in self._channels])
 
-    def record_row(self, time_s: float, row) -> None:
+    def record_row(self, time_s: float, row: Union[Sequence[float], np.ndarray]) -> None:
         """Append one sample from a positional row (the engine fast path).
 
         Parameters

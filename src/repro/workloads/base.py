@@ -110,7 +110,7 @@ class Workload:
         """
         if period_s <= 0:
             raise WorkloadError(f"period must be positive, got {period_s!r}")
-        boundaries = np.cumsum([0.0] + [s.duration_s for s in self.segments])
+        boundaries = np.cumsum([0.0, *(s.duration_s for s in self.segments)])
         times = np.arange(0.0, boundaries[-1], period_s)
         idx = np.minimum(np.searchsorted(boundaries, times, side="right") - 1, len(self.segments) - 1)
         demand = np.array([self.segments[i].mem_bw_gbps for i in idx])

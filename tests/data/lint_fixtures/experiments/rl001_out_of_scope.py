@@ -1,0 +1,8 @@
+"""RL001 scope fixture: wall-clock timing of *real* work is legitimate here."""
+
+import time
+
+
+def wall_time():
+    t0 = time.perf_counter()
+    return time.perf_counter() - t0

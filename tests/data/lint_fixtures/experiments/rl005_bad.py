@@ -1,0 +1,19 @@
+"""RL005 fixture: unpicklable callables handed to pool-submission APIs."""
+
+from repro.parallel import map_parallel, run_grid
+
+square = lambda x: x * x  # noqa: E731
+
+
+def sweep(points):
+    results = map_parallel(lambda seed: seed + 1, points)  # line 9: lambda
+    grid = run_grid(square, points)  # line 10: module-level *lambda* binding
+    return results, grid
+
+
+def nested_sweep(pool, points):
+    def task(seed):
+        return seed * 2
+
+    futures = [pool.submit(task, p) for p in points]  # line 18: nested def
+    return futures

@@ -1,0 +1,19 @@
+"""RL005 clean fixture: module-top-level callables cross the pool fine."""
+
+from repro.parallel import map_parallel, run_grid
+
+
+def run_one(seed):
+    return seed + 1
+
+
+def sweep(pool, points):
+    results = map_parallel(run_one, points)
+    grid = run_grid(run_one, points)
+    futures = [pool.submit(run_one, p) for p in points]
+    inline = [key(p) for p in sorted(points, key=lambda p: p)]  # non-pool lambda
+    return results, grid, futures, inline
+
+
+def key(point):
+    return point

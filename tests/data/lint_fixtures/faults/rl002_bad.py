@@ -1,0 +1,13 @@
+"""RL002 fixture: raw MSR address literals and raw accessor calls."""
+
+UNCORE_LIMIT = 0x620  # line 3: duplicates MSR_UNCORE_RATIO_LIMIT
+
+
+def poke(dev, socket):
+    value = dev.read(socket, 0x309)  # line 7: raw IA32_FIXED_CTR0
+    write_msr(socket, 0x30A, value)  # line 8: raw accessor + raw address
+    return value
+
+
+def write_msr(socket, address, value):
+    raise NotImplementedError

@@ -1,0 +1,14 @@
+"""RL002 clean fixture: named constants, decimal coincidences, strings."""
+
+from repro.telemetry.msr import IA32_FIXED_CTR0, MSR_UNCORE_RATIO_LIMIT
+
+#: A decimal 1568 is not an MSR address (only hex spellings are flagged).
+BUDGET_W = 1568
+
+LABEL = "msr_0x620"  # strings are fine; docs mention 0x620 freely
+
+
+def read_counters(dev, socket, meter):
+    ins = dev.read(socket, IA32_FIXED_CTR0, meter)
+    dev.write(socket, MSR_UNCORE_RATIO_LIMIT, 0x816, meter)
+    return ins

@@ -1,0 +1,15 @@
+"""RL004 fixture: broad handlers that swallow silently in metered paths."""
+
+
+def swallow(daemon, now_s):
+    try:
+        daemon.invoke(now_s)
+    except Exception:  # line 7: neither re-raises nor records
+        pass
+
+
+def swallow_bare(daemon, now_s):
+    try:
+        daemon.invoke(now_s)
+    except:  # noqa: E722  # line 14: bare except, silent
+        return None

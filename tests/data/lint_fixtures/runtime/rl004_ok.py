@@ -1,0 +1,29 @@
+"""RL004 clean fixture: broad handlers that re-raise or keep the books."""
+
+
+def reraise(daemon, now_s):
+    try:
+        daemon.invoke(now_s)
+    except Exception as exc:
+        raise RuntimeError("cycle failed") from exc
+
+
+def record(daemon, incident_log, incident, now_s):
+    try:
+        daemon.invoke(now_s)
+    except Exception:
+        incident_log.append(incident)
+
+
+def charge(daemon, meter, now_s, backoff_s):
+    try:
+        daemon.invoke(now_s)
+    except Exception:
+        meter.charge("retry_backoff", backoff_s, 0.0)
+
+
+def narrow(daemon, now_s):
+    try:
+        daemon.invoke(now_s)
+    except ValueError:  # narrow catches are the caller's business
+        return None

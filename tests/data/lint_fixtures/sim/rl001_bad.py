@@ -1,0 +1,23 @@
+"""RL001 fixture: every banned wall-clock / global-RNG form, in scope."""
+
+import random
+import time
+from datetime import datetime
+from time import perf_counter as pc
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def stamp():
+    t0 = time.time()  # line 13: wall clock
+    t1 = pc()  # line 14: aliased from-import
+    t2 = datetime.now()  # line 15: datetime
+    return t0, t1, t2
+
+
+def draw():
+    a = random.random()  # line 20: global stdlib RNG
+    b = np.random.default_rng(0)  # line 21: direct numpy constructor
+    c = default_rng(1)  # line 22: from-imported constructor
+    return a, b, c

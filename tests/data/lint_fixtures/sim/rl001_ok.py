@@ -1,0 +1,26 @@
+"""RL001 clean fixture: sanctioned clock/rng use plus out-of-rule idioms."""
+
+import numpy as np
+
+from repro.sim.clock import SimClock
+from repro.sim.rng import RngStreams, spawn_generator
+
+
+def simulate(seed: int) -> float:
+    clock = SimClock(dt=0.01)
+    streams = RngStreams(seed)
+    noise = streams.get("noise").standard_normal()
+    extra = spawn_generator(seed).uniform()
+    clock.advance()
+    return clock.now + noise + extra
+
+
+def typed(rng: np.random.Generator) -> float:
+    # An annotation or method call on a passed-in generator is fine.
+    return float(rng.uniform())
+
+
+def suppressed() -> float:
+    import time
+
+    return time.time()  # repro-lint: disable=RL001

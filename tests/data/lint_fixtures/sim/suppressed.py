@@ -1,0 +1,19 @@
+"""Suppression-syntax fixture: every directive form, all in RL001 scope."""
+# repro-lint: disable-file=RL003
+
+import time
+
+
+def trailing():
+    return time.time()  # repro-lint: disable=RL001
+
+
+def standalone():
+    # repro-lint: disable=RL001
+    return time.monotonic()
+
+
+def multi(power_w, duration_s):
+    bad = time.perf_counter()  # line 17: NOT suppressed — must still fire
+    mixed = power_w + duration_s  # file-level RL003 suppression covers this
+    return bad, mixed

@@ -1,0 +1,22 @@
+"""RL003 fixture: unit-suffix conflicts in arithmetic and at call sites."""
+
+
+def mix(power_w, duration_s, freq_mhz, freq_ghz):
+    total = power_w + duration_s  # line 5: W + s
+    delta = freq_mhz - freq_ghz  # line 6: MHz - GHz
+    if power_w > duration_s:  # line 7: W vs s comparison
+        total += 1.0
+    budget_j = 0.0
+    budget_j += duration_s  # line 10: J += s
+    return total, delta, budget_j
+
+
+def bad_call_sites(meter, watts_to_joules, interval_s):
+    meter.charge("probe", 0.25, 0.125)  # lines 15: bare literals into time_s/energy_j
+    energy = watts_to_joules(35.0, interval_s)  # line 16: bare literal power_w
+    run(duration_s=interval_s, budget_w=interval_s)  # line 17: _w kwarg gets _s value
+    return energy
+
+
+def run(duration_s, budget_w):
+    return duration_s * budget_w

@@ -1,0 +1,19 @@
+"""RL003 clean fixture: consistent suffixes, composing products, keywords."""
+
+
+def consistent(power_w, idle_w, duration_s, startup_s):
+    total_w = power_w + idle_w
+    window_s = duration_s - startup_s
+    energy_j = total_w * duration_s  # products compose units: W × s = J
+    rate = power_w / idle_w
+    return total_w, window_s, energy_j, rate
+
+
+def good_call_sites(meter, watts_to_joules, power_w):
+    meter.charge("probe", time_s=0.25, energy_j=0.125)  # keywords name the unit
+    meter.charge("probe", 0.0, 0.0)  # zero is unit-safe
+    return watts_to_joules(power_w, duration_s=0.5)
+
+
+def unrelated(n_cores, count):
+    return n_cores + count  # no unit suffixes, no opinion

@@ -1,0 +1,253 @@
+"""Fixture-driven tests for the ``repro lint`` static-analysis engine.
+
+Every rule is held to a pair: a fixture with known violations (exact
+codes and lines asserted) and a clean fixture that must stay silent.
+The fixture tree under ``tests/data/lint_fixtures/`` mirrors the package
+layout (``sim/``, ``runtime/``...) so path-scoped rules see the same
+scopes they see on ``src/repro``.  The self-check at the bottom is the
+acceptance gate: the repository lints clean against its own rules.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.errors import LintError
+from repro.lintkit import (
+    Baseline,
+    default_rules,
+    format_json,
+    format_text,
+    lint_file,
+    lint_paths,
+    load_baseline,
+    save_baseline,
+    scan_suppressions,
+)
+
+FIXTURES = Path(__file__).parent / "data" / "lint_fixtures"
+REPO = Path(__file__).resolve().parent.parent
+CLI_ENV = {**os.environ, "PYTHONPATH": str(REPO / "src")}
+
+
+def run_on(relpath):
+    """Lint one fixture file, returning its violations."""
+    return lint_file(FIXTURES / relpath, default_rules(), root=FIXTURES)
+
+
+def codes_and_lines(violations):
+    return sorted((v.rule, v.line) for v in violations)
+
+
+class TestRuleCatalogue:
+    def test_five_rules_with_unique_codes(self):
+        rules = default_rules()
+        assert [r.code for r in rules] == ["RL001", "RL002", "RL003", "RL004", "RL005"]
+        assert all(r.rationale for r in rules)
+
+
+class TestRL001Determinism:
+    def test_bad_fixture_fires_every_form(self):
+        violations = run_on("sim/rl001_bad.py")
+        assert codes_and_lines(violations) == [
+            ("RL001", 13),  # time.time
+            ("RL001", 14),  # aliased perf_counter
+            ("RL001", 15),  # datetime.now
+            ("RL001", 20),  # random.random
+            ("RL001", 21),  # np.random.default_rng
+            ("RL001", 22),  # from-imported default_rng
+        ]
+        assert "sim.rng" in violations[-1].message
+
+    def test_clean_fixture_is_silent(self):
+        assert run_on("sim/rl001_ok.py") == []
+
+    def test_out_of_scope_dir_is_not_checked(self):
+        # experiments/ legitimately wall-clocks real work.
+        assert run_on("experiments/rl001_out_of_scope.py") == []
+
+
+class TestRL002MSRSafety:
+    def test_bad_fixture_fires(self):
+        violations = run_on("faults/rl002_bad.py")
+        assert codes_and_lines(violations) == [
+            ("RL002", 3),  # 0x620 constant
+            ("RL002", 7),  # 0x309 read
+            ("RL002", 8),  # raw accessor call
+            ("RL002", 8),  # 0x30A literal inside it
+        ]
+        assert "MSR_UNCORE_RATIO_LIMIT" in violations[0].message
+
+    def test_clean_fixture_is_silent(self):
+        assert run_on("faults/rl002_ok.py") == []
+
+    def test_the_register_table_itself_is_exempt(self):
+        violations = lint_file(REPO / "src/repro/telemetry/msr.py", default_rules())
+        assert [v for v in violations if v.rule == "RL002"] == []
+
+
+class TestRL003Units:
+    def test_bad_fixture_fires(self):
+        violations = run_on("telemetry/rl003_bad.py")
+        assert codes_and_lines(violations) == [
+            ("RL003", 5),  # W + s
+            ("RL003", 6),  # MHz - GHz
+            ("RL003", 7),  # W vs s comparison
+            ("RL003", 10),  # J += s
+            ("RL003", 15),  # bare literal time_s
+            ("RL003", 15),  # bare literal energy_j
+            ("RL003", 16),  # bare literal power_w
+            ("RL003", 17),  # _w kwarg bound to _s value
+        ]
+
+    def test_clean_fixture_is_silent(self):
+        assert run_on("telemetry/rl003_ok.py") == []
+
+
+class TestRL004MeterSafety:
+    def test_bad_fixture_fires(self):
+        violations = run_on("runtime/rl004_bad.py")
+        assert codes_and_lines(violations) == [("RL004", 7), ("RL004", 14)]
+        assert "IncidentLog" in violations[0].message
+
+    def test_clean_fixture_is_silent(self):
+        assert run_on("runtime/rl004_ok.py") == []
+
+
+class TestRL005PickleSafety:
+    def test_bad_fixture_fires(self):
+        violations = run_on("experiments/rl005_bad.py")
+        assert codes_and_lines(violations) == [
+            ("RL005", 9),  # inline lambda
+            ("RL005", 10),  # module-level lambda binding
+            ("RL005", 18),  # nested def to pool.submit
+        ]
+
+    def test_clean_fixture_is_silent(self):
+        assert run_on("experiments/rl005_ok.py") == []
+
+
+class TestSuppressions:
+    def test_directive_forms(self):
+        violations = run_on("sim/suppressed.py")
+        # Only the deliberately-unsuppressed perf_counter call survives.
+        assert codes_and_lines(violations) == [("RL001", 17)]
+
+    def test_scanner_directly(self):
+        idx = scan_suppressions(
+            "x = 1  # repro-lint: disable=RL001,RL003\n"
+            "# repro-lint: disable=all\n"
+            "y = 2\n"
+        )
+        assert idx.is_suppressed("RL001", 1)
+        assert idx.is_suppressed("RL003", 1)
+        assert not idx.is_suppressed("RL002", 1)
+        assert idx.is_suppressed("RL999", 3)  # 'all' on the next line
+
+    def test_directive_inside_string_is_ignored(self):
+        idx = scan_suppressions('s = "# repro-lint: disable-file=all"\n')
+        assert not idx.is_suppressed("RL001", 1)
+
+
+class TestEngineAndBaseline:
+    def test_syntax_error_reports_rl000(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n")
+        violations = lint_file(bad, default_rules())
+        assert [v.rule for v in violations] == ["RL000"]
+
+    def test_missing_path_raises(self):
+        with pytest.raises(LintError):
+            lint_paths(["definitely/not/a/path"])
+
+    def test_baseline_round_trip(self, tmp_path):
+        violations, _ = lint_paths([str(FIXTURES / "sim" / "rl001_bad.py")], root=str(FIXTURES))
+        assert violations
+        baseline_path = tmp_path / "baseline.json"
+        n = save_baseline(str(baseline_path), violations)
+        assert n == len(violations)
+        baseline = load_baseline(str(baseline_path))
+        assert baseline.filter_new(violations) == []
+        # A violation at a new location is still new.
+        moved = violations[0].__class__(**{**violations[0].__dict__, "line": 999})
+        assert baseline.filter_new([moved]) == [moved]
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert len(load_baseline(str(tmp_path / "nope.json"))) == 0
+
+    def test_corrupt_baseline_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(LintError):
+            load_baseline(str(path))
+        path.write_text(json.dumps({"version": 99}))
+        with pytest.raises(LintError):
+            load_baseline(str(path))
+
+    def test_reporters(self):
+        violations, n_files = lint_paths([str(FIXTURES / "runtime")], root=str(FIXTURES))
+        text = format_text(violations, n_files)
+        assert "RL004" in text and "rl004_bad.py:7" in text
+        payload = json.loads(format_json(violations, n_files))
+        assert payload["version"] == 1
+        assert payload["counts"] == {"RL004": 2}
+        assert payload["files"] == n_files == 2
+
+    def test_empty_baseline_object(self):
+        violations, _ = lint_paths([str(FIXTURES / "runtime" / "rl004_bad.py")], root=str(FIXTURES))
+        assert Baseline().filter_new(violations) == violations
+
+
+class TestSelfCheck:
+    def test_repo_lints_clean(self):
+        """The acceptance gate: ``repro lint src/`` exits 0 on this repo."""
+        violations, n_files = lint_paths([str(REPO / "src")])
+        assert n_files > 100
+        assert violations == [], format_text(violations, n_files)
+
+    def test_cli_verb_end_to_end(self, tmp_path):
+        out = tmp_path / "report.json"
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro.cli", "lint", str(REPO / "src"),
+                "--format", "json", "--no-baseline", "--out", str(out),
+            ],
+            capture_output=True,
+            text=True,
+            cwd=str(REPO),
+            env=CLI_ENV,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        payload = json.loads(out.read_text())
+        assert payload["violations"] == []
+
+    def test_cli_exit_code_on_violations(self):
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro.cli", "lint",
+                str(FIXTURES / "sim" / "rl001_bad.py"), "--no-baseline",
+                "--package-root", str(FIXTURES),
+            ],
+            capture_output=True,
+            text=True,
+            cwd=str(REPO),
+            env=CLI_ENV,
+        )
+        assert proc.returncode == 1
+        assert "RL001" in proc.stdout
+
+    def test_cli_list_rules(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "lint", "--list-rules"],
+            capture_output=True,
+            text=True,
+            cwd=str(REPO),
+            env=CLI_ENV,
+        )
+        assert proc.returncode == 0
+        for code in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+            assert code in proc.stdout
