@@ -71,6 +71,56 @@ def test_engine_tick_throughput(benchmark):
     assert ticks_per_second > 3000
 
 
+def _run_daemon_path(obs_enabled):
+    from repro.obs import ObsConfig
+    from repro.runtime.session import make_governor, run_application
+
+    return run_application(
+        "intel_a100",
+        "unet",
+        make_governor("magus"),
+        seed=1,
+        max_time_s=SIM_SECONDS,
+        obs=ObsConfig(enabled=True) if obs_enabled else None,
+    )
+
+
+def test_obs_overhead_under_five_percent(benchmark):
+    """Full-stack obs cost: an instrumented run vs an uninstrumented one.
+
+    The obs layer promises "zero-cost-when-disabled, cheap-when-enabled":
+    the golden-trace suite proves the disabled half (bit-identity); this
+    bench guards the enabled half — spans + counters on every decision
+    cycle must cost < 5% of end-to-end run throughput (best-of-rounds on
+    both sides, so scheduler noise cannot fail the gate spuriously).
+    """
+    rounds = 3
+    baseline_s = min(
+        _timed(_run_daemon_path, False) for _ in range(rounds)
+    )
+
+    instrumented = benchmark.pedantic(
+        _run_daemon_path, args=(True,), rounds=rounds, iterations=1
+    )
+    instrumented_s = benchmark.stats.stats.min
+    assert instrumented.metrics is not None and len(instrumented.spans) > 0
+
+    baseline_tps = TICKS / baseline_s
+    instrumented_tps = TICKS / instrumented_s
+    print(
+        f"\nobs overhead: instrumented {instrumented_tps:,.0f} ticks/s vs "
+        f"disabled {baseline_tps:,.0f} ticks/s "
+        f"({(baseline_tps / instrumented_tps - 1) * 100:+.1f}% run time)"
+    )
+    assert instrumented_tps >= 0.95 * baseline_tps
+
+
+def _timed(fn, *args):
+    t0 = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - t0
+
+
 def _replay_columnar(channels, n_ticks):
     recorder = TraceRecorder(channels)
     row = recorder.row_buffer()

@@ -24,6 +24,7 @@ from typing import Callable, List, Optional, Sequence, Union
 
 from repro.campaign.journal import Journal, JournalEntry, file_sha256, step_key
 from repro.campaign.steps import CampaignStep, resolve_steps
+from repro.obs.registry import MetricsRegistry
 
 __all__ = ["StepReport", "CampaignResult", "run_campaign", "JOURNAL_NAME"]
 
@@ -52,6 +53,10 @@ class CampaignResult:
     seed: int
     quick: bool
     reports: List[StepReport]
+    #: Campaign-level metrics (steps ran/cached, step wall-clock
+    #: durations). Wall-clock is fine here: campaign execution is host
+    #: tooling, not simulation (RL001 covers the sim/governor layers).
+    metrics: Optional[MetricsRegistry] = None
 
     @property
     def executed(self) -> List[str]:
@@ -128,6 +133,13 @@ def run_campaign(
         journal.clear()
 
     reports: List[StepReport] = []
+    metrics = MetricsRegistry()
+    ran_counter = metrics.counter("repro.campaign.steps_ran")
+    cached_counter = metrics.counter("repro.campaign.steps_cached")
+    duration_hist = metrics.histogram(
+        "repro.campaign.step_duration_seconds",
+        (0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 300.0, 1800.0),
+    )
     for step in selected:
         key = step_key(step.name, step.version, seed=seed, quick=quick)
         entry = cached_entries.get(step.name)
@@ -141,6 +153,7 @@ def run_campaign(
                     duration_s=0.0,
                 )
             )
+            cached_counter.inc()
             say(f"{step.name:<8} cached ({len(entry.artefacts)} artefact(s))")
             continue
         t0 = time.perf_counter()
@@ -161,6 +174,8 @@ def run_campaign(
                 name=step.name, key=key, status="ran", artefacts=rel, duration_s=duration
             )
         )
+        ran_counter.inc()
+        duration_hist.observe(duration)
         say(f"{step.name:<8} ran in {duration:.1f}s -> {', '.join(rel)}")
     return CampaignResult(
         outdir=outdir,
@@ -168,4 +183,5 @@ def run_campaign(
         seed=seed,
         quick=quick,
         reports=reports,
+        metrics=metrics,
     )

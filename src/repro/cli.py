@@ -7,6 +7,8 @@ an entry point). Subcommands mirror the library's main workflows::
     repro run --system intel_a100 --workload unet --governor magus
     repro compare --system intel_a100 --workload srad --method magus --method ups
     repro overhead --system intel_a100 --governor ups --duration 120
+    repro trace --workload srad --out trace.json # Chrome/Perfetto trace + slow cycles
+    repro metrics --workload srad                # Prometheus dump + energy attribution
     repro suite --figure 4a                      # a Fig. 4 sweep
     repro experiments --quick                    # the full paper report
     repro resilience --seed 2 --check-repro      # fault campaign vs golden runs
@@ -59,6 +61,36 @@ def build_parser() -> argparse.ArgumentParser:
     ovh_p.add_argument("--governor", default="magus", choices=("magus", "ups"))
     ovh_p.add_argument("--duration", type=float, default=120.0)
     ovh_p.add_argument("--seed", type=int, default=1)
+    ovh_p.add_argument(
+        "--json", action="store_true", help="machine-readable OverheadResult row"
+    )
+
+    trace_p = sub.add_parser(
+        "trace", help="decision-attributed Chrome trace of one run (open in Perfetto)"
+    )
+    trace_p.add_argument("--system", default="intel_a100", choices=sorted(PRESETS))
+    trace_p.add_argument("--workload", required=True)
+    trace_p.add_argument("--governor", default="magus", choices=GOVERNORS)
+    trace_p.add_argument("--seed", type=int, default=1)
+    trace_p.add_argument("--max-time", type=float, default=600.0, metavar="SECONDS")
+    trace_p.add_argument("--out", default="trace.json", metavar="PATH")
+    trace_p.add_argument(
+        "--top", type=int, default=10, metavar="N", help="slowest cycles to tabulate"
+    )
+
+    met_p = sub.add_parser(
+        "metrics", help="run metrics (Prometheus/JSON) + by-cause energy attribution"
+    )
+    met_p.add_argument("--system", default="intel_a100", choices=sorted(PRESETS))
+    met_p.add_argument("--workload", required=True)
+    met_p.add_argument("--governor", default="magus", choices=GOVERNORS)
+    met_p.add_argument("--seed", type=int, default=1)
+    met_p.add_argument("--max-time", type=float, default=600.0, metavar="SECONDS")
+    met_p.add_argument("--format", choices=("prom", "json"), default="prom")
+    met_p.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the metrics dump to a file (e.g. metrics.prom) instead of stdout",
+    )
 
     suite_p = sub.add_parser("suite", help="run one Fig. 4 end-to-end sweep")
     suite_p.add_argument("--figure", default="4a", choices=("4a", "4b", "4c"))
@@ -224,7 +256,134 @@ def _cmd_overhead(args) -> int:
     result = measure_overhead(
         args.system, make_governor(args.governor), duration_s=args.duration, seed=args.seed
     )
-    print(str(result))
+    if args.json:
+        import json
+
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(str(result))
+    return 0
+
+
+def _run_observed(args):
+    """One observability-enabled run shared by ``trace`` and ``metrics``."""
+    from repro.obs import ObsConfig
+
+    return run_application(
+        args.system,
+        args.workload,
+        make_governor(args.governor),
+        seed=args.seed,
+        max_time_s=args.max_time,
+        obs=ObsConfig(enabled=True),
+    )
+
+
+def _opt(value, fmt: str) -> str:
+    """Format an optional numeric span attribute for a table cell."""
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return format(value, fmt)
+    return "-"
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs.exporters import render_chrome_trace, write_text
+    from repro.obs.report import slowest_cycles
+
+    result = _run_observed(args)
+    write_text(
+        args.out,
+        render_chrome_trace(
+            result.spans,
+            process_name=f"{args.workload}@{args.system}/{args.governor}",
+        ),
+    )
+    cycles = [s for s in result.spans if s.name == "daemon.cycle"]
+    print(
+        f"wrote {len(result.spans)} span(s) ({len(cycles)} decision cycle(s)) "
+        f"to {args.out} — open in chrome://tracing or https://ui.perfetto.dev"
+    )
+    rows = []
+    for span in slowest_cycles(result.spans, args.top):
+        a = span.attrs
+        rows.append(
+            (
+                f"{span.start_s:.2f}",
+                str(a.get("reason", "?")),
+                _opt(a.get("invocation_s"), ".3f"),
+                _opt(a.get("energy_j"), ".2f"),
+                _opt(a.get("target_ghz"), ".2f"),
+                _opt(a.get("trend_derivative"), ".1f"),
+                _opt(a.get("high_freq_ratio"), ".2f"),
+            )
+        )
+    if rows:
+        print()
+        print(
+            format_table(
+                (
+                    "t (s)",
+                    "reason",
+                    "invocation (s)",
+                    "energy (J)",
+                    "target (GHz)",
+                    "trend (MB/s²)",
+                    "hi-freq ratio",
+                ),
+                rows,
+                title=f"{len(rows)} slowest decision cycle(s)",
+            )
+        )
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from repro.obs.exporters import registry_to_dict, render_prometheus, write_text
+    from repro.obs.report import attribute_decisions
+    from repro.sim.trace import TimeSeries
+
+    result = _run_observed(args)
+    registry = result.metrics
+    if registry is None:
+        raise ReproError("observability-enabled run returned no metrics registry")
+    if args.format == "json":
+        import json
+
+        dump = json.dumps(registry_to_dict(registry), indent=2, sort_keys=True) + "\n"
+    else:
+        dump = render_prometheus(registry)
+    if args.out:
+        write_text(args.out, dump)
+        print(f"wrote {len(registry)} metric(s) to {args.out}")
+    else:
+        print(dump, end="" if dump.endswith("\n") else "\n")
+
+    pkg = result.traces.get("pkg_w")
+    dram = result.traces.get("dram_w")
+    causes = []
+    if pkg is not None and dram is not None and len(pkg) == len(dram):
+        cpu_power = TimeSeries(pkg.times, pkg.values + dram.values, name="cpu_w")
+        causes = attribute_decisions(result.decisions, cpu_power, result.runtime_s)
+    if causes:
+        rows = [
+            (
+                c.cause,
+                str(c.decisions),
+                f"{c.dwell_s:.1f}",
+                f"{c.cpu_energy_j:.1f}",
+                f"{c.delta_j:+.1f}",
+                _opt(c.mean_target_ghz, ".2f"),
+            )
+            for c in causes
+        ]
+        print()
+        print(
+            format_table(
+                ("cause", "decisions", "dwell (s)", "CPU energy (J)", "vs avg (J)", "mean GHz"),
+                rows,
+                title="energy by decision cause (negative = saved vs run average)",
+            )
+        )
     return 0
 
 
@@ -420,6 +579,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_compare(args)
         if args.command == "overhead":
             return _cmd_overhead(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
+        if args.command == "metrics":
+            return _cmd_metrics(args)
         if args.command == "suite":
             return _cmd_suite(args)
         if args.command == "experiments":

@@ -34,6 +34,9 @@ from repro.errors import ExperimentError
 from repro.cluster.failures import NodeFailureEvent, NodeFailureModel, Segment
 from repro.cluster.job import ClusterJob
 from repro.hw.presets import SystemPreset, get_preset
+from repro.obs.aggregate import merge_registries
+from repro.obs.config import ObsConfig
+from repro.obs.registry import MetricsRegistry
 from repro.parallel.pool import map_parallel
 from repro.parallel.retry import RetryPolicy
 from repro.runtime.session import make_governor, run_application
@@ -65,15 +68,24 @@ class JobOutcome:
     total_energy_j: float
     power_times_s: np.ndarray
     power_values_w: np.ndarray
+    #: The job run's metrics registry (observability-enabled fleets only).
+    #: Registries are plain-Python and pickle across the pool boundary.
+    metrics: Optional[MetricsRegistry] = None
 
 
-def _run_job(preset_name: str, job: ClusterJob, governor_name: str, dt_s: float) -> JobOutcome:
+def _run_job(
+    preset_name: str, job: ClusterJob, governor_name: str, dt_s: float, obs: bool = False
+) -> JobOutcome:
     """Pool worker: simulate one job and slim the result.
 
     Fleet aggregation only consumes the total-power trace, so jobs run
     with ``per_core_channels=False``: the engine's channel registry skips
     the per-core block entirely (on an 80-core node that is ~80 % of the
     trace width), keeping wide fan-outs cheap on memory and tick time.
+    With ``obs`` each job collects its metrics registry (spans stay off —
+    a fleet of span lists would dwarf the power traces being shipped
+    back); the fleet rolls the per-job registries up into per-node and
+    fleet totals.
     """
     result = run_application(
         preset_name,
@@ -83,6 +95,7 @@ def _run_job(preset_name: str, job: ClusterJob, governor_name: str, dt_s: float)
         dt_s=dt_s,
         max_time_s=job.max_time_s if job.max_time_s is not None else _DEFAULT_JOB_HORIZON_S,
         per_core_channels=False,
+        obs=ObsConfig(enabled=True, spans=False) if obs else None,
     )
     trace = result.traces["total_w"].resample(GRID_S)
     return JobOutcome(
@@ -93,6 +106,7 @@ def _run_job(preset_name: str, job: ClusterJob, governor_name: str, dt_s: float)
         total_energy_j=result.total_energy_j,
         power_times_s=trace.times,
         power_values_w=trace.values,
+        metrics=result.metrics,
     )
 
 
@@ -216,6 +230,29 @@ class FleetResult:
             log.setdefault(event.node_id, []).append(event)
         return log
 
+    # -- metric rollups (observability-enabled fleets) -----------------------
+
+    def node_metrics(self) -> Dict[int, MetricsRegistry]:
+        """Per-node metric rollup: node id → merged registry of its jobs.
+
+        Empty unless the fleet ran with ``obs=True``. Jobs are folded in
+        schedule order, so the rollup is deterministic for a given fleet.
+        """
+        per_node: Dict[int, List[MetricsRegistry]] = {}
+        for outcome in self.outcomes:
+            if outcome.metrics is None:
+                continue
+            placement = self.placements.get(outcome.job.name)
+            node_id = placement.node_id if placement is not None else -1
+            per_node.setdefault(node_id, []).append(outcome.metrics)
+        return {
+            node_id: merge_registries(regs) for node_id, regs in sorted(per_node.items())
+        }
+
+    def metrics_rollup(self) -> MetricsRegistry:
+        """Fleet-wide merged registry (empty unless run with ``obs=True``)."""
+        return merge_registries(o.metrics for o in self.outcomes)
+
 
 class ClusterSimulator:
     """A fleet of identical nodes, one scheduled job each.
@@ -278,6 +315,7 @@ class ClusterSimulator:
         n_workers: Optional[int] = None,
         retry: Optional[RetryPolicy] = None,
         failure_model: Optional[NodeFailureModel] = None,
+        obs: bool = False,
     ) -> FleetResult:
         """Run every job under ``governor_name`` and aggregate.
 
@@ -287,12 +325,21 @@ class ClusterSimulator:
         (long fleets survive a transiently killed worker).  With a
         ``failure_model`` the *simulated* fleet additionally suffers seeded
         node deaths: interrupted jobs requeue FIFO onto surviving nodes and
-        the result carries the failure accounting.
+        the result carries the failure accounting.  ``obs`` collects each
+        job's metrics registry (see :meth:`FleetResult.node_metrics` and
+        :meth:`FleetResult.metrics_rollup`); simulated physics are
+        unaffected (observability is passive by construction).
         """
         outcomes: List[JobOutcome] = map_parallel(
             _run_job,
             [
-                {"preset_name": self.preset.name, "job": job, "governor_name": governor_name, "dt_s": dt_s}
+                {
+                    "preset_name": self.preset.name,
+                    "job": job,
+                    "governor_name": governor_name,
+                    "dt_s": dt_s,
+                    "obs": obs,
+                }
                 for job in self.jobs
             ],
             n_workers=n_workers,

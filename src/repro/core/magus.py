@@ -22,7 +22,7 @@ live in :class:`~repro.core.config.MagusConfig`.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import MagusConfig
 from repro.core.detector import HighFrequencyDetector
@@ -97,10 +97,28 @@ class MagusGovernor(UncoreGovernor):
             return min(bound_ghz, current_ghz + step)
         return max(bound_ghz, current_ghz - step)
 
+    def decision_attributes(self) -> Dict[str, object]:
+        """Attribution for the cycle span: the signals behind the decision."""
+        attrs: Dict[str, object] = {
+            "cycle": self._cycle,
+            "high_freq_ratio": self.detector.rate(),
+            "high_freq": self._high_freq_status,
+        }
+        if self.predictor.ready:
+            attrs["trend_derivative"] = self.predictor.derivative()
+        return attrs
+
     def sample_and_decide(self, now_s: float, meter: AccessMeter) -> Decision:
         """One MDFS cycle (Algorithm 3)."""
         ctx = self.context
+        tracer = ctx.obs.tracer if ctx.obs.enabled else None
+
+        if tracer is not None:
+            sample_start = now_s + meter.time_s
         throughput = ctx.hub.pcm.read_throughput_mbps(meter)
+        if tracer is not None:
+            sid = tracer.begin("governor.sample", sample_start, category="sample", counter="pcm")
+            tracer.end(sid, now_s + meter.time_s, throughput_mbps=throughput)
         self.predictor.observe(throughput)
         self._samples.append((now_s, throughput))
         self._cycle += 1
@@ -118,6 +136,14 @@ class MagusGovernor(UncoreGovernor):
         self._high_freq_status = (
             self.config.detector_enabled and self.detector.is_high_frequency()
         )
+        if tracer is not None:
+            tracer.instant(
+                "governor.detect",
+                now_s + meter.time_s,
+                category="detect",
+                high_freq_ratio=self.detector.rate(),
+                high_freq=self._high_freq_status,
+            )
 
         # Phase 1: trend prediction. The temporary decision is computed --
         # and its potential-scaling event logged -- every cycle, even under
@@ -141,6 +167,16 @@ class MagusGovernor(UncoreGovernor):
         current_target = ctx.node.uncore(0).target_ghz
         event = implied is not None and abs(implied - current_target) > 1e-12
         self.detector.log_event(event)
+
+        if tracer is not None:
+            tracer.instant(
+                "governor.decide",
+                now_s + meter.time_s,
+                category="decide",
+                trend=trend,
+                trend_derivative=self.predictor.derivative() if self.predictor.ready else None,
+                tune_event=event,
+            )
 
         if self._high_freq_status:
             return Decision(now_s, ctx.uncore_max_ghz, "high_freq_pin")

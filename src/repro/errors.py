@@ -35,6 +35,7 @@ __all__ = [
     "TaskTimeoutError",
     "CampaignError",
     "LintError",
+    "ObsError",
 ]
 
 
@@ -158,3 +159,9 @@ class LintError(ReproError):
     """Raised when ``repro lint`` itself is misused (bad paths, corrupt
     baseline files, malformed rule registries) — never for a violation,
     which is a *finding*, not an error."""
+
+
+class ObsError(ReproError):
+    """Raised when the observability layer is misused (invalid metric
+    names, mismatched span ids, merging registries with conflicting
+    instrument kinds...)."""

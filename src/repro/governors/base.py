@@ -10,11 +10,12 @@ a governor cannot cheat its own overhead.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
-from typing import Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
 
 from repro.errors import GovernorError
 from repro.hw.node import HeterogeneousNode
+from repro.obs.config import Observability
 from repro.sim.observers import TickObserver
 from repro.telemetry.hub import TelemetryHub
 from repro.telemetry.sampling import AccessMeter
@@ -48,6 +49,9 @@ class GovernorContext:
 
     hub: TelemetryHub
     node: HeterogeneousNode
+    #: The run's observability context (disabled singleton by default).
+    #: Purely observational — a policy must never branch on it.
+    obs: Observability = field(default_factory=Observability.disabled)
 
     @property
     def uncore_min_ghz(self) -> float:
@@ -141,6 +145,17 @@ class UncoreGovernor(abc.ABC):
         access is metered.
         """
         return ()
+
+    def decision_attributes(self) -> Dict[str, object]:
+        """Attribution attributes for the decision just made (optional).
+
+        Called by the daemon *after* a successful ``sample_and_decide``
+        when span tracing is enabled, and attached to the cycle span —
+        MAGUS reports its trend derivative and high-frequency ratio here.
+        Must be a pure read of policy state: no telemetry access (nothing
+        to meter), no mutation.
+        """
+        return {}
 
     # ------------------------------------------------------------------
     # Policy surface

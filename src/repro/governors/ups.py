@@ -25,7 +25,7 @@ the bursts, so UPS keeps stepping down and the bursts get clipped
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -156,6 +156,15 @@ class UPSGovernor(UncoreGovernor):
         self._prev_time_s = now_s
         return ipc, dram_power
 
+    def decision_attributes(self) -> Dict[str, object]:
+        """Attribution for the cycle span: exploration state + references."""
+        attrs: Dict[str, object] = {"state": self._state}
+        if self._ref_ipc is not None:
+            attrs["ref_ipc"] = self._ref_ipc
+        if self._prev_dram_power_w is not None:
+            attrs["dram_power_w"] = self._prev_dram_power_w
+        return attrs
+
     # ------------------------------------------------------------------
     # Policy
     # ------------------------------------------------------------------
@@ -163,7 +172,15 @@ class UPSGovernor(UncoreGovernor):
         """One UPS decision cycle."""
         ctx = self.context
         unc = ctx.node.uncore(0)
+        tracer = ctx.obs.tracer if ctx.obs.enabled else None
+        if tracer is not None:
+            sample_start = now_s + meter.time_s
         ipc, dram_power = self._measure(now_s, meter)
+        if tracer is not None:
+            sid = tracer.begin(
+                "governor.sample", sample_start, category="sample", counter="msr_sweep"
+            )
+            tracer.end(sid, now_s + meter.time_s, ipc=ipc, dram_power_w=dram_power)
         if ipc is None:
             return Decision(now_s, None, "warmup")
 

@@ -14,6 +14,7 @@ from typing import Tuple
 from repro.lintkit.core import Rule, iter_child_rules
 from repro.lintkit.rules.determinism import DeterminismRule
 from repro.lintkit.rules.meters import MeterExceptionRule
+from repro.lintkit.rules.metrics import MetricNameRule
 from repro.lintkit.rules.msr import MSRSafetyRule
 from repro.lintkit.rules.pickles import PickleSafetyRule
 from repro.lintkit.rules.units import UnitsRule
@@ -24,6 +25,7 @@ __all__ = [
     "UnitsRule",
     "MeterExceptionRule",
     "PickleSafetyRule",
+    "MetricNameRule",
     "default_rules",
 ]
 
@@ -38,6 +40,7 @@ def default_rules() -> Tuple[Rule, ...]:
                 UnitsRule(),
                 MeterExceptionRule(),
                 PickleSafetyRule(),
+                MetricNameRule(),
             ]
         )
     )

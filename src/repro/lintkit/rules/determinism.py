@@ -24,7 +24,7 @@ from repro.lintkit.core import LintContext, Rule, Violation
 __all__ = ["DeterminismRule"]
 
 #: Packages whose code runs inside (or replays against) the simulation.
-_SCOPED_DIRS = frozenset({"sim", "governors", "cluster", "faults"})
+_SCOPED_DIRS = frozenset({"sim", "governors", "cluster", "faults", "obs"})
 
 #: The sanctioned clock/rng implementations themselves.
 _EXEMPT_FILES = frozenset({"sim/clock.py", "sim/rng.py"})

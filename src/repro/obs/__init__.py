@@ -1,0 +1,57 @@
+"""repro.obs — deterministic observability: metrics, spans, exporters.
+
+The subsystem has three pillars, all timestamped from the simulation
+clock (RL001-clean — no wall-clock reads anywhere on the hot path):
+
+* :mod:`repro.obs.registry` — a :class:`MetricsRegistry` of counters,
+  gauges and fixed-bucket histograms with an allocation-free hot path and
+  an associative :meth:`~MetricsRegistry.merge` for fan-in from parallel
+  workers.
+* :mod:`repro.obs.spans` — a :class:`SpanTracer` that wraps each
+  MDFS/UPS decision cycle in nested spans (``cycle`` → ``sample`` →
+  ``detect`` → ``decide`` → ``actuate``) carrying decision-attribution
+  attributes (trend derivative, high-frequency ratio, chosen uncore GHz,
+  per-span metered energy).
+* :mod:`repro.obs.exporters` — Prometheus text exposition, Chrome
+  trace-event JSON (``chrome://tracing`` / Perfetto) and JSONL event
+  logs.
+
+Everything hangs off an :class:`Observability` context created from an
+:class:`ObsConfig`; the disabled context is a shared singleton whose
+checks compile down to one attribute read, so instrumented code paths are
+bit-identical and almost free when observability is off (guarded by the
+golden-trace suite).
+"""
+
+from __future__ import annotations
+
+from repro.obs.aggregate import merge_registries
+from repro.obs.config import Observability, ObsConfig
+from repro.obs.exporters import (
+    registry_to_dict,
+    render_chrome_trace,
+    render_jsonl,
+    render_prometheus,
+)
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.report import CauseAttribution, attribute_decisions, slowest_cycles
+from repro.obs.spans import Span, SpanTracer
+
+__all__ = [
+    "ObsConfig",
+    "Observability",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Span",
+    "SpanTracer",
+    "merge_registries",
+    "render_prometheus",
+    "render_chrome_trace",
+    "render_jsonl",
+    "registry_to_dict",
+    "CauseAttribution",
+    "attribute_decisions",
+    "slowest_cycles",
+]

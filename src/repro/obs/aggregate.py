@@ -1,0 +1,25 @@
+"""Fan-in helpers for registries produced by parallel workers."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["merge_registries"]
+
+
+def merge_registries(registries: Iterable[Optional[MetricsRegistry]]) -> MetricsRegistry:
+    """Merge many registries into a fresh one (``None`` entries skipped).
+
+    The merge is associative — folding per-worker partials and then
+    merging the partials gives the same counters/histograms as one flat
+    fold, so ``map_parallel`` aggregations are independent of the worker
+    count. Gauges take the last set value in iteration order; iterate in
+    submission order for determinism.
+    """
+    out = MetricsRegistry()
+    for reg in registries:
+        if reg is not None:
+            out.merge(reg)
+    return out

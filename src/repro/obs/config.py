@@ -1,0 +1,94 @@
+"""ObsConfig + Observability: the zero-cost-when-disabled switchboard.
+
+Instrumented call sites throughout the stack hold an :class:`Observability`
+and guard on ``obs.enabled`` (one attribute read) before touching the
+registry or tracer. The disabled context is a module-level singleton with
+``registry = tracer = None``, so disabled runs allocate nothing and execute
+no observability code beyond the guard — the golden-trace suite proves the
+resulting traces are bit-identical to pre-observability runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import SpanTracer
+
+__all__ = ["ObsConfig", "Observability"]
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """What to collect.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch; False means no registry, no tracer, no cost.
+    metrics:
+        Collect counters/gauges/histograms (requires ``enabled``).
+    spans:
+        Record decision-cycle spans (requires ``enabled``).
+    """
+
+    enabled: bool = False
+    metrics: bool = True
+    spans: bool = True
+
+
+class Observability:
+    """One run's observability context: config + registry + tracer.
+
+    Use :meth:`Observability.disabled` for the shared off singleton,
+    :meth:`Observability.from_config` to build a live context, and
+    :meth:`Observability.coerce` at API boundaries that accept an
+    ``ObsConfig``, an ``Observability`` or ``None``.
+    """
+
+    __slots__ = ("config", "registry", "tracer", "enabled")
+
+    def __init__(
+        self,
+        config: ObsConfig,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[SpanTracer] = None,
+    ) -> None:
+        self.config = config
+        self.registry = registry
+        self.tracer = tracer
+        #: Hot-path guard: True only when something is actually collecting.
+        self.enabled = bool(config.enabled and (registry is not None or tracer is not None))
+
+    @staticmethod
+    def disabled() -> "Observability":
+        """The shared no-op context."""
+        return _DISABLED
+
+    @classmethod
+    def from_config(cls, config: ObsConfig) -> "Observability":
+        """Build a live (or disabled) context for ``config``."""
+        if not config.enabled:
+            return _DISABLED
+        return cls(
+            config,
+            registry=MetricsRegistry() if config.metrics else None,
+            tracer=SpanTracer() if config.spans else None,
+        )
+
+    @classmethod
+    def coerce(cls, obs: Union["Observability", ObsConfig, None]) -> "Observability":
+        """Normalise an API argument into an :class:`Observability`."""
+        if obs is None:
+            return _DISABLED
+        if isinstance(obs, ObsConfig):
+            return cls.from_config(obs)
+        return obs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "enabled" if self.enabled else "disabled"
+        return f"Observability({state})"
+
+
+_DISABLED = Observability(ObsConfig(enabled=False))

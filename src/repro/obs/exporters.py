@@ -1,0 +1,165 @@
+"""Exporters: Prometheus text, Chrome trace-event JSON, JSONL event log.
+
+All three are pure functions of a registry / span list, so they can run on
+merged fleet rollups as easily as on a single run. The Chrome trace format
+is the ``chrome://tracing`` / Perfetto "JSON Array" flavour: complete
+(``"ph": "X"``) events with microsecond timestamps — simulated seconds map
+to trace microseconds, so a 600 s run renders as a 600 s timeline.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.spans import Span
+
+__all__ = [
+    "render_prometheus",
+    "render_chrome_trace",
+    "render_jsonl",
+    "registry_to_dict",
+    "write_text",
+]
+
+JsonDict = Dict[str, object]
+
+
+def _prom_name(name: str) -> str:
+    """Dotted metric name → Prometheus-legal name (dots to underscores)."""
+    return name.replace(".", "_")
+
+
+def _prom_num(value: Union[int, float]) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, int):
+        return str(value)
+    return repr(value)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render a registry in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for inst in registry:
+        pname = _prom_name(inst.name)
+        if inst.help:
+            lines.append(f"# HELP {pname} {inst.help}")
+        if isinstance(inst, Counter):
+            lines.append(f"# TYPE {pname} counter")
+            lines.append(f"{pname} {_prom_num(inst.value)}")
+        elif isinstance(inst, Gauge):
+            lines.append(f"# TYPE {pname} gauge")
+            if inst.value is not None:
+                lines.append(f"{pname} {_prom_num(inst.value)}")
+        elif isinstance(inst, Histogram):
+            lines.append(f"# TYPE {pname} histogram")
+            cumulative = inst.cumulative()
+            edges = [*inst.bounds, float("inf")]
+            for edge, count in zip(edges, cumulative):
+                lines.append(f'{pname}_bucket{{le="{_prom_num(edge)}"}} {count}')
+            lines.append(f"{pname}_sum {_prom_num(inst.sum)}")
+            lines.append(f"{pname}_count {inst.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def registry_to_dict(registry: MetricsRegistry) -> JsonDict:
+    """Registry → plain JSON-serialisable dict (one key per metric)."""
+    out: JsonDict = {}
+    for inst in registry:
+        if isinstance(inst, Counter):
+            out[inst.name] = {"kind": "counter", "value": inst.value}
+        elif isinstance(inst, Gauge):
+            out[inst.name] = {"kind": "gauge", "value": inst.value}
+        elif isinstance(inst, Histogram):
+            out[inst.name] = {
+                "kind": "histogram",
+                "count": inst.count,
+                "sum": inst.sum,
+                "bounds": list(inst.bounds),
+                "bucket_counts": list(inst.bucket_counts),
+            }
+    return out
+
+
+def _span_event(span: Span, pid: int, tid: int) -> JsonDict:
+    end_s = span.end_s if span.end_s is not None else span.start_s
+    args: JsonDict = dict(span.attrs)
+    args["span_id"] = span.span_id
+    if span.parent_id is not None:
+        args["parent_id"] = span.parent_id
+    if not span.ok:
+        args["ok"] = False
+    return {
+        "name": span.name,
+        "cat": span.category,
+        "ph": "X",
+        # Simulated seconds → trace microseconds.
+        "ts": span.start_s * 1e6,
+        "dur": (end_s - span.start_s) * 1e6,
+        "pid": pid,
+        "tid": tid,
+        "args": args,
+    }
+
+
+def render_chrome_trace(
+    spans: Sequence[Span],
+    *,
+    process_name: str = "repro",
+    pid: int = 0,
+    tid: int = 0,
+) -> str:
+    """Render spans as Chrome trace-event JSON (open in Perfetto)."""
+    events: List[JsonDict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": process_name},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": "sim"},
+        },
+    ]
+    events.extend(_span_event(s, pid, tid) for s in spans)
+    return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"}, sort_keys=True)
+
+
+def render_jsonl(
+    spans: Sequence[Span], registry: Optional[MetricsRegistry] = None
+) -> str:
+    """Render spans (and optionally final metrics) as a JSONL event log."""
+    lines: List[str] = []
+    for span in spans:
+        record: JsonDict = {
+            "event": "span",
+            "name": span.name,
+            "category": span.category,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "start_s": span.start_s,
+            "end_s": span.end_s,
+            "ok": span.ok,
+            "attrs": span.attrs,
+        }
+        lines.append(json.dumps(record, sort_keys=True))
+    if registry is not None:
+        for name, payload in registry_to_dict(registry).items():
+            entry: JsonDict = {"event": "metric", "name": name}
+            if isinstance(payload, dict):
+                entry.update(payload)
+            lines.append(json.dumps(entry, sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_text(path: str, text: str) -> None:
+    """Write an exporter's output to ``path`` (UTF-8)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)

@@ -21,11 +21,13 @@ The daemon owns everything a policy should not be trusted with:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.errors import GovernorError
 from repro.governors.base import Decision, GovernorContext, UncoreGovernor
 from repro.hw.node import HeterogeneousNode
+from repro.obs.config import Observability
+from repro.obs.registry import DEFAULT_JOULES_BUCKETS
 from repro.telemetry.hub import TelemetryHub
 from repro.telemetry.sampling import AccessMeter
 
@@ -48,6 +50,11 @@ class MonitorDaemon:
         uncore frequency at launch); False for the idle overhead runs of
         Table 2, where no application ever arrives and the node stays in
         its idle state while monitoring continues.
+    obs:
+        The run's observability context. When enabled, every cycle emits
+        a ``daemon.cycle`` span (with the governor's decision-attribution
+        attributes) and the cycle counters; the disabled default adds one
+        attribute read per cycle and nothing else.
     """
 
     def __init__(
@@ -57,8 +64,10 @@ class MonitorDaemon:
         node: HeterogeneousNode,
         *,
         app_present: bool = True,
+        obs: Optional[Observability] = None,
     ):
-        governor.attach(GovernorContext(hub=hub, node=node))
+        self.obs = obs if obs is not None else Observability.disabled()
+        governor.attach(GovernorContext(hub=hub, node=node, obs=self.obs))
         self.governor = governor
         self.hub = hub
         self.node = node
@@ -143,6 +152,19 @@ class MonitorDaemon:
         """
         gov = self.governor
         meter = meter if meter is not None else AccessMeter()
+        obs = self.obs
+        tracer = obs.tracer if obs.enabled else None
+        registry = obs.registry if obs.enabled else None
+        # Meter baselines: a supervisor-shared meter accumulates across
+        # attempts, so this cycle's own cost is a delta, not a total.
+        meter_time_base = meter.time_s
+        meter_energy_base = meter.energy_j
+        counts_base: Optional[Dict[str, int]] = dict(meter.counts) if registry is not None else None
+        cycle_id: Optional[int] = None
+        if tracer is not None:
+            cycle_id = tracer.begin(
+                "daemon.cycle", now_s + meter_time_base, category="cycle", governor=gov.name
+            )
 
         try:
             if not self._initialised:
@@ -155,7 +177,14 @@ class MonitorDaemon:
                 self._pending_decision = gov.sample_and_decide(now_s, meter)
             decision = self._pending_decision
             if decision.target_ghz is not None:
+                actuate_id: Optional[int] = None
+                if tracer is not None:
+                    actuate_id = tracer.begin(
+                        "daemon.actuate", now_s + meter.time_s, category="actuate"
+                    )
                 self.hub.set_uncore_max_ghz(decision.target_ghz, meter)
+                if tracer is not None and actuate_id is not None:
+                    tracer.end(actuate_id, now_s + meter.time_s, target_ghz=decision.target_ghz)
             self._pending_decision = None
             self.decisions.append(decision)
         except BaseException:
@@ -163,6 +192,10 @@ class MonitorDaemon:
                 # Never leave the prior cycle's monitoring power on the
                 # node: the runtime is (for now) not monitoring.
                 self.node.monitor_power_w = 0.0
+            if tracer is not None and cycle_id is not None:
+                tracer.abort(cycle_id, now_s + meter.time_s)
+            if registry is not None:
+                registry.counter("repro.daemon.failed_cycles").inc()
             raise
 
         if gov.hardware:
@@ -187,6 +220,32 @@ class MonitorDaemon:
             self._next_fire_s = float("inf")
         else:
             self._next_fire_s = now_s + cycle_s
+
+        cycle_energy_j = meter.energy_j - meter_energy_base
+        if registry is not None:
+            registry.counter("repro.daemon.cycles").inc()
+            if decision.target_ghz is not None:
+                registry.counter("repro.daemon.actuations").inc()
+            else:
+                registry.counter("repro.daemon.holds").inc()
+            if not gov.hardware:
+                registry.histogram("repro.daemon.invocation_seconds").observe(invocation_s)
+                registry.histogram(
+                    "repro.daemon.cycle_energy_joules", DEFAULT_JOULES_BUCKETS
+                ).observe(cycle_energy_j)
+            if counts_base is not None:
+                self.hub.count_accesses(
+                    {k: v - counts_base.get(k, 0) for k, v in meter.counts.items()}
+                )
+        if tracer is not None and cycle_id is not None:
+            attrs: Dict[str, object] = {
+                "reason": decision.reason,
+                "target_ghz": decision.target_ghz,
+                "invocation_s": invocation_s,
+                "energy_j": cycle_energy_j,
+            }
+            attrs.update(gov.decision_attributes())
+            tracer.end(cycle_id, now_s + meter.time_s, **attrs)
 
     def abandon_cycle(self, meter: AccessMeter) -> None:
         """Close the books on a cycle that will never complete.

@@ -8,8 +8,8 @@ power versus an unmanaged idle node and (b) the time each invocation takes
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Union
+from dataclasses import asdict, dataclass
+from typing import Dict, Union
 
 from repro.errors import ExperimentError
 from repro.governors.base import UncoreGovernor
@@ -50,6 +50,14 @@ class OverheadResult:
             f"invocation {self.mean_invocation_s:.2f}s "
             f"(period {self.decision_period_s:.2f}s)"
         )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Machine-readable row (``repro overhead --json``, dashboards).
+
+        Keys are exactly the dataclass fields, so the schema is stable
+        under field addition at the end and JSON-serialisable as-is.
+        """
+        return asdict(self)
 
 
 def measure_overhead(

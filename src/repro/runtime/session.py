@@ -30,6 +30,9 @@ from repro.governors.powercap import PowerCapGovernor
 from repro.governors.static import StaticUncoreGovernor
 from repro.governors.ups import UPSConfig, UPSGovernor
 from repro.hw.presets import SystemPreset, get_preset
+from repro.obs.config import Observability, ObsConfig
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import Span
 from repro.runtime.daemon import MonitorDaemon
 from repro.runtime.supervisor import SupervisedDaemon, SupervisorConfig
 from repro.sim.clock import SimClock
@@ -111,6 +114,10 @@ class RunResult:
     failsafe_count: int = 0
     rearm_count: int = 0
     missed_deadlines: int = 0
+    #: Final metrics registry of an observability-enabled run (else None).
+    metrics: Optional[MetricsRegistry] = field(repr=False, default=None)
+    #: Decision-cycle spans of an observability-enabled run (else empty).
+    spans: List[Span] = field(repr=False, default_factory=list)
 
     @property
     def cpu_energy_j(self) -> float:
@@ -175,6 +182,7 @@ def run_application(
     supervise: Optional[bool] = None,
     supervisor_config: Optional[SupervisorConfig] = None,
     incident_log: Optional[IncidentLog] = None,
+    obs: Union[Observability, ObsConfig, None] = None,
 ) -> RunResult:
     """Simulate one workload under one governor on one system.
 
@@ -217,6 +225,13 @@ def run_application(
         Shared log for injections and supervisor responses; a fresh one is
         created when omitted. The final contents are returned on
         ``RunResult.incidents``.
+    obs:
+        An :class:`~repro.obs.config.ObsConfig` (or pre-built
+        :class:`~repro.obs.config.Observability`) enabling the metrics/
+        span layer. Observation is free when disabled (the default) and
+        purely passive when enabled: traces stay bit-identical either way
+        (guarded by the golden-trace suite). The final registry and span
+        list land on ``RunResult.metrics``/``RunResult.spans``.
 
     Returns
     -------
@@ -239,6 +254,10 @@ def run_application(
     node.force_uncore_all(preset.uncore_min_ghz)
     hub = TelemetryHub(node, preset.telemetry, vendor=preset.vendor)
 
+    obs_ctx = Observability.coerce(obs)
+    if obs_ctx.enabled and obs_ctx.registry is not None:
+        hub.attach_metrics(obs_ctx.registry)
+
     if supervise is None:
         supervise = fault_plan is not None
     log = incident_log if incident_log is not None else IncidentLog()
@@ -250,7 +269,9 @@ def run_application(
     supervisor: Optional[SupervisedDaemon] = None
     policy_observers = []
     if governor is not None:
-        daemon = MonitorDaemon(governor, hub, node, app_present=workload is not None)
+        daemon = MonitorDaemon(
+            governor, hub, node, app_present=workload is not None, obs=obs_ctx
+        )
         if supervise:
             supervisor = SupervisedDaemon(
                 daemon,
@@ -282,6 +303,22 @@ def run_application(
         traces["supervisor_degraded"].integral() if "supervisor_degraded" in traces else 0.0
     )
 
+    if obs_ctx.enabled:
+        if obs_ctx.tracer is not None:
+            obs_ctx.tracer.finish(result.runtime_s)
+        if obs_ctx.registry is not None:
+            reg = obs_ctx.registry
+            if result.recorder is not None:
+                reg.counter("repro.engine.ticks").inc(len(result.recorder))
+            reg.gauge("repro.run.runtime_seconds").set(result.runtime_s)
+            reg.gauge("repro.run.completed").set(1.0 if result.completed else 0.0)
+            reg.gauge("repro.run.pkg_energy_joules").set(pkg_energy)
+            reg.gauge("repro.run.dram_energy_joules").set(dram_energy)
+            reg.gauge("repro.run.gpu_energy_joules").set(gpu_energy)
+            reg.gauge("repro.run.monitor_energy_joules").set(
+                daemon.monitor_energy_j if daemon is not None else 0.0
+            )
+
     return RunResult(
         workload_name=workload.name if workload is not None else "<idle>",
         governor_name=governor.name if governor is not None else "<none>",
@@ -306,4 +343,6 @@ def run_application(
         failsafe_count=supervisor.failsafe_count if supervisor is not None else 0,
         rearm_count=supervisor.rearm_count if supervisor is not None else 0,
         missed_deadlines=supervisor.missed_deadlines if supervisor is not None else 0,
+        metrics=obs_ctx.registry if obs_ctx.enabled else None,
+        spans=list(obs_ctx.tracer.spans) if obs_ctx.enabled and obs_ctx.tracer is not None else [],
     )

@@ -196,6 +196,7 @@ class SupervisedDaemon:
                     )
                     meter.charge("retry_backoff", backoff_s, 0.0)
                     backoff_s *= cfg.backoff_factor
+                    self._count("repro.supervisor.retries")
                     continue
                 self._log(
                     now_s,
@@ -245,6 +246,7 @@ class SupervisedDaemon:
         deadline_s = self.config.deadline_factor * gov.interval_s
         if times[-1] > deadline_s:
             self.missed_deadlines += 1
+            self._count("repro.supervisor.missed_deadlines")
             self._log(
                 now_s,
                 device="daemon",
@@ -266,6 +268,7 @@ class SupervisedDaemon:
         node.degraded = True
         self.degraded = True
         self.failsafe_count += 1
+        self._count("repro.supervisor.failsafes")
         cfg = self.config
         exhausted = cfg.max_rearms is not None and self.rearm_count >= cfg.max_rearms
         if cfg.rearm_cooldown_s is None or exhausted:
@@ -286,6 +289,7 @@ class SupervisedDaemon:
 
     def _attempt_rearm(self, now_s: float) -> None:
         self.rearm_count += 1
+        self._count("repro.supervisor.rearms")
         self.degraded = False
         self.daemon.node.degraded = False
         self._rearm_at_s = float("inf")
@@ -304,6 +308,12 @@ class SupervisedDaemon:
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
+    def _count(self, name: str) -> None:
+        """Bump a supervision counter on the daemon's registry (if any)."""
+        obs = self.daemon.obs
+        if obs.enabled and obs.registry is not None:
+            obs.registry.counter(name).inc()
+
     def _log(self, time_s: float, *, device: str, fault: str, action: str, outcome: str,
              fault_id: Optional[int] = None, detail: str = "") -> None:
         self.log.append(

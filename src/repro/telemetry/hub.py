@@ -13,11 +13,12 @@ daemon calls :meth:`TelemetryHub.set_uncore_max_ghz`.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Mapping, Optional
 
 from repro.errors import TelemetryError
 from repro.hw.node import HeterogeneousNode
 from repro.hw.presets import TelemetryCosts
+from repro.obs.registry import MetricsRegistry
 from repro.telemetry.hsmp import HSMPDevice
 from repro.telemetry.msr import MSRDevice
 from repro.telemetry.nvml import NVMLDevice
@@ -25,7 +26,23 @@ from repro.telemetry.pcm import PCMCounters
 from repro.telemetry.rapl import RAPLCounters
 from repro.telemetry.sampling import AccessMeter
 
-__all__ = ["TelemetryHub"]
+if TYPE_CHECKING:  # typing-only: faults builds its proxies *around* the
+    # hub, so a runtime import here would be circular.
+    from repro.faults.injector import FaultInjector
+
+__all__ = ["TelemetryHub", "ACCESS_COUNTER_NAMES"]
+
+#: Meter access kind → per-device read/write counter (static, RL006-clean:
+#: every name is a lowercase dotted literal known at import time).
+ACCESS_COUNTER_NAMES: Mapping[str, str] = {
+    "msr_read": "repro.telemetry.reads.msr",
+    "msr_write": "repro.telemetry.writes.msr",
+    "pcm_read": "repro.telemetry.reads.pcm",
+    "rapl_read": "repro.telemetry.reads.rapl",
+    "nvml_query": "repro.telemetry.reads.nvml",
+    "hsmp_mailbox": "repro.telemetry.writes.hsmp",
+    "retry_backoff": "repro.supervisor.backoff_charges",
+}
 
 
 class TelemetryHub:
@@ -55,9 +72,11 @@ class TelemetryHub:
         self.nvml = NVMLDevice(node)
         self.hsmp: Optional[HSMPDevice] = HSMPDevice(node, costs) if vendor == "amd" else None
         #: Installed fault injector, if any (see :meth:`install_fault_injector`).
-        self.fault_injector = None
+        self.fault_injector: Optional["FaultInjector"] = None
+        #: Attached metrics registry, if any (see :meth:`attach_metrics`).
+        self._metrics: Optional[MetricsRegistry] = None
 
-    def install_fault_injector(self, injector) -> None:
+    def install_fault_injector(self, injector: "FaultInjector") -> None:
         """Wrap every device behind ``injector``'s fault proxies.
 
         This is the injectable seam the robustness experiments use: after
@@ -71,6 +90,39 @@ class TelemetryHub:
             raise TelemetryError("hub already has a fault injector installed")
         injector.arm(self)
         self.fault_injector = injector
+
+    def attach_metrics(self, registry: MetricsRegistry) -> None:
+        """Route per-device access counts into ``registry``.
+
+        Purely observational: the counters mirror what the cycle meters
+        already charged (see :meth:`count_accesses`), so attaching a
+        registry changes no simulated state. At most one registry per hub.
+        """
+        if self._metrics is not None:
+            raise TelemetryError("hub already has a metrics registry attached")
+        self._metrics = registry
+
+    def count_accesses(self, counts: Mapping[str, int]) -> None:
+        """Fold one cycle's meter access counts into per-device counters.
+
+        Called by the daemon after a successful cycle with the *delta*
+        counts of that cycle (a supervisor-shared meter accumulates across
+        attempts; the caller subtracts the baseline). Unknown kinds land
+        only in the total, so custom meter kinds cannot crash a run.
+        """
+        registry = self._metrics
+        if registry is None:
+            return
+        total = 0
+        for kind, count in counts.items():
+            if count <= 0:
+                continue
+            total += count
+            name = ACCESS_COUNTER_NAMES.get(kind)
+            if name is not None:
+                registry.counter(name).inc(count)
+        if total:
+            registry.counter("repro.telemetry.accesses.total").inc(total)
 
     def on_tick(self, dt_s: float) -> None:
         """Advance every device's accumulators by one tick."""
@@ -91,3 +143,5 @@ class TelemetryHub:
             self.hsmp.set_fabric_clock_ghz(freq_ghz, meter)
         else:
             self.msr.set_uncore_max_ghz(freq_ghz, meter)
+        if self._metrics is not None:
+            self._metrics.counter("repro.telemetry.actuations").inc()

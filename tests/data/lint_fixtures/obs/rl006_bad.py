@@ -1,0 +1,12 @@
+"""RL006 fixture: every way to break metric/span name hygiene."""
+
+
+def instrument(registry, tracer, cycle, now_s):
+    registry.counter(f"repro.daemon.cycle.{cycle}").inc()
+    registry.gauge("repro.daemon." + str(cycle)).set(1.0)
+    registry.histogram("repro.cycle.%d" % cycle, (0.1, 1.0))
+    registry.counter("repro.daemon.{}".format(cycle)).inc()
+    registry.counter("RetryCount").inc()
+    registry.gauge(name="repro.Daemon.holds").set(0.0)
+    tracer.begin(f"cycle.{cycle}", now_s)
+    tracer.instant("governor.Decide", now_s)

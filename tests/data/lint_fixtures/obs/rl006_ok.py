@@ -1,0 +1,25 @@
+"""RL006 clean fixture: static dotted names and sanctioned indirection."""
+
+NAMES = {"msr_read": "repro.telemetry.reads.msr"}
+
+
+def instrument(registry, tracer, kind, cycle, now_s):
+    registry.counter("repro.daemon.cycles").inc()
+    registry.gauge("repro.run.runtime_seconds").set(12.5)
+    registry.histogram("repro.daemon.invocation_seconds", (0.1, 1.0)).observe(0.2)
+    # Dynamic inputs map onto a closed name table — the varying part is
+    # the dict key, never the metric name itself.
+    registry.counter(NAMES[kind]).inc()
+    name = "repro.daemon.holds"
+    registry.counter(name).inc()
+    span = tracer.begin("daemon.cycle", now_s, category="cycle", cycle=cycle)
+    tracer.instant("governor.decide", now_s, reason="hold")
+    tracer.end(span, now_s + 0.1)
+    # Same method names on unrelated receivers are not metric calls.
+    grid.histogram("Luminosity Histogram", bins=32)
+
+
+class grid:
+    @staticmethod
+    def histogram(title, bins):
+        return None

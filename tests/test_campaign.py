@@ -150,6 +150,15 @@ class TestRunCampaign:
         assert result.skipped == ["alpha", "beta"]
         assert fake_campaign == ["alpha", "beta"]  # no re-execution
 
+    def test_metrics_count_ran_vs_cached(self, tmp_path, fake_campaign):
+        fresh = run_campaign(tmp_path, seed=1)
+        assert fresh.metrics.counter("repro.campaign.steps_ran").value == 2.0
+        assert fresh.metrics.counter("repro.campaign.steps_cached").value == 0.0
+        assert fresh.metrics.histogram("repro.campaign.step_duration_seconds").count == 2
+        resumed = run_campaign(tmp_path, seed=1, resume=True)
+        assert resumed.metrics.counter("repro.campaign.steps_ran").value == 0.0
+        assert resumed.metrics.counter("repro.campaign.steps_cached").value == 2.0
+
     def test_changed_seed_invalidates_cache(self, tmp_path, fake_campaign):
         run_campaign(tmp_path, seed=1)
         result = run_campaign(tmp_path, seed=2, resume=True)

@@ -1,5 +1,7 @@
 """CLI subcommands: argument handling and output shape."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -53,3 +55,72 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "power overhead" in out
         assert "invocation" in out
+
+    def test_overhead_json_schema(self, capsys):
+        assert main(["overhead", "--governor", "magus", "--duration", "30", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {
+            "governor_name",
+            "system_name",
+            "baseline_idle_cpu_w",
+            "managed_idle_cpu_w",
+            "power_overhead_frac",
+            "mean_invocation_s",
+            "decision_period_s",
+            "duration_s",
+        }
+        assert payload["governor_name"] == "magus"
+        assert payload["duration_s"] == 30.0
+        assert payload["power_overhead_frac"] >= 0.0
+
+
+class TestObservabilityCommands:
+    def test_trace_writes_chrome_json_and_table(self, capsys, tmp_path):
+        out = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "trace", "--workload", "sort", "--seed", "1",
+                    "--max-time", "60", "--out", str(out), "--top", "3",
+                ]
+            )
+            == 0
+        )
+        doc = json.loads(out.read_text())
+        events = doc["traceEvents"]
+        cycles = [e for e in events if e.get("name") == "daemon.cycle"]
+        assert cycles, "no decision-cycle events in the trace"
+        # Decision attribution rides on the cycle events.
+        assert all("reason" in c["args"] for c in cycles)
+        assert any("trend_derivative" in c["args"] for c in cycles)
+        # Nested child spans reference their parent cycle.
+        samples = [e for e in events if e.get("name") == "governor.sample"]
+        assert samples and all("parent_id" in s["args"] for s in samples)
+        table = capsys.readouterr().out
+        assert "slowest decision cycle" in table
+        assert "reason" in table
+
+    def test_metrics_prometheus_and_attribution(self, capsys):
+        assert main(["metrics", "--workload", "sort", "--seed", "1", "--max-time", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_daemon_cycles counter" in out
+        assert 'repro_daemon_invocation_seconds_bucket{le="+Inf"}' in out
+        assert "energy by decision cause" in out
+        assert "trend-raise" in out or "hold" in out
+
+    def test_metrics_json_to_file(self, capsys, tmp_path):
+        out = tmp_path / "metrics.json"
+        assert (
+            main(
+                [
+                    "metrics", "--workload", "sort", "--seed", "1",
+                    "--max-time", "60", "--format", "json", "--out", str(out),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(out.read_text())
+        assert payload["repro.daemon.cycles"]["kind"] == "counter"
+        assert payload["repro.daemon.cycles"]["value"] > 0
+        assert payload["repro.daemon.invocation_seconds"]["kind"] == "histogram"
+        assert "energy by decision cause" in capsys.readouterr().out

@@ -104,6 +104,27 @@ class TestFleetRun:
         assert np.allclose(serial.aggregate_power_w, parallel.aggregate_power_w)
 
 
+class TestFleetObservability:
+    def test_rollups_come_back_across_the_pool(self, small_fleet):
+        run = small_fleet.run_fleet("magus", n_workers=2, obs=True)
+        rollup = run.metrics_rollup()
+        per_node = run.node_metrics()
+        cycles = rollup.counter("repro.daemon.cycles").value
+        assert cycles > 0
+        # Per-node registries partition the fleet total exactly.
+        assert sorted(per_node) == [0, 1]
+        node_sum = sum(
+            reg.counter("repro.daemon.cycles").value for reg in per_node.values()
+        )
+        assert node_sum == cycles
+
+    def test_obs_off_yields_empty_rollup(self, fleet_runs):
+        run = fleet_runs["magus"]
+        assert all(o.metrics is None for o in run.outcomes)
+        assert len(run.metrics_rollup()) == 0
+        assert run.node_metrics() == {}
+
+
 class TestFleetComparison:
     def test_magus_reduces_peak_and_energy(self, fleet_runs):
         # §6.1: lower instantaneous power keeps the aggregate under budget.

@@ -58,9 +58,10 @@ class TestGoldenEquivalence:
         assert set(gen_golden_trace.GOLDEN_CHANNELS) <= set(result.recorder.channels)
 
 
-def _instrumented_golden_run(governor_name: str, *, supervised: bool):
+def _instrumented_golden_run(governor_name: str, *, supervised: bool, obs: bool = False):
     """``golden_run``, returning the daemon (and supervisor) handles too."""
     from repro.hw.presets import intel_a100
+    from repro.obs import Observability, ObsConfig
     from repro.runtime.daemon import MonitorDaemon
     from repro.runtime.session import make_governor
     from repro.runtime.supervisor import SupervisedDaemon
@@ -75,7 +76,10 @@ def _instrumented_golden_run(governor_name: str, *, supervised: bool):
     node = preset.build_node(RngStreams(gen_golden_trace.SEED))
     node.force_uncore_all(preset.uncore_min_ghz)
     hub = TelemetryHub(node, preset.telemetry, vendor=preset.vendor)
-    daemon = MonitorDaemon(make_governor(governor_name), hub, node)
+    obs_ctx = Observability.from_config(ObsConfig(enabled=True)) if obs else None
+    if obs_ctx is not None and obs_ctx.registry is not None:
+        hub.attach_metrics(obs_ctx.registry)
+    daemon = MonitorDaemon(make_governor(governor_name), hub, node, obs=obs_ctx)
     supervisor = SupervisedDaemon(daemon) if supervised else None
     runtime = supervisor if supervised else daemon
     observers = standard_observers(node, hub, [runtime], extra=tuple(runtime.observers))
@@ -85,6 +89,55 @@ def _instrumented_golden_run(governor_name: str, *, supervised: bool):
     workload = get_workload(gen_golden_trace.WORKLOAD, seed=gen_golden_trace.SEED)
     result = engine.run(workload, max_time_s=gen_golden_trace.MAX_TIME_S)
     return result, daemon, supervisor
+
+
+class TestObservabilityIsPassThrough:
+    """Tracing + metrics with ``ObsConfig(enabled=True)`` must not perturb
+    a single sample: the obs layer is purely observational (a policy never
+    branches on it), so golden traces stay bit-identical and the daemon's
+    energy/invocation books match an uninstrumented run exactly.
+    """
+
+    @pytest.fixture(scope="class", params=["magus", "ups"])
+    def observed_pair(self, request):
+        golden_path = os.path.join(
+            os.path.dirname(__file__), "data", f"golden_trace_{request.param}.npz"
+        )
+        golden = np.load(golden_path)
+        observed = _instrumented_golden_run(request.param, supervised=False, obs=True)
+        plain = _instrumented_golden_run(request.param, supervised=False, obs=False)
+        return golden, observed, plain
+
+    def test_traces_bit_identical_to_golden(self, observed_pair):
+        golden, (result, _daemon, _sup), _plain = observed_pair
+        mismatched = [
+            channel
+            for channel in gen_golden_trace.GOLDEN_CHANNELS
+            if not np.array_equal(golden[channel], result.recorder.series(channel).values)
+        ]
+        assert mismatched == []
+
+    def test_accounting_identical_to_uninstrumented(self, observed_pair):
+        _golden, (_r, daemon, _sup), (_rp, plain_daemon, _) = observed_pair
+        assert daemon.invocation_times_s == plain_daemon.invocation_times_s
+        assert daemon.monitor_energy_j == plain_daemon.monitor_energy_j
+        assert daemon.decisions == plain_daemon.decisions
+
+    def test_spans_and_metrics_were_actually_recorded(self, observed_pair):
+        _golden, (_r, daemon, _sup), _plain = observed_pair
+        tracer = daemon.obs.tracer
+        cycles = tracer.named("daemon.cycle")
+        assert len(cycles) == len(daemon.decisions)
+        # Every closed cycle carries the decision attribution attrs.
+        assert all("reason" in s.attrs and "energy_j" in s.attrs for s in cycles)
+        registry = daemon.obs.registry
+        assert registry.counter("repro.daemon.cycles").value == float(len(cycles))
+
+    def test_disabled_context_records_nothing(self, observed_pair):
+        _golden, _observed, (_rp, plain_daemon, _) = observed_pair
+        assert not plain_daemon.obs.enabled
+        assert plain_daemon.obs.tracer is None
+        assert plain_daemon.obs.registry is None
 
 
 class TestSupervisionIsPassThrough:

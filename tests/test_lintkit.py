@@ -44,9 +44,11 @@ def codes_and_lines(violations):
 
 
 class TestRuleCatalogue:
-    def test_five_rules_with_unique_codes(self):
+    def test_six_rules_with_unique_codes(self):
         rules = default_rules()
-        assert [r.code for r in rules] == ["RL001", "RL002", "RL003", "RL004", "RL005"]
+        assert [r.code for r in rules] == [
+            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+        ]
         assert all(r.rationale for r in rules)
 
 
@@ -129,6 +131,28 @@ class TestRL005PickleSafety:
 
     def test_clean_fixture_is_silent(self):
         assert run_on("experiments/rl005_ok.py") == []
+
+
+class TestRL006MetricNames:
+    def test_bad_fixture_fires_every_form(self):
+        violations = run_on("obs/rl006_bad.py")
+        assert codes_and_lines(violations) == [
+            ("RL006", 5),   # f-string counter name
+            ("RL006", 6),   # + concatenation
+            ("RL006", 7),   # %-formatting
+            ("RL006", 8),   # str.format()
+            ("RL006", 9),   # literal breaking the grammar (no dot, CamelCase)
+            ("RL006", 10),  # name= kwarg literal with uppercase segment
+            ("RL006", 11),  # f-string span name
+            ("RL006", 12),  # span literal with uppercase segment
+        ]
+        messages = " ".join(v.message for v in violations)
+        assert "unbounded series" in messages
+        assert "lowercase dotted grammar" in messages
+
+    def test_clean_fixture_is_silent(self):
+        # Variables, name tables and unrelated receivers all pass.
+        assert run_on("obs/rl006_ok.py") == []
 
 
 class TestSuppressions:
@@ -249,5 +273,5 @@ class TestSelfCheck:
             env=CLI_ENV,
         )
         assert proc.returncode == 0
-        for code in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+        for code in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
             assert code in proc.stdout
