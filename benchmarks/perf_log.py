@@ -1,0 +1,81 @@
+"""Perf-trajectory publishing for the engine micro-benchmarks.
+
+The ``BENCH_*.json`` files at the repo root record how the hot-loop
+numbers move across PRs: each publish appends one entry (bench name,
+metrics, interpreter, git revision) to the bench's trajectory file, so a
+regression shows up as a kink in the series rather than a silent drift.
+
+Publishing is opt-in — set ``REPRO_BENCH_PUBLISH=1`` — because bench
+numbers from an arbitrary laptop or a loaded CI worker are noise. The
+checked-in entries come from deliberate publish runs::
+
+    REPRO_BENCH_PUBLISH=1 pytest benchmarks/test_perf_engine.py --benchmark-only
+
+Only the perf-engine micro-benchmarks publish: the figure/table benches
+time multi-second simulations whose wall time tracks the machine, not
+the code.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, List
+
+__all__ = ["publish", "trajectory_path"]
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def trajectory_path(series: str = "perf_engine") -> Path:
+    """Repo-root path of one bench series' trajectory file."""
+    return _REPO_ROOT / f"BENCH_{series}.json"
+
+
+def _git_rev() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=_REPO_ROOT, capture_output=True, text=True, timeout=10,
+        )
+        return out.stdout.strip() if out.returncode == 0 else "unknown"
+    except OSError:
+        return "unknown"
+
+
+def publish(bench: str, metrics: Dict[str, float], *, series: str = "perf_engine") -> None:
+    """Append one bench result to the series' trajectory file.
+
+    No-op unless ``REPRO_BENCH_PUBLISH=1``: trajectory entries are
+    deliberate acts, not side effects of every test run.
+
+    Parameters
+    ----------
+    bench:
+        Benchmark name (the test function, minus the ``test_`` prefix).
+    metrics:
+        Named scalar results — throughputs, ratios. Keys should stay
+        stable across entries so the series plots.
+    series:
+        Which ``BENCH_<series>.json`` file to append to.
+    """
+    if os.environ.get("REPRO_BENCH_PUBLISH") != "1":
+        return
+    path = trajectory_path(series)
+    entries: List[Dict[str, object]] = []
+    if path.exists():
+        entries = json.loads(path.read_text())
+    entries.append(
+        {
+            "bench": bench,
+            "metrics": {k: round(float(v), 3) for k, v in sorted(metrics.items())},
+            "python": platform.python_version(),
+            "git_rev": _git_rev(),
+            "recorded_at": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        }
+    )
+    path.write_text(json.dumps(entries, indent=2, sort_keys=True) + "\n")

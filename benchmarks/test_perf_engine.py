@@ -17,6 +17,8 @@ Two layers are guarded:
 
 import time
 
+from perf_log import publish
+
 from repro.hw.presets import intel_a100
 from repro.sim.channels import ChannelRegistry
 from repro.sim.clock import SimClock
@@ -66,6 +68,7 @@ def test_engine_tick_throughput(benchmark):
     ticks_per_second = TICKS / seconds_per_run
     print(f"\nengine throughput: {ticks_per_second:,.0f} ticks/s "
           f"({ticks_per_second * 0.01:,.0f}x real time on an 80-core node model)")
+    publish("engine_tick_throughput", {"ticks_per_s": ticks_per_second})
     # Budget: a full Fig. 4a sweep (~75 runs x ~30 sim-seconds) must stay
     # in the tens of seconds, which needs >= 3000 ticks/s.
     assert ticks_per_second > 3000
@@ -111,6 +114,10 @@ def test_obs_overhead_under_five_percent(benchmark):
         f"\nobs overhead: instrumented {instrumented_tps:,.0f} ticks/s vs "
         f"disabled {baseline_tps:,.0f} ticks/s "
         f"({(baseline_tps / instrumented_tps - 1) * 100:+.1f}% run time)"
+    )
+    publish(
+        "obs_overhead",
+        {"instrumented_ticks_per_s": instrumented_tps, "baseline_ticks_per_s": baseline_tps},
     )
     assert instrumented_tps >= 0.95 * baseline_tps
 
@@ -171,6 +178,10 @@ def test_columnar_record_row_beats_kwargs_path(benchmark):
         f"\nrecording throughput over {len(channels)} channels: "
         f"columnar {columnar_tps:,.0f} ticks/s vs kwargs {kwargs_tps:,.0f} ticks/s "
         f"({columnar_tps / kwargs_tps:.1f}x)"
+    )
+    publish(
+        "columnar_record_row",
+        {"columnar_ticks_per_s": columnar_tps, "kwargs_ticks_per_s": kwargs_tps},
     )
     # Acceptance floor: the fast path must at least match the legacy path.
     assert columnar_tps >= kwargs_tps

@@ -1,0 +1,31 @@
+"""Pluggable control backends: property logic split from access mechanism.
+
+``ControlBackend`` is the contract (typed properties over named domains),
+``SimBackend`` the one implementation shipped today (the simulator's
+MSR/HSMP/NVML devices), and ``LatencyModel`` the seeded switch-latency
+distribution a backend charges per actuation. A real-hardware backend
+(``/dev/cpu/*/msr``, TPMI, ``amd_hsmp``) slots in beside ``SimBackend``
+without touching governors, daemon or hub callers — see ``DESIGN.md``.
+"""
+
+from repro.backends.base import PROPERTIES, ControlBackend, PropertySpec
+from repro.backends.latency import (
+    ACTUATION_SECONDS_BUCKETS,
+    LATENCY_PRESETS,
+    LatencyModel,
+    LatencyParams,
+    resolve_latency,
+)
+from repro.backends.sim import SimBackend
+
+__all__ = [
+    "ControlBackend",
+    "PropertySpec",
+    "PROPERTIES",
+    "LatencyModel",
+    "LatencyParams",
+    "LATENCY_PRESETS",
+    "ACTUATION_SECONDS_BUCKETS",
+    "resolve_latency",
+    "SimBackend",
+]

@@ -12,6 +12,7 @@ an entry point). Subcommands mirror the library's main workflows::
     repro suite --figure 4a                      # a Fig. 4 sweep
     repro experiments --quick                    # the full paper report
     repro resilience --seed 2 --check-repro      # fault campaign vs golden runs
+    repro latency --preset gpu_dvfs              # switch-latency sensitivity report
     repro campaign run --outdir out --quick      # journaled, crash-resumable protocol
     repro campaign run --outdir out --resume     # skip journalled steps, rerun the rest
     repro fleet --job unet@0 --job bfs@5 --mtbf 300   # fleet under node failures
@@ -26,6 +27,7 @@ from typing import List, Optional
 
 from repro.analysis.metrics import compare as compare_runs
 from repro.analysis.report import format_table
+from repro.backends.latency import LATENCY_PRESETS
 from repro.errors import ReproError
 from repro.hw.presets import PRESETS
 from repro.runtime.overhead import measure_overhead
@@ -62,6 +64,10 @@ def build_parser() -> argparse.ArgumentParser:
     ovh_p.add_argument("--duration", type=float, default=120.0)
     ovh_p.add_argument("--seed", type=int, default=1)
     ovh_p.add_argument(
+        "--latency", default=None, choices=sorted(LATENCY_PRESETS), metavar="PRESET",
+        help="switch-latency preset for the managed run's control backend",
+    )
+    ovh_p.add_argument(
         "--json", action="store_true", help="machine-readable OverheadResult row"
     )
 
@@ -86,6 +92,10 @@ def build_parser() -> argparse.ArgumentParser:
     met_p.add_argument("--governor", default="magus", choices=GOVERNORS)
     met_p.add_argument("--seed", type=int, default=1)
     met_p.add_argument("--max-time", type=float, default=600.0, metavar="SECONDS")
+    met_p.add_argument(
+        "--latency", default=None, choices=sorted(LATENCY_PRESETS), metavar="PRESET",
+        help="switch-latency preset; its charges appear in the actuation metrics",
+    )
     met_p.add_argument("--format", choices=("prom", "json"), default="prom")
     met_p.add_argument(
         "--out", default=None, metavar="PATH",
@@ -163,6 +173,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     res_p.add_argument("--incidents", action="store_true", help="print the full incident logs")
     res_p.add_argument("--out", default=None, metavar="PATH", help="also write the report to a file")
+
+    lat_p = sub.add_parser(
+        "latency", help="governor sensitivity to modeled frequency-switch latency"
+    )
+    lat_p.add_argument("--system", default="intel_a100", choices=sorted(PRESETS))
+    lat_p.add_argument("--workload", default="srad")
+    lat_p.add_argument(
+        "--governor", action="append", default=None, choices=GOVERNORS,
+        help="governors to compare (default: magus, static_max)",
+    )
+    lat_p.add_argument(
+        "--preset", default="gpu_dvfs", choices=sorted(LATENCY_PRESETS),
+        help="switch-latency distribution to model",
+    )
+    lat_p.add_argument("--seed", type=int, default=1, help="run seed; also seeds the latency draws")
+    lat_p.add_argument("--duration", type=float, default=60.0, help="horizon in simulated seconds")
+    lat_p.add_argument("--out", default=None, metavar="PATH", help="also write the report to a file")
 
     ver_p = sub.add_parser("verify", help="check every encoded paper claim")
     ver_p.add_argument("--full", action="store_true", help="full Fig. 4a suite + 10-min idle runs")
@@ -254,7 +281,8 @@ def _cmd_compare(args) -> int:
 
 def _cmd_overhead(args) -> int:
     result = measure_overhead(
-        args.system, make_governor(args.governor), duration_s=args.duration, seed=args.seed
+        args.system, make_governor(args.governor), duration_s=args.duration, seed=args.seed,
+        actuation_latency=args.latency,
     )
     if args.json:
         import json
@@ -276,6 +304,7 @@ def _run_observed(args):
         seed=args.seed,
         max_time_s=args.max_time,
         obs=ObsConfig(enabled=True),
+        actuation_latency=getattr(args, "latency", None),
     )
 
 
@@ -515,6 +544,29 @@ def _cmd_resilience(args) -> int:
     return 0
 
 
+def _cmd_latency(args) -> int:
+    from repro.experiments.actuation import (
+        DEFAULT_GOVERNORS,
+        format_latency_delta,
+        run_latency_delta,
+    )
+
+    rows = run_latency_delta(
+        args.system,
+        args.workload,
+        governors=tuple(args.governor) if args.governor else DEFAULT_GOVERNORS,
+        preset=args.preset,
+        seed=args.seed,
+        max_time_s=args.duration,
+    )
+    report = format_latency_delta(rows)
+    print(report)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report + "\n")
+    return 0
+
+
 def _cmd_verify(args) -> int:
     from repro.experiments.paper import format_verification, verify_reproduction
 
@@ -589,6 +641,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_experiments(args)
         if args.command == "resilience":
             return _cmd_resilience(args)
+        if args.command == "latency":
+            return _cmd_latency(args)
         if args.command == "verify":
             return _cmd_verify(args)
         if args.command == "fleet":

@@ -23,6 +23,7 @@ __all__ = [
     "FrequencyRangeError",
     "PowerModelError",
     "TelemetryError",
+    "BackendError",
     "MSRAccessError",
     "CounterOverflowError",
     "FaultInjectionError",
@@ -78,6 +79,12 @@ class PowerModelError(HardwareError):
 
 class TelemetryError(ReproError):
     """Base class for telemetry (counter/register) errors."""
+
+
+class BackendError(TelemetryError):
+    """Raised when a control backend is misused (unknown property, write to
+    a read-only property, binding a backend to two hubs...) — never by the
+    underlying device access, which surfaces as its own telemetry error."""
 
 
 class MSRAccessError(TelemetryError):

@@ -1,0 +1,157 @@
+"""Switch-latency sensitivity: what transition costs do to each governor.
+
+Not a paper artefact — the paper treats every uncore-limit write as free,
+and "Methodology for GPU Frequency Switching Latency Measurement"
+(PAPERS.md) shows it is not. For each governor this experiment runs the
+same (system, workload, seed) pair twice — once with the instantaneous
+backend and once under a named :data:`~repro.backends.latency.
+LATENCY_PRESETS` distribution — and reports what the latency cost:
+
+* **energy delta** — total node energy, latency-modeled vs. ideal. A
+  fast-cycling policy (MAGUS's high-frequency detector) pays per switch;
+  a static policy pays once at launch, so the *gap between the deltas* is
+  the latency sensitivity the simulator previously hid;
+* **slowdown** — runtime ratio (latency charges stretch every decision
+  cycle that actuates);
+* **switch accounting** — transitions requested, total latency charged,
+  ticks spent settling.
+
+Both legs share every seed stream, and the latency draws are keyed off
+the same master seed, so the report is deterministic and replayable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.report import format_table
+from repro.backends.latency import LATENCY_PRESETS
+from repro.errors import ExperimentError
+from repro.runtime.session import make_governor, run_application
+
+__all__ = ["LatencyDeltaRow", "run_latency_delta", "format_latency_delta"]
+
+#: Governors the latency report compares by default: the adaptive policy
+#: that switches constantly vs. the static baseline that switches once.
+DEFAULT_GOVERNORS: Tuple[str, ...] = ("magus", "static_max")
+
+
+@dataclass(frozen=True)
+class LatencyDeltaRow:
+    """One governor's paired ideal/latency-modeled measurement."""
+
+    system: str
+    workload: str
+    governor: str
+    preset: str
+    seed: int
+    #: Instantaneous-transition run (the paper's assumption).
+    ideal_energy_j: float
+    ideal_runtime_s: float
+    #: Same run under the latency preset.
+    latency_energy_j: float
+    latency_runtime_s: float
+    switches: int
+    latency_charged_s: float
+    settling_ticks: int
+
+    @property
+    def energy_delta_frac(self) -> float:
+        """Relative extra energy paid for realistic switches (ideal-relative)."""
+        return self.latency_energy_j / self.ideal_energy_j - 1.0
+
+    @property
+    def slowdown(self) -> float:
+        """Runtime ratio, latency-modeled over ideal."""
+        return self.latency_runtime_s / self.ideal_runtime_s
+
+
+def run_latency_delta(
+    system: str = "intel_a100",
+    workload: str = "srad",
+    *,
+    governors: Sequence[str] = DEFAULT_GOVERNORS,
+    preset: str = "gpu_dvfs",
+    seed: int = 1,
+    max_time_s: float = 60.0,
+    dt_s: float = 0.01,
+) -> List[LatencyDeltaRow]:
+    """Measure each governor's sensitivity to modeled switch latency.
+
+    Parameters
+    ----------
+    system, workload, seed, max_time_s, dt_s:
+        The shared run configuration; the two legs of every pair differ
+        only in the latency model, so any delta is attributable to it.
+    governors:
+        Governor registry names to compare.
+    preset:
+        A :data:`~repro.backends.latency.LATENCY_PRESETS` name.
+
+    Raises
+    ------
+    ExperimentError
+        If the preset name is unknown or a latency leg diverges from its
+        own replay (the determinism guarantee callers rely on).
+    """
+    if preset not in LATENCY_PRESETS:
+        raise ExperimentError(
+            f"unknown latency preset {preset!r}; known: {', '.join(sorted(LATENCY_PRESETS))}"
+        )
+    rows: List[LatencyDeltaRow] = []
+    for name in governors:
+        common = dict(seed=seed, max_time_s=max_time_s, dt_s=dt_s)
+        ideal = run_application(system, workload, make_governor(name), **common)
+        modeled = run_application(
+            system, workload, make_governor(name), actuation_latency=preset, **common
+        )
+        rows.append(
+            LatencyDeltaRow(
+                system=system,
+                workload=workload,
+                governor=name,
+                preset=preset,
+                seed=seed,
+                ideal_energy_j=ideal.total_energy_j,
+                ideal_runtime_s=ideal.runtime_s,
+                latency_energy_j=modeled.total_energy_j,
+                latency_runtime_s=modeled.runtime_s,
+                switches=modeled.actuation_switches,
+                latency_charged_s=modeled.actuation_latency_s,
+                settling_ticks=modeled.actuation_settling_ticks,
+            )
+        )
+    return rows
+
+
+def format_latency_delta(
+    rows: Sequence[LatencyDeltaRow], *, title: Optional[str] = None
+) -> str:
+    """Render the latency-sensitivity comparison table."""
+    if not rows:
+        raise ExperimentError("no rows to format")
+    table = format_table(
+        (
+            "governor", "energy Δ", "slowdown", "switches",
+            "latency (s)", "settling ticks",
+        ),
+        [
+            (
+                r.governor,
+                f"{r.energy_delta_frac * 100:+.2f}%",
+                f"{r.slowdown:.3f}x",
+                str(r.switches),
+                f"{r.latency_charged_s:.3f}",
+                str(r.settling_ticks),
+            )
+            for r in rows
+        ],
+        title=title
+        if title is not None
+        else (
+            f"Switch latency: {rows[0].system}/{rows[0].workload} under "
+            f"'{rows[0].preset}' (seed {rows[0].seed})"
+        ),
+    )
+    return table

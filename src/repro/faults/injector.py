@@ -207,11 +207,20 @@ class _FaultyMSRDevice:
             )
         return result
 
-    def write(self, socket: int, address: int, value: int, meter: Optional[AccessMeter] = None) -> None:
+    def write(
+        self,
+        socket: int,
+        address: int,
+        value: int,
+        meter: Optional[AccessMeter] = None,
+        *,
+        delay_s: float = 0.0,
+    ) -> None:
         fault_id = self._injector.trip("actuation", "write_error", f"write 0x{address:X}")
         if fault_id is not None:
             # The failed transaction still costs a write; the register is
-            # left untouched.
+            # left untouched (and no settling window ever begins — the
+            # backend charges switch latency only after a successful write).
             if meter is not None:
                 meter.charge(
                     "msr_write",
@@ -222,9 +231,16 @@ class _FaultyMSRDevice:
                 MSRAccessError(address, f"injected write failure [fault #{fault_id}]"),
                 fault_id,
             )
-        self._inner.write(socket, address, value, meter)
+        self._inner.write(socket, address, value, meter, delay_s=delay_s)
 
-    def set_uncore_max_ghz(self, freq_ghz: float, meter: Optional[AccessMeter] = None) -> None:
+    def set_uncore_max_ghz(
+        self,
+        freq_ghz: float,
+        meter: Optional[AccessMeter] = None,
+        *,
+        delay_s: float = 0.0,
+        socket: Optional[int] = None,
+    ) -> None:
         fault_id = self._injector.trip("actuation", "write_error", "uncore limit write")
         if fault_id is not None:
             if meter is not None:
@@ -240,7 +256,7 @@ class _FaultyMSRDevice:
                 ),
                 fault_id,
             )
-        self._inner.set_uncore_max_ghz(freq_ghz, meter)
+        self._inner.set_uncore_max_ghz(freq_ghz, meter, delay_s=delay_s, socket=socket)
 
 
 class _FaultyPCMCounters:
@@ -309,7 +325,14 @@ class _FaultyHSMPDevice:
     def __getattr__(self, name):
         return getattr(self._inner, name)
 
-    def set_fabric_clock_ghz(self, freq_ghz: float, meter: Optional[AccessMeter] = None) -> float:
+    def set_fabric_clock_ghz(
+        self,
+        freq_ghz: float,
+        meter: Optional[AccessMeter] = None,
+        *,
+        delay_s: float = 0.0,
+        socket: Optional[int] = None,
+    ) -> float:
         fault_id = self._injector.trip("actuation", "write_error", "fabric P-state request")
         if fault_id is not None:
             # One failed mailbox transaction, fabric clock unchanged.
@@ -321,4 +344,4 @@ class _FaultyHSMPDevice:
                 ),
                 fault_id,
             )
-        return self._inner.set_fabric_clock_ghz(freq_ghz, meter)
+        return self._inner.set_fabric_clock_ghz(freq_ghz, meter, delay_s=delay_s, socket=socket)

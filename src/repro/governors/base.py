@@ -63,6 +63,17 @@ class GovernorContext:
         """Hardware uncore ceiling."""
         return self.node.uncore_max_ghz
 
+    @property
+    def actuation_pending(self) -> bool:
+        """True while a previous actuation's switch latency is settling.
+
+        Optional signal: no shipped policy branches on it (all pinned
+        traces are latency-free), but a latency-aware policy can use it to
+        hold off stacking a new transition on an unfinished one. Free to
+        read — the backend answers from state it already tracks.
+        """
+        return self.hub.actuation_pending
+
 
 class UncoreGovernor(abc.ABC):
     """Abstract uncore-scaling policy.

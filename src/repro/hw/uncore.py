@@ -21,6 +21,7 @@ behaviours the evaluation depends on:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import FrequencyRangeError, PowerModelError
 from repro.units import clamp
@@ -99,6 +100,10 @@ class UncoreModel:
         self._target_ghz = self.max_ghz
         self._effective_ghz = self.max_ghz
         self._transition_count = 0
+        # A latency-delayed target: programmed by the control backend but
+        # not yet adopted by the clock domain (see request_target).
+        self._pending_target_ghz: Optional[float] = None
+        self._pending_delay_s = 0.0
 
     # ------------------------------------------------------------------
     # Frequency control
@@ -117,6 +122,24 @@ class UncoreModel:
     def transition_count(self) -> int:
         """Number of distinct target changes since construction."""
         return self._transition_count
+
+    @property
+    def pending_target_ghz(self) -> Optional[float]:
+        """A programmed target whose switch latency has not elapsed yet."""
+        return self._pending_target_ghz
+
+    @property
+    def in_transition(self) -> bool:
+        """True while a frequency change is still in flight.
+
+        Covers both phases of a real transition: the switch-latency window
+        before the new target is adopted, and the slew while the effective
+        frequency ramps toward it. A read during either phase sees the
+        ramping value, not the target.
+        """
+        return self._pending_target_ghz is not None or abs(
+            self._target_ghz - self._effective_ghz
+        ) > 1e-9
 
     def snap(self, freq_ghz: float) -> float:
         """Snap a frequency onto the supported bin grid, clamping to range."""
@@ -149,20 +172,55 @@ class UncoreModel:
             self._target_ghz = snapped
         return snapped
 
+    def request_target(self, freq_ghz: float, *, delay_s: float = 0.0, strict: bool = False) -> float:
+        """Request a new target after a modeled switch latency.
+
+        With ``delay_s == 0`` this is exactly :meth:`set_target` (and any
+        previously pending request is superseded). With a positive delay
+        the register write has happened but the clock domain keeps running
+        at the old target for ``delay_s`` simulated seconds; the target is
+        adopted inside :meth:`step` once the delay elapses, after which the
+        usual slew ramp applies.
+
+        Returns the snapped target that will (eventually) be adopted.
+        """
+        if delay_s < 0:
+            raise PowerModelError(f"negative actuation delay {delay_s!r}")
+        if delay_s == 0.0:
+            self._pending_target_ghz = None
+            return self.set_target(freq_ghz, strict=strict)
+        if strict and not (self.min_ghz - 1e-9 <= freq_ghz <= self.max_ghz + 1e-9):
+            raise FrequencyRangeError(freq_ghz, self.min_ghz, self.max_ghz)
+        snapped = self.snap(freq_ghz)
+        self._pending_target_ghz = snapped
+        self._pending_delay_s = float(delay_s)
+        return snapped
+
     def force(self, freq_ghz: float) -> None:
         """Set both target and effective frequency instantly.
 
         Used to establish initial conditions (e.g. a node idling at min
-        uncore before an application arrives).
+        uncore before an application arrives) and by the supervisor's
+        fail-safe, which deliberately bypasses in-flight transitions —
+        any pending request is cancelled.
         """
         snapped = self.snap(freq_ghz)
         self._target_ghz = snapped
         self._effective_ghz = snapped
+        self._pending_target_ghz = None
+        self._pending_delay_s = 0.0
 
     def step(self, dt_s: float) -> float:
         """Advance the slew by ``dt_s`` seconds; return the new effective freq."""
         if dt_s < 0:
             raise PowerModelError(f"negative dt {dt_s!r}")
+        if self._pending_target_ghz is not None:
+            self._pending_delay_s -= dt_s
+            if self._pending_delay_s <= 1e-12:
+                pending = self._pending_target_ghz
+                self._pending_target_ghz = None
+                self._pending_delay_s = 0.0
+                self.set_target(pending)
         delta = self._target_ghz - self._effective_ghz
         max_step = self.slew_ghz_per_s * dt_s
         if abs(delta) <= max_step:

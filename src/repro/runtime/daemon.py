@@ -178,13 +178,20 @@ class MonitorDaemon:
             decision = self._pending_decision
             if decision.target_ghz is not None:
                 actuate_id: Optional[int] = None
+                latency_base_s = 0.0
                 if tracer is not None:
+                    latency_base_s = self.hub.backend.latency_charged_s
                     actuate_id = tracer.begin(
                         "daemon.actuate", now_s + meter.time_s, category="actuate"
                     )
                 self.hub.set_uncore_max_ghz(decision.target_ghz, meter)
                 if tracer is not None and actuate_id is not None:
-                    tracer.end(actuate_id, now_s + meter.time_s, target_ghz=decision.target_ghz)
+                    tracer.end(
+                        actuate_id,
+                        now_s + meter.time_s,
+                        target_ghz=decision.target_ghz,
+                        latency_s=self.hub.backend.latency_charged_s - latency_base_s,
+                    )
             self._pending_decision = None
             self.decisions.append(decision)
         except BaseException:

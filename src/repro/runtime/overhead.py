@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass
 from typing import Dict, Union
 
+from repro.backends.latency import LatencyModel
 from repro.errors import ExperimentError
 from repro.governors.base import UncoreGovernor
 from repro.hw.presets import SystemPreset, get_preset
@@ -42,14 +43,24 @@ class OverheadResult:
     mean_invocation_s: float
     decision_period_s: float
     duration_s: float
+    #: Actuations routed through the control backend during the managed run.
+    actuation_switches: int = 0
+    #: Modeled switch latency charged into invocation time, seconds.
+    actuation_latency_s: float = 0.0
 
     def __str__(self) -> str:
-        return (
+        line = (
             f"{self.governor_name} on {self.system_name}: "
             f"power overhead {self.power_overhead_frac * 100:.2f}%, "
             f"invocation {self.mean_invocation_s:.2f}s "
             f"(period {self.decision_period_s:.2f}s)"
         )
+        if self.actuation_latency_s > 0:
+            line += (
+                f", actuation latency {self.actuation_latency_s:.3f}s "
+                f"over {self.actuation_switches} switches"
+            )
+        return line
 
     def to_dict(self) -> Dict[str, object]:
         """Machine-readable row (``repro overhead --json``, dashboards).
@@ -67,6 +78,7 @@ def measure_overhead(
     duration_s: float = 600.0,
     seed: int = 0,
     dt_s: float = 0.01,
+    actuation_latency: Union[LatencyModel, str, None] = None,
 ) -> OverheadResult:
     """Measure one runtime's idle overheads (one row-pair of Table 2).
 
@@ -78,6 +90,10 @@ def measure_overhead(
         Freshly constructed runtime under test (MAGUS or UPS).
     duration_s:
         Idle run length; the paper uses 10 minutes (600 s).
+    actuation_latency:
+        Optional switch-latency model/preset for the managed run's control
+        backend; its charges land in the invocation-time column, and the
+        result reports them separately.
 
     Raises
     ------
@@ -94,7 +110,10 @@ def measure_overhead(
         )
 
     baseline = run_application(preset, None, None, seed=seed, dt_s=dt_s, max_time_s=duration_s)
-    managed = run_application(preset, None, governor, seed=seed, dt_s=dt_s, max_time_s=duration_s)
+    managed = run_application(
+        preset, None, governor, seed=seed, dt_s=dt_s, max_time_s=duration_s,
+        actuation_latency=actuation_latency,
+    )
 
     if managed.mean_invocation_s is None or managed.decision_period_s is None:
         raise ExperimentError(
@@ -113,4 +132,6 @@ def measure_overhead(
         mean_invocation_s=managed.mean_invocation_s,
         decision_period_s=managed.decision_period_s,
         duration_s=duration_s,
+        actuation_switches=managed.actuation_switches,
+        actuation_latency_s=managed.actuation_latency_s,
     )

@@ -14,9 +14,12 @@ construction.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
+from repro.backends.latency import LatencyModel, resolve_latency
+from repro.backends.sim import SimBackend
 from repro.errors import ConfigError, GovernorError
 from repro.core.config import MagusConfig
 from repro.core.magus import MagusGovernor
@@ -118,6 +121,12 @@ class RunResult:
     metrics: Optional[MetricsRegistry] = field(repr=False, default=None)
     #: Decision-cycle spans of an observability-enabled run (else empty).
     spans: List[Span] = field(repr=False, default_factory=list)
+    #: Actuations routed through the control backend.
+    actuation_switches: int = 0
+    #: Total modeled switch latency charged to decision cycles, seconds.
+    actuation_latency_s: float = 0.0
+    #: Ticks during which some uncore transition was still settling.
+    actuation_settling_ticks: int = 0
 
     @property
     def cpu_energy_j(self) -> float:
@@ -183,6 +192,7 @@ def run_application(
     supervisor_config: Optional[SupervisorConfig] = None,
     incident_log: Optional[IncidentLog] = None,
     obs: Union[Observability, ObsConfig, None] = None,
+    actuation_latency: Union[LatencyModel, str, None] = None,
 ) -> RunResult:
     """Simulate one workload under one governor on one system.
 
@@ -232,6 +242,16 @@ def run_application(
         purely passive when enabled: traces stay bit-identical either way
         (guarded by the golden-trace suite). The final registry and span
         list land on ``RunResult.metrics``/``RunResult.spans``.
+    actuation_latency:
+        Switch-latency model for the control backend: a
+        :class:`~repro.backends.latency.LatencyModel`, a preset name
+        (``"msr_fast"``, ``"hsmp_mailbox"``, ``"gpu_dvfs"`` — seeded with
+        the run's master seed) or ``None`` for instantaneous transitions
+        (the pre-backend behaviour, bit-identical to the pinned traces).
+        The ``REPRO_BACKEND`` environment variable (``"sim"`` or
+        ``"hub"``/unset) additionally forces the run through an explicitly
+        constructed :class:`~repro.backends.sim.SimBackend` — the CI
+        conformance job uses it to diff the two construction paths.
 
     Returns
     -------
@@ -252,7 +272,21 @@ def run_application(
     # Idle deployment state (§4): nodes conserve power at min uncore until
     # a management policy takes over.
     node.force_uncore_all(preset.uncore_min_ghz)
-    hub = TelemetryHub(node, preset.telemetry, vendor=preset.vendor)
+    latency_model = resolve_latency(actuation_latency, seed=seed)
+    backend_env = os.environ.get("REPRO_BACKEND", "")
+    if backend_env not in ("", "hub", "sim"):
+        raise ConfigError(
+            f"unknown REPRO_BACKEND {backend_env!r}; expected 'sim' or 'hub'"
+        )
+    if backend_env == "sim":
+        # Conformance path: an explicitly constructed SimBackend must be
+        # indistinguishable from the hub's default construction.
+        hub = TelemetryHub(
+            node, preset.telemetry, vendor=preset.vendor,
+            backend=SimBackend(latency_model),
+        )
+    else:
+        hub = TelemetryHub(node, preset.telemetry, vendor=preset.vendor, latency=latency_model)
 
     obs_ctx = Observability.coerce(obs)
     if obs_ctx.enabled and obs_ctx.registry is not None:
@@ -318,6 +352,7 @@ def run_application(
             reg.gauge("repro.run.monitor_energy_joules").set(
                 daemon.monitor_energy_j if daemon is not None else 0.0
             )
+            reg.gauge("repro.run.actuation_latency_seconds").set(hub.backend.latency_charged_s)
 
     return RunResult(
         workload_name=workload.name if workload is not None else "<idle>",
@@ -345,4 +380,7 @@ def run_application(
         missed_deadlines=supervisor.missed_deadlines if supervisor is not None else 0,
         metrics=obs_ctx.registry if obs_ctx.enabled else None,
         spans=list(obs_ctx.tracer.spans) if obs_ctx.enabled and obs_ctx.tracer is not None else [],
+        actuation_switches=hub.backend.switch_count,
+        actuation_latency_s=hub.backend.latency_charged_s,
+        actuation_settling_ticks=hub.backend.settling_ticks,
     )

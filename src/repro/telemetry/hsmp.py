@@ -99,17 +99,29 @@ class HSMPDevice:
     # ------------------------------------------------------------------
     # Actuation
     # ------------------------------------------------------------------
-    def set_fabric_clock_ghz(self, freq_ghz: float, meter: Optional[AccessMeter] = None) -> float:
-        """Request a fabric clock on every socket (HSMP_SET_PSTATE-style).
+    def set_fabric_clock_ghz(
+        self,
+        freq_ghz: float,
+        meter: Optional[AccessMeter] = None,
+        *,
+        delay_s: float = 0.0,
+        socket: Optional[int] = None,
+    ) -> float:
+        """Request a fabric clock (HSMP_SET_PSTATE-style); every socket
+        when ``socket`` is None.
 
         The request snaps to the part's coarse P-state grid; the snapped
-        value is returned. One mailbox transaction per socket.
+        value is returned. One mailbox transaction per socket. ``delay_s``
+        is a modeled P-state switch latency: the mailbox acknowledges
+        immediately but the fabric adopts the new clock only after the
+        delay (:meth:`~repro.hw.uncore.UncoreModel.request_target`).
         """
         if freq_ghz <= 0:
             raise TelemetryError(f"invalid fabric clock request {freq_ghz!r}")
         snapped = freq_ghz
-        for s in range(self.node.n_sockets):
+        sockets = range(self.node.n_sockets) if socket is None else (socket,)
+        for s in sockets:
             if meter is not None:
                 meter.charge("hsmp_mailbox", _MAILBOX_TIME_S, _MAILBOX_ENERGY_J)
-            snapped = self.node.uncore(s).set_target(freq_ghz)
+            snapped = self.node.uncore(s).request_target(freq_ghz, delay_s=delay_s)
         return snapped

@@ -8,13 +8,19 @@ vendor default: RAPL only).
 The hub also provides the **vendor-neutral actuation path**: on Intel the
 uncore limit is programmed through MSR ``0x620``, on AMD through HSMP
 fabric P-state requests (§6.6). Governors never need to know which — the
-daemon calls :meth:`TelemetryHub.set_uncore_max_ghz`.
+daemon calls :meth:`TelemetryHub.set_uncore_max_ghz`, which delegates to
+the hub's :class:`~repro.backends.base.ControlBackend` (a zero-latency
+:class:`~repro.backends.sim.SimBackend` by default, bit-identical to the
+pre-backend dispatch).
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Mapping, Optional
 
+from repro.backends.base import ControlBackend
+from repro.backends.latency import LatencyModel
+from repro.backends.sim import SimBackend
 from repro.errors import TelemetryError
 from repro.hw.node import HeterogeneousNode
 from repro.hw.presets import TelemetryCosts
@@ -42,6 +48,7 @@ ACCESS_COUNTER_NAMES: Mapping[str, str] = {
     "nvml_query": "repro.telemetry.reads.nvml",
     "hsmp_mailbox": "repro.telemetry.writes.hsmp",
     "retry_backoff": "repro.supervisor.backoff_charges",
+    "actuation_latency": "repro.actuation.latency_charges",
 }
 
 
@@ -58,11 +65,32 @@ class TelemetryHub:
         ``"intel"`` (MSR actuation; HSMP absent) or ``"amd"`` (HSMP
         actuation; the MSR uncore-limit register absent, per-core counters
         still available for completeness).
+    backend:
+        A pre-built :class:`~repro.backends.base.ControlBackend` to route
+        actuation through; omitted, the hub builds a
+        :class:`~repro.backends.sim.SimBackend` over its own devices.
+        Mutually exclusive with ``latency``.
+    latency:
+        Switch-latency model for the default backend; omitted means the
+        zero model (instantaneous transitions, the pre-backend behaviour).
     """
 
-    def __init__(self, node: HeterogeneousNode, costs: TelemetryCosts, vendor: str = "intel"):
+    def __init__(
+        self,
+        node: HeterogeneousNode,
+        costs: TelemetryCosts,
+        vendor: str = "intel",
+        *,
+        backend: Optional[ControlBackend] = None,
+        latency: Optional[LatencyModel] = None,
+    ):
         if vendor not in ("intel", "amd"):
             raise TelemetryError(f"unknown vendor {vendor!r}; expected 'intel' or 'amd'")
+        if backend is not None and latency is not None:
+            raise TelemetryError(
+                "pass either a pre-built backend or a latency model, not both "
+                "(a latency model parameterises the default SimBackend)"
+            )
         self.node = node
         self.costs = costs
         self.vendor = vendor
@@ -71,6 +99,9 @@ class TelemetryHub:
         self.rapl = RAPLCounters(node, costs)
         self.nvml = NVMLDevice(node)
         self.hsmp: Optional[HSMPDevice] = HSMPDevice(node, costs) if vendor == "amd" else None
+        #: The control backend every actuation routes through.
+        self.backend: ControlBackend = backend if backend is not None else SimBackend(latency)
+        self.backend.bind(self)
         #: Installed fault injector, if any (see :meth:`install_fault_injector`).
         self.fault_injector: Optional["FaultInjector"] = None
         #: Attached metrics registry, if any (see :meth:`attach_metrics`).
@@ -101,6 +132,7 @@ class TelemetryHub:
         if self._metrics is not None:
             raise TelemetryError("hub already has a metrics registry attached")
         self._metrics = registry
+        self.backend.attach_metrics(registry)
 
     def count_accesses(self, counts: Mapping[str, int]) -> None:
         """Fold one cycle's meter access counts into per-device counters.
@@ -136,12 +168,23 @@ class TelemetryHub:
         self.nvml.on_tick(dt_s)
         if self.hsmp is not None:
             self.hsmp.on_tick(dt_s)
+        # The backend ticks last: its settling accounting reads the state
+        # the devices (and node step) just established.
+        self.backend.on_tick(dt_s)
 
     def set_uncore_max_ghz(self, freq_ghz: float, meter: Optional[AccessMeter] = None) -> None:
-        """Program the uncore/fabric ceiling through the vendor's path."""
-        if self.hsmp is not None:
-            self.hsmp.set_fabric_clock_ghz(freq_ghz, meter)
-        else:
-            self.msr.set_uncore_max_ghz(freq_ghz, meter)
+        """Program the uncore/fabric ceiling through the control backend.
+
+        Kept under its historical name — callers need no migration. The
+        backend picks the vendor mechanism (MSR ``0x620`` on Intel, HSMP
+        mailbox on AMD), samples any modeled switch latency and charges it
+        to ``meter``.
+        """
+        self.backend.set_uncore_max_ghz(freq_ghz, meter)
         if self._metrics is not None:
             self._metrics.counter("repro.telemetry.actuations").inc()
+
+    @property
+    def actuation_pending(self) -> bool:
+        """True while a backend-programmed transition is still in flight."""
+        return self.backend.actuation_pending

@@ -200,12 +200,25 @@ class MSRDevice:
             return int(self._cycles[core])
         raise MSRAccessError(address, "unsupported register")
 
-    def write(self, socket: int, address: int, value: int, meter: Optional[AccessMeter] = None) -> None:
+    def write(
+        self,
+        socket: int,
+        address: int,
+        value: int,
+        meter: Optional[AccessMeter] = None,
+        *,
+        delay_s: float = 0.0,
+    ) -> None:
         """Write one register (only ``0x620`` is writable).
 
         Writing ``0x620`` reprograms the socket's uncore *max* ratio; the
         min-ratio bits are stored but (as on real parts with min == hardware
         floor) do not raise the floor above the part's minimum.
+
+        ``delay_s`` is a modeled switch latency sampled by the control
+        backend: the register (shadow) updates immediately, as on hardware,
+        but the clock domain adopts the new target only after the delay
+        elapses (:meth:`~repro.hw.uncore.UncoreModel.request_target`).
         """
         if meter is not None:
             meter.charge("msr_write", self.costs.msr_write_time_s, self.costs.msr_write_energy_j)
@@ -222,21 +235,32 @@ class MSRDevice:
                 f"ratio {max_ratio} ({freq_ghz:.1f} GHz) outside supported "
                 f"range [{unc.min_ghz:.1f}, {unc.max_ghz:.1f}] GHz",
             )
-        unc.set_target(freq_ghz)
+        unc.request_target(freq_ghz, delay_s=delay_s)
         self._ratio_limit_shadow[socket] = value
 
-    def set_uncore_max_ghz(self, freq_ghz: float, meter: Optional[AccessMeter] = None) -> None:
-        """Convenience: write the max-ratio bits of every socket's ``0x620``.
+    def set_uncore_max_ghz(
+        self,
+        freq_ghz: float,
+        meter: Optional[AccessMeter] = None,
+        *,
+        delay_s: float = 0.0,
+        socket: Optional[int] = None,
+    ) -> None:
+        """Convenience: write the max-ratio bits of a socket's ``0x620``
+        (every socket when ``socket`` is None).
 
         This is the exact actuation sequence of the paper's runtimes: read
         nothing, rewrite only the max-frequency bits, leave min bits as-is.
         """
-        for s in range(self.node.n_sockets):
+        sockets = range(self.node.n_sockets) if socket is None else (socket,)
+        for s in sockets:
+            if s not in self._ratio_limit_shadow:
+                raise MSRAccessError(MSR_UNCORE_RATIO_LIMIT, f"no such socket {s!r}")
             current = self._ratio_limit_shadow[s]
             _max_r, min_r = decode_uncore_ratio_limit(current)
             snapped = self.node.uncore(s).snap(freq_ghz)
             value = encode_uncore_ratio_limit(ghz_to_uncore_ratio(snapped), min_r)
-            self.write(s, MSR_UNCORE_RATIO_LIMIT, value, meter)
+            self.write(s, MSR_UNCORE_RATIO_LIMIT, value, meter, delay_s=delay_s)
 
     def read_all_core_counters(self, meter: Optional[AccessMeter] = None) -> Tuple[np.ndarray, np.ndarray]:
         """Read (instructions, cycles) for every core — the UPS sweep.

@@ -1,0 +1,11 @@
+"""RL002 fixture: address literals stay confined even inside backends/."""
+
+UNCORE_LIMIT = 0x620  # line 3: still a register-table fork
+
+
+def program(socket, value):
+    write_msr(socket, 0x620, value)  # line 7: literal fires, accessor does not
+
+
+def write_msr(socket, address, value):
+    raise NotImplementedError

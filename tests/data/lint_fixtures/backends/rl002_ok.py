@@ -1,0 +1,24 @@
+"""RL002 clean fixture: backends/ is inside the accessor boundary.
+
+A hardware control backend is an access mechanism — raw MSR accessors
+are its job, exactly like telemetry/msr.py and telemetry/hub.py.
+"""
+
+from repro.telemetry.msr import MSR_UNCORE_RATIO_LIMIT
+
+
+class HwBackend:
+    def write(self, socket, value):
+        # Raw accessor is allowed here: the backend IS the mechanism.
+        write_msr(socket, MSR_UNCORE_RATIO_LIMIT, value)
+
+    def read(self, socket):
+        return read_msr(socket, MSR_UNCORE_RATIO_LIMIT)
+
+
+def write_msr(socket, address, value):
+    raise NotImplementedError
+
+
+def read_msr(socket, address):
+    raise NotImplementedError

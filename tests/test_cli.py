@@ -68,6 +68,8 @@ class TestCommands:
             "mean_invocation_s",
             "decision_period_s",
             "duration_s",
+            "actuation_switches",
+            "actuation_latency_s",
         }
         assert payload["governor_name"] == "magus"
         assert payload["duration_s"] == 30.0

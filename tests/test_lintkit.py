@@ -91,6 +91,18 @@ class TestRL002MSRSafety:
         violations = lint_file(REPO / "src/repro/telemetry/msr.py", default_rules())
         assert [v for v in violations if v.rule == "RL002"] == []
 
+    def test_backends_dir_may_use_raw_accessors(self):
+        # The backend layer is an access mechanism: raw accessors belong
+        # there (a hardware backend slots in beside the simulator).
+        assert run_on("backends/rl002_ok.py") == []
+
+    def test_backends_dir_still_confines_address_literals(self):
+        violations = run_on("backends/rl002_bad.py")
+        assert codes_and_lines(violations) == [
+            ("RL002", 3),  # 0x620 constant
+            ("RL002", 7),  # 0x620 literal (the raw accessor itself is exempt)
+        ]
+
 
 class TestRL003Units:
     def test_bad_fixture_fires(self):
