@@ -12,6 +12,7 @@ an entry point). Subcommands mirror the library's main workflows::
     repro suite --figure 4a                      # a Fig. 4 sweep
     repro experiments --quick                    # the full paper report
     repro resilience --seed 2 --check-repro      # fault campaign vs golden runs
+    repro guard --seed 2 --gate-stuck-freeze     # silent-corruption detection coverage
     repro latency --preset gpu_dvfs              # switch-latency sensitivity report
     repro campaign run --outdir out --quick      # journaled, crash-resumable protocol
     repro campaign run --outdir out --resume     # skip journalled steps, rerun the rest
@@ -51,6 +52,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--workload", required=True)
     run_p.add_argument("--governor", default="magus", choices=GOVERNORS)
     run_p.add_argument("--seed", type=int, default=1)
+    run_p.add_argument(
+        "--guard", action="store_true",
+        help="install the telemetry-integrity guard (validated reads, "
+        "write-verified actuation, per-device circuit breakers)",
+    )
 
     cmp_p = sub.add_parser("compare", help="compare methods against the default baseline")
     cmp_p.add_argument("--system", default="intel_a100", choices=sorted(PRESETS))
@@ -172,7 +178,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-run each faulted leg and require an identical incident log",
     )
     res_p.add_argument("--incidents", action="store_true", help="print the full incident logs")
+    res_p.add_argument(
+        "--guard", action="store_true",
+        help="run both legs of every pair with the telemetry guard installed",
+    )
+    res_p.add_argument(
+        "--json", action="store_true", help="machine-readable rows instead of the table"
+    )
     res_p.add_argument("--out", default=None, metavar="PATH", help="also write the report to a file")
+
+    guard_p = sub.add_parser(
+        "guard", help="silent-corruption detection coverage of the telemetry guard"
+    )
+    guard_p.add_argument("--system", default="intel_a100", choices=sorted(PRESETS))
+    guard_p.add_argument("--workload", default="srad")
+    guard_p.add_argument(
+        "--governor", action="append", default=None, choices=GOVERNORS,
+        help="governors to score (default: magus, ups)",
+    )
+    guard_p.add_argument("--seed", type=int, default=1, help="run seed; also seeds the campaign")
+    guard_p.add_argument("--duration", type=float, default=20.0, help="horizon in simulated seconds")
+    guard_p.add_argument(
+        "--json", action="store_true", help="machine-readable scorecards instead of the table"
+    )
+    guard_p.add_argument(
+        "--gate-stuck-freeze", action="store_true",
+        help="exit 1 if any fired stuck/freeze window at least 3 decision "
+        "periods long went undetected (the chaos-CI gate)",
+    )
+    guard_p.add_argument("--out", default=None, metavar="PATH", help="also write the report to a file")
 
     lat_p = sub.add_parser(
         "latency", help="governor sensitivity to modeled frequency-switch latency"
@@ -233,21 +267,32 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(args) -> int:
-    result = run_application(args.system, args.workload, make_governor(args.governor), seed=args.seed)
+    result = run_application(
+        args.system, args.workload, make_governor(args.governor),
+        seed=args.seed, guard=args.guard,
+    )
+    lines = [
+        ("workload", result.workload_name),
+        ("system", result.system_name),
+        ("governor", result.governor_name),
+        ("completed", str(result.completed)),
+        ("runtime (s)", f"{result.runtime_s:.2f}"),
+        ("avg CPU power (W)", f"{result.avg_cpu_w:.1f}"),
+        ("avg GPU power (W)", f"{result.avg_gpu_w:.1f}"),
+        ("total energy (kJ)", f"{result.total_energy_j / 1000:.2f}"),
+        ("decisions", str(len(result.decisions))),
+    ]
+    if result.guarded:
+        lines.append(
+            (
+                "guard (quarantines/trips)",
+                f"{result.guard_quarantines}/{result.guard_breaker_trips}",
+            )
+        )
     print(
         format_table(
             ("quantity", "value"),
-            [
-                ("workload", result.workload_name),
-                ("system", result.system_name),
-                ("governor", result.governor_name),
-                ("completed", str(result.completed)),
-                ("runtime (s)", f"{result.runtime_s:.2f}"),
-                ("avg CPU power (W)", f"{result.avg_cpu_w:.1f}"),
-                ("avg GPU power (W)", f"{result.avg_gpu_w:.1f}"),
-                ("total energy (kJ)", f"{result.total_energy_j / 1000:.2f}"),
-                ("decisions", str(len(result.decisions))),
-            ],
+            lines,
             title=f"{args.workload} on {args.system} under {args.governor}",
         )
     )
@@ -515,7 +560,14 @@ def _cmd_campaign(args) -> int:
 
 
 def _cmd_resilience(args) -> int:
-    from repro.experiments.resilience import DEFAULT_GOVERNORS, format_resilience, run_resilience
+    import json
+
+    from repro.experiments.resilience import (
+        DEFAULT_GOVERNORS,
+        format_resilience,
+        resilience_row_dict,
+        run_resilience,
+    )
     from repro.faults.plan import standard_campaign
 
     plan = standard_campaign(args.seed, horizon_s=args.duration)
@@ -527,20 +579,65 @@ def _cmd_resilience(args) -> int:
         max_time_s=args.duration,
         plan=plan,
         check_reproducibility=args.check_repro,
+        guard=args.guard,
     )
-    report = format_resilience(rows, plan=plan)
-    if args.incidents:
-        from repro.faults.incidents import IncidentLog
+    if args.json:
+        report = json.dumps([resilience_row_dict(r) for r in rows], indent=2)
+    else:
+        report = format_resilience(rows, plan=plan)
+        if args.incidents:
+            from repro.faults.incidents import IncidentLog
 
-        for row in rows:
-            log = IncidentLog()
-            for incident in row.incidents:
-                log.append(incident)
-            report += f"\n\n{row.governor} incident log:\n{log.format()}"
+            for row in rows:
+                log = IncidentLog()
+                for incident in row.incidents:
+                    log.append(incident)
+                report += f"\n\n{row.governor} incident log:\n{log.format()}"
     print(report)
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(report + "\n")
+    return 0
+
+
+def _cmd_guard(args) -> int:
+    import json
+
+    from repro.experiments.resilience import (
+        DETECTION_GOVERNORS,
+        detection_row_dict,
+        format_detection_coverage,
+        run_detection_coverage,
+        undetected_stuck_freeze,
+    )
+
+    rows = run_detection_coverage(
+        args.system,
+        args.workload,
+        governors=tuple(args.governor) if args.governor else DETECTION_GOVERNORS,
+        seed=args.seed,
+        max_time_s=args.duration,
+    )
+    if args.json:
+        report = json.dumps([detection_row_dict(r) for r in rows], indent=2)
+    else:
+        report = format_detection_coverage(rows)
+    print(report)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report + "\n")
+    if args.gate_stuck_freeze:
+        violations = undetected_stuck_freeze(rows)
+        if violations:
+            for governor, window in violations:
+                print(
+                    f"GATE: {governor} missed {window.device}/{window.kind} "
+                    f"[{window.start_s:.1f}, {window.end_s:.1f})s "
+                    f"({window.injections} corrupted access(es))",
+                    file=sys.stderr,
+                )
+            return 1
+        print("gate: every fired stuck/freeze window >= 3 decision periods was detected")
     return 0
 
 
@@ -641,6 +738,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_experiments(args)
         if args.command == "resilience":
             return _cmd_resilience(args)
+        if args.command == "guard":
+            return _cmd_guard(args)
         if args.command == "latency":
             return _cmd_latency(args)
         if args.command == "verify":

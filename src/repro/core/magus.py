@@ -115,7 +115,7 @@ class MagusGovernor(UncoreGovernor):
 
         if tracer is not None:
             sample_start = now_s + meter.time_s
-        throughput = ctx.hub.pcm.read_throughput_mbps(meter)
+        throughput = ctx.telemetry.read_throughput_mbps(meter)
         if tracer is not None:
             sid = tracer.begin("governor.sample", sample_start, category="sample", counter="pcm")
             tracer.end(sid, now_s + meter.time_s, throughput_mbps=throughput)

@@ -26,6 +26,7 @@ __all__ = [
     "BackendError",
     "MSRAccessError",
     "CounterOverflowError",
+    "GuardError",
     "FaultInjectionError",
     "SupervisionError",
     "WorkloadError",
@@ -98,6 +99,15 @@ class MSRAccessError(TelemetryError):
 
 class CounterOverflowError(TelemetryError):
     """Raised when a hardware counter wraps in a way the reader cannot fix."""
+
+
+class GuardError(TelemetryError):
+    """Raised by the telemetry-integrity guard when an access cannot be
+    trusted: a circuit breaker is open for the device, or a verified
+    actuation write kept disagreeing with its register read-back.  Derives
+    from :class:`TelemetryError` so the supervised runtime treats a guard
+    refusal exactly like a device failure — bounded retries, then the one
+    existing fail-safe path."""
 
 
 class FaultInjectionError(ReproError):

@@ -31,11 +31,23 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.analysis.report import format_table
 from repro.errors import ExperimentError
 from repro.faults.incidents import Incident, IncidentLog
-from repro.faults.plan import FaultPlan, standard_campaign
+from repro.faults.plan import FaultPlan, silent_campaign, standard_campaign
+from repro.guard.config import GuardConfig
 from repro.runtime.session import make_governor, run_application
 from repro.runtime.supervisor import SupervisorConfig
 
-__all__ = ["ResilienceRow", "run_resilience", "format_resilience"]
+__all__ = [
+    "ResilienceRow",
+    "run_resilience",
+    "format_resilience",
+    "resilience_row_dict",
+    "CoverageWindow",
+    "DetectionRow",
+    "run_detection_coverage",
+    "format_detection_coverage",
+    "detection_row_dict",
+    "undetected_stuck_freeze",
+]
 
 #: Governors the resilience report compares by default.
 DEFAULT_GOVERNORS: Tuple[str, ...] = ("magus", "ups", "default")
@@ -63,6 +75,11 @@ class ResilienceRow:
     degraded_s: float
     missed_deadlines: int
     incidents: Tuple[Incident, ...]
+    #: Whether both legs ran with a TelemetryGuard installed.
+    guarded: bool = False
+    #: Guard quarantines / breaker trips in the faulted leg (guarded runs).
+    guard_quarantines: int = 0
+    guard_breaker_trips: int = 0
 
     @property
     def energy_delta_frac(self) -> float:
@@ -97,6 +114,8 @@ def run_resilience(
     plan: Optional[FaultPlan] = None,
     supervisor_config: Optional[SupervisorConfig] = None,
     check_reproducibility: bool = False,
+    guard: bool = False,
+    guard_config: Optional[GuardConfig] = None,
 ) -> List[ResilienceRow]:
     """Measure each governor's behaviour under a fault campaign.
 
@@ -114,6 +133,9 @@ def run_resilience(
         Supervision tunables applied to both runs of every pair.
     check_reproducibility:
         Run the faulted leg twice and require identical incident logs.
+    guard / guard_config:
+        Install a :class:`~repro.guard.core.TelemetryGuard` in *both* legs
+        (golden and faulted), so any delta still isolates the campaign.
 
     Raises
     ------
@@ -126,7 +148,10 @@ def run_resilience(
         plan = standard_campaign(seed, horizon_s=max_time_s)
     rows: List[ResilienceRow] = []
     for name in governors:
-        common = dict(seed=seed, max_time_s=max_time_s, dt_s=dt_s)
+        common = dict(
+            seed=seed, max_time_s=max_time_s, dt_s=dt_s,
+            guard=guard, guard_config=guard_config,
+        )
         golden = run_application(
             system, workload, make_governor(name),
             supervise=True, supervisor_config=supervisor_config, **common,
@@ -165,9 +190,39 @@ def run_resilience(
                 degraded_s=faulted.degraded_time_s,
                 missed_deadlines=faulted.missed_deadlines,
                 incidents=tuple(faulted.incidents),
+                guarded=guard,
+                guard_quarantines=faulted.guard_quarantines,
+                guard_breaker_trips=faulted.guard_breaker_trips,
             )
         )
     return rows
+
+
+def resilience_row_dict(row: ResilienceRow) -> Dict[str, object]:
+    """JSON-serialisable view of one resilience row (``--json`` output)."""
+    return {
+        "system": row.system,
+        "workload": row.workload,
+        "governor": row.governor,
+        "seed": row.seed,
+        "golden_energy_j": row.golden_energy_j,
+        "golden_runtime_s": row.golden_runtime_s,
+        "faulted_energy_j": row.faulted_energy_j,
+        "faulted_runtime_s": row.faulted_runtime_s,
+        "energy_delta_frac": row.energy_delta_frac,
+        "slowdown": row.slowdown,
+        "injections": row.injections,
+        "raised": row.raised,
+        "retried": row.retried,
+        "failsafes": row.failsafes,
+        "rearms": row.rearms,
+        "degraded_s": row.degraded_s,
+        "missed_deadlines": row.missed_deadlines,
+        "incident_count": len(row.incidents),
+        "guarded": row.guarded,
+        "guard_quarantines": row.guard_quarantines,
+        "guard_breaker_trips": row.guard_breaker_trips,
+    }
 
 
 def _check_replay(
@@ -224,3 +279,354 @@ def format_resilience(rows: Sequence[ResilienceRow], *, plan: Optional[FaultPlan
     if plan is not None:
         table = table + "\n\n" + plan.describe()
     return table
+
+
+# ----------------------------------------------------------------------
+# Silent-corruption detection coverage
+# ----------------------------------------------------------------------
+
+#: Governors the detection-coverage report scores by default (the two
+#: telemetry-hungry policies; a hardware default reads nothing to corrupt).
+DETECTION_GOVERNORS: Tuple[str, ...] = ("magus", "ups")
+
+#: Silent kinds the CI gate requires full detection for (a window that
+#: outlives several decision cycles undetected is the worst failure mode:
+#: the governor keeps optimising against a dead sensor).
+GATED_KINDS: Tuple[str, ...] = ("stuck", "freeze")
+
+#: Abrupt silent kinds the guard is contractually expected to catch.
+#: ``drift`` is deliberately excluded: a slow multiplicative skew stays
+#: inside physical bounds for a long time, and flagging it aggressively
+#: would trade false positives on healthy phase changes — the cross-sensor
+#: check bounds its damage instead of pretending to detect it instantly.
+ACUTE_KINDS: Tuple[str, ...] = ("stuck", "freeze", "spike", "bias", "write_ignored")
+
+
+@dataclass(frozen=True)
+class CoverageWindow:
+    """One silent fault window scored against the guard's reactions.
+
+    A window only counts toward coverage when it *fired* — the governor's
+    own access pattern decides whether an armed fault ever corrupts a read
+    (MAGUS never touches RAPL, so a RAPL window is vacuous for it).
+    Detection is per device family: any guard quarantine / verify / trip
+    on the window's device between its start and one detection window past
+    its end credits the window (overlapping same-device kinds share
+    credit — precedence makes only one of them observable at a time).
+    """
+
+    device: str
+    kind: str
+    start_s: float
+    end_s: float
+    #: Corrupted accesses the injector actually performed in the window.
+    injections: int
+    #: Guard-validated accesses of this device across the whole run — a
+    #: device the governor never reads cannot fire an observable window.
+    device_reads: int
+    #: Guard reactions attributed to this window.
+    guard_hits: int
+    #: True when at least one guard reaction landed before the deadline.
+    detected: bool
+    #: First guard reaction minus first corrupted access (None if undetected).
+    latency_s: Optional[float]
+
+    @property
+    def fired(self) -> bool:
+        """Did this window observably corrupt anything the governor saw?
+
+        Requires both an actual injection and at least one guarded read of
+        the device: a tick-level fault (PCM ``freeze``) arms regardless of
+        the access pattern, but against a governor that never reads PCM it
+        corrupts nothing and nothing can — or needs to — detect it.
+        """
+        return self.injections > 0 and self.device_reads > 0
+
+
+@dataclass(frozen=True)
+class DetectionRow:
+    """One governor's silent-campaign detection scorecard."""
+
+    system: str
+    workload: str
+    governor: str
+    seed: int
+    #: One decision period — the detection deadline unit.
+    detect_window_s: float
+    windows: Tuple[CoverageWindow, ...]
+    #: Guard quarantines in the fault-free guarded leg (must be zero).
+    clean_false_positives: int
+    #: Faulted-leg quarantines outside every silent window (+ grace).
+    faulted_false_positives: int
+    #: Total node energy: guarded clean / guarded faulted / unguarded faulted.
+    clean_energy_j: float
+    guarded_energy_j: float
+    unguarded_energy_j: float
+    guarded_runtime_s: float
+    unguarded_runtime_s: float
+
+    @property
+    def fired_windows(self) -> Tuple[CoverageWindow, ...]:
+        """Windows the governor's access pattern actually triggered."""
+        return tuple(w for w in self.windows if w.fired)
+
+    @property
+    def detected_count(self) -> int:
+        """Fired windows with a timely guard reaction."""
+        return sum(1 for w in self.fired_windows if w.detected)
+
+    @property
+    def undetected_count(self) -> int:
+        """Fired windows the guard never reacted to."""
+        return sum(1 for w in self.fired_windows if not w.detected)
+
+    @property
+    def coverage(self) -> float:
+        """Detected fraction of fired windows (1.0 when none fired)."""
+        fired = self.fired_windows
+        return self.detected_count / len(fired) if fired else 1.0
+
+    @property
+    def acute_coverage(self) -> float:
+        """Detected fraction of fired :data:`ACUTE_KINDS` windows.
+
+        This is the acceptance metric: abrupt corruption must be caught
+        within one decision window; gradual ``drift`` is scored separately
+        (see :data:`ACUTE_KINDS`).
+        """
+        acute = [w for w in self.fired_windows if w.kind in ACUTE_KINDS]
+        return sum(1 for w in acute if w.detected) / len(acute) if acute else 1.0
+
+    @property
+    def guarded_energy_delta_frac(self) -> float:
+        """Guarded-vs-unguarded faulted energy, unguarded-relative."""
+        return self.guarded_energy_j / self.unguarded_energy_j - 1.0
+
+
+def run_detection_coverage(
+    system: str = "intel_a100",
+    workload: str = "srad",
+    *,
+    governors: Sequence[str] = DETECTION_GOVERNORS,
+    seed: int = 1,
+    max_time_s: float = 20.0,
+    dt_s: float = 0.01,
+    plan: Optional[FaultPlan] = None,
+    guard_config: Optional[GuardConfig] = None,
+    supervisor_config: Optional[SupervisorConfig] = None,
+) -> List[DetectionRow]:
+    """Score the guard's silent-corruption detection per governor.
+
+    Three supervised legs per governor, same (system, workload, seed):
+
+    1. **clean guarded** — a guard that quarantines anything on healthy
+       telemetry is mistuned; every quarantine here is a false positive;
+    2. **faulted guarded** — the silent campaign with the guard installed;
+       each fired window is scored detected/undetected against the guard's
+       incident log, with one decision period of detection grace;
+    3. **faulted unguarded** — the same campaign with no guard: silent
+       corruption flows straight into policy logic, and the energy gap to
+       leg 2 prices what detection is worth.
+
+    Parameters mirror :func:`run_resilience`; ``plan`` defaults to
+    :func:`~repro.faults.plan.silent_campaign` over the horizon.
+    """
+    if plan is None:
+        plan = silent_campaign(seed, horizon_s=max_time_s)
+    rows: List[DetectionRow] = []
+    for name in governors:
+        common = dict(seed=seed, max_time_s=max_time_s, dt_s=dt_s)
+        clean = run_application(
+            system, workload, make_governor(name),
+            supervise=True, supervisor_config=supervisor_config,
+            guard=True, guard_config=guard_config, **common,
+        )
+        log = IncidentLog()
+        guarded = run_application(
+            system, workload, make_governor(name),
+            fault_plan=plan, supervisor_config=supervisor_config,
+            incident_log=log, guard=True, guard_config=guard_config, **common,
+        )
+        unguarded = run_application(
+            system, workload, make_governor(name),
+            fault_plan=plan, supervisor_config=supervisor_config, **common,
+        )
+        period = guarded.decision_period_s
+        if period is None or period <= 0:
+            period = max(dt_s, 0.1)
+        windows, faulted_fp = _score_windows(
+            plan, log, period, guarded.guard_reads_by_device
+        )
+        rows.append(
+            DetectionRow(
+                system=system,
+                workload=workload,
+                governor=name,
+                seed=seed,
+                detect_window_s=period,
+                windows=windows,
+                clean_false_positives=clean.guard_quarantines,
+                faulted_false_positives=faulted_fp,
+                clean_energy_j=clean.total_energy_j,
+                guarded_energy_j=guarded.total_energy_j,
+                unguarded_energy_j=unguarded.total_energy_j,
+                guarded_runtime_s=guarded.runtime_s,
+                unguarded_runtime_s=unguarded.runtime_s,
+            )
+        )
+    return rows
+
+
+#: Guard actions that count as "the guard reacted to this device".
+_DETECTION_ACTIONS = ("quarantine", "verify", "trip")
+
+
+def _score_windows(
+    plan: FaultPlan,
+    log: IncidentLog,
+    period_s: float,
+    reads_by_device: Dict[str, int],
+) -> Tuple[Tuple[CoverageWindow, ...], int]:
+    injections = [i for i in log if i.source == "injector" and i.action == "inject"]
+    reactions = [
+        i for i in log if i.source == "guard" and i.action in _DETECTION_ACTIONS
+    ]
+    windows: List[CoverageWindow] = []
+    for spec in plan.specs:
+        if not spec.silent:
+            continue
+        deadline = spec.end_s + period_s
+        fired = [
+            i for i in injections
+            if i.device == spec.device and i.fault == spec.kind
+            and spec.start_s <= i.time_s < spec.end_s
+        ]
+        hits = [
+            i for i in reactions
+            if i.device == spec.device and spec.start_s <= i.time_s <= deadline
+        ]
+        device_reads = reads_by_device.get(spec.device, 0)
+        latency: Optional[float] = None
+        detected = bool(fired) and device_reads > 0 and bool(hits)
+        if detected:
+            latency = min(i.time_s for i in hits) - min(i.time_s for i in fired)
+        windows.append(
+            CoverageWindow(
+                device=spec.device,
+                kind=spec.kind,
+                start_s=spec.start_s,
+                end_s=spec.end_s,
+                injections=len(fired),
+                device_reads=device_reads,
+                guard_hits=len(hits),
+                detected=detected,
+                latency_s=latency,
+            )
+        )
+    silent_specs = [s for s in plan.specs if s.silent]
+    false_positives = sum(
+        1
+        for i in log
+        if i.source == "guard" and i.action == "quarantine"
+        and not any(
+            s.device == i.device and s.start_s <= i.time_s <= s.end_s + period_s
+            for s in silent_specs
+        )
+    )
+    return tuple(windows), false_positives
+
+
+def undetected_stuck_freeze(
+    rows: Sequence[DetectionRow], *, min_cycles: int = 3
+) -> List[Tuple[str, CoverageWindow]]:
+    """The CI gate: long stuck/freeze windows the guard never caught.
+
+    Returns every fired ``stuck``/``freeze`` window at least ``min_cycles``
+    decision periods long that went undetected, as ``(governor, window)``
+    pairs — the chaos job fails on a non-empty result.
+    """
+    violations: List[Tuple[str, CoverageWindow]] = []
+    for row in rows:
+        for window in row.fired_windows:
+            if window.kind not in GATED_KINDS or window.detected:
+                continue
+            if window.end_s - window.start_s >= min_cycles * row.detect_window_s:
+                violations.append((row.governor, window))
+    return violations
+
+
+def detection_row_dict(row: DetectionRow) -> Dict[str, object]:
+    """JSON-serialisable view of one detection scorecard (CI artifact)."""
+    return {
+        "system": row.system,
+        "workload": row.workload,
+        "governor": row.governor,
+        "seed": row.seed,
+        "detect_window_s": row.detect_window_s,
+        "detected": row.detected_count,
+        "undetected": row.undetected_count,
+        "coverage": row.coverage,
+        "acute_coverage": row.acute_coverage,
+        "clean_false_positives": row.clean_false_positives,
+        "faulted_false_positives": row.faulted_false_positives,
+        "clean_energy_j": row.clean_energy_j,
+        "guarded_energy_j": row.guarded_energy_j,
+        "unguarded_energy_j": row.unguarded_energy_j,
+        "guarded_energy_delta_frac": row.guarded_energy_delta_frac,
+        "guarded_runtime_s": row.guarded_runtime_s,
+        "unguarded_runtime_s": row.unguarded_runtime_s,
+        "windows": [
+            {
+                "device": w.device,
+                "kind": w.kind,
+                "start_s": w.start_s,
+                "end_s": w.end_s,
+                "injections": w.injections,
+                "device_reads": w.device_reads,
+                "guard_hits": w.guard_hits,
+                "fired": w.fired,
+                "detected": w.detected,
+                "latency_s": w.latency_s,
+            }
+            for w in row.windows
+        ],
+    }
+
+
+def format_detection_coverage(rows: Sequence[DetectionRow]) -> str:
+    """Render the detection-coverage scorecard."""
+    if not rows:
+        raise ExperimentError("no rows to format")
+    window_rows = []
+    for r in rows:
+        for w in r.windows:
+            window_rows.append(
+                (
+                    r.governor,
+                    w.device,
+                    w.kind,
+                    f"{w.start_s:.1f}-{w.end_s:.1f}",
+                    str(w.injections),
+                    ("yes" if w.detected else "MISSED") if w.fired else "-",
+                    f"{w.latency_s:.2f}" if w.latency_s is not None else "-",
+                )
+            )
+    table = format_table(
+        ("governor", "device", "kind", "window (s)", "injected", "detected", "latency (s)"),
+        window_rows,
+        title=(
+            f"Silent-corruption detection: {rows[0].system}/{rows[0].workload} "
+            f"(seed {rows[0].seed})"
+        ),
+    )
+    summary = [
+        (
+            f"{r.governor}: {r.detected_count}/{len(r.fired_windows)} fired windows "
+            f"detected ({r.coverage * 100:.0f}% overall, "
+            f"{r.acute_coverage * 100:.0f}% acute), false positives "
+            f"clean={r.clean_false_positives} faulted={r.faulted_false_positives}, "
+            f"guarded vs unguarded energy {r.guarded_energy_delta_frac * 100:+.2f}%"
+        )
+        for r in rows
+    ]
+    return table + "\n\n" + "\n".join(summary)

@@ -21,14 +21,25 @@ comparison in :mod:`repro.experiments.resilience`.
 
 from repro.faults.incidents import Incident, IncidentLog
 from repro.faults.injector import FaultInjector
-from repro.faults.plan import FAULT_KINDS, FaultPlan, FaultSpec, standard_campaign
+from repro.faults.plan import (
+    FAULT_KINDS,
+    SILENT_KINDS,
+    SILENT_KINDS_BY_DEVICE,
+    FaultPlan,
+    FaultSpec,
+    silent_campaign,
+    standard_campaign,
+)
 
 __all__ = [
     "Incident",
     "IncidentLog",
     "FaultInjector",
     "FAULT_KINDS",
+    "SILENT_KINDS",
+    "SILENT_KINDS_BY_DEVICE",
     "FaultPlan",
     "FaultSpec",
+    "silent_campaign",
     "standard_campaign",
 ]

@@ -13,7 +13,13 @@ Silent faults never raise: a frozen PCM counter simply stops advancing, a
 RAPL glitch returns a reset register, a counter wrap shifts every fixed
 counter to just below 2^48 so it wraps within the next few ticks (the shift
 is uniform, so wrap-safe modular readers see exact deltas for every window
-except the single one spanning the injection).
+except the single one spanning the injection).  The corruption kinds added
+for the telemetry guard follow the same rule: ``stuck`` repeats the last
+value the proxy returned, ``bias`` shifts counter sweeps additively,
+``drift`` scales or inflates readings in proportion to time-in-window,
+``spike`` returns physically impossible values, and ``write_ignored``
+acknowledges (and charges) an actuation write without applying it — only a
+register read-back can tell.
 
 Activation depends only on simulated time and access order — both
 deterministic — so the same plan replays the same incident log.
@@ -35,6 +41,16 @@ __all__ = ["FaultInjector"]
 _COUNTER_MOD = 1 << COUNTER_WIDTH_BITS
 #: A wrap injection parks the highest counter this far below 2^48.
 _WRAP_LEAD = 1_000_000
+#: A biased MSR sweep is shifted by this many counts (an impossible jump).
+_BIAS_COUNTS = 7_500_000_000
+#: PCM drift: fractional growth per second in-window.
+_PCM_DRIFT_RATE = 0.6
+#: PCM spike: reads return value * gain + 3x peak bandwidth.
+_PCM_SPIKE_GAIN = 4.0
+#: RAPL drift: bogus extra watts folded into the energy slope.
+_RAPL_DRIFT_W = 30.0
+#: RAPL spike: reads return value * gain.
+_RAPL_SPIKE_GAIN = 50.0
 
 
 class FaultInjector:
@@ -115,8 +131,17 @@ class FaultInjector:
         """Consume one injection if a matching window is active.
 
         Returns the campaign-unique fault id, or ``None`` when no fault
-        wants this access to fail.
+        wants this access to fail.  Specs of this *(device, kind)* are
+        matched in plan order (the first with budget left wins).
         """
+        fault_id, _ = self.trip_spec(device, kind, detail)
+        return fault_id
+
+    def trip_spec(
+        self, device: str, kind: str, detail: str = ""
+    ) -> Tuple[Optional[int], Optional[FaultSpec]]:
+        """Like :meth:`trip`, but also returns the consumed spec (so
+        time-in-window fault shapes such as ``drift`` can be computed)."""
         for i, spec in enumerate(self.plan.specs):
             if (
                 spec.device == device
@@ -126,14 +151,20 @@ class FaultInjector:
             ):
                 self._remaining[i] -= 1
                 outcome = "silent" if spec.silent else "raised"
-                return self._log_injection(spec, outcome=outcome, detail=detail)
-        return None
+                return self._log_injection(spec, outcome=outcome, detail=detail), spec
+        return None, None
 
     def pcm_frozen(self) -> bool:
         """True while any PCM freeze window is active."""
         return any(
             spec.kind == "freeze" and self._in_window(spec) for spec in self.plan.specs
         )
+
+    def peak_bw_mbps(self) -> float:
+        """The armed node's peak memory bandwidth (spike-fault scale)."""
+        if self._hub is None:
+            raise FaultInjectionError("fault injector is not armed")
+        return float(self._hub.node.memory.peak_bw_gbps) * 1e3
 
     # ------------------------------------------------------------------
     # Internals
@@ -174,11 +205,14 @@ def _fault_error(exc: Exception, fault_id: int) -> Exception:
 
 
 class _FaultyMSRDevice:
-    """MSR proxy: transient read failures + actuation-write failures."""
+    """MSR proxy: transient read failures, silent sweep corruption
+    (``stuck``/``bias``), and actuation-write failures (raised or silently
+    ignored)."""
 
     def __init__(self, inner, injector: FaultInjector):
         self._inner = inner
         self._injector = injector
+        self._last_sweep = None
 
     def __getattr__(self, name):
         return getattr(self._inner, name)
@@ -205,6 +239,20 @@ class _FaultyMSRDevice:
                 ),
                 fault_id,
             )
+        fault_id = self._injector.trip("msr", "stuck", "per-core counter sweep")
+        if fault_id is not None:
+            if self._last_sweep is not None:
+                # The device stopped advancing: hand back the previous sweep.
+                return tuple(arr.copy() for arr in self._last_sweep)
+            return result  # nothing to be stuck at yet
+        fault_id = self._injector.trip("msr", "bias", "per-core counter sweep")
+        if fault_id is not None:
+            instr, cycles = result
+            return (
+                (instr + _BIAS_COUNTS) % _COUNTER_MOD,
+                (cycles + _BIAS_COUNTS) % _COUNTER_MOD,
+            )
+        self._last_sweep = tuple(arr.copy() for arr in result)
         return result
 
     def write(
@@ -231,6 +279,17 @@ class _FaultyMSRDevice:
                 MSRAccessError(address, f"injected write failure [fault #{fault_id}]"),
                 fault_id,
             )
+        fault_id = self._injector.trip("actuation", "write_ignored", f"write 0x{address:X}")
+        if fault_id is not None:
+            # Acknowledged and charged, never applied: only a register
+            # read-back can tell the write was dropped.
+            if meter is not None:
+                meter.charge(
+                    "msr_write",
+                    self._inner.costs.msr_write_time_s,
+                    self._inner.costs.msr_write_energy_j,
+                )
+            return
         self._inner.write(socket, address, value, meter, delay_s=delay_s)
 
     def set_uncore_max_ghz(
@@ -256,15 +315,26 @@ class _FaultyMSRDevice:
                 ),
                 fault_id,
             )
+        fault_id = self._injector.trip("actuation", "write_ignored", "uncore limit write")
+        if fault_id is not None:
+            if meter is not None:
+                meter.charge(
+                    "msr_write",
+                    self._inner.costs.msr_write_time_s,
+                    self._inner.costs.msr_write_energy_j,
+                )
+            return
         self._inner.set_uncore_max_ghz(freq_ghz, meter, delay_s=delay_s, socket=socket)
 
 
 class _FaultyPCMCounters:
-    """PCM proxy: sample dropouts + frozen/stale counters."""
+    """PCM proxy: sample dropouts, frozen/stale counters, and silent value
+    corruption (``stuck``/``spike``/``drift``)."""
 
     def __init__(self, inner, injector: FaultInjector):
         self._inner = inner
         self._injector = injector
+        self._last_value: Optional[float] = None
 
     def __getattr__(self, name):
         return getattr(self._inner, name)
@@ -281,15 +351,29 @@ class _FaultyPCMCounters:
             raise _fault_error(
                 TelemetryError(f"injected PCM sample dropout [fault #{fault_id}]"), fault_id
             )
+        fault_id = self._injector.trip("pcm", "stuck", "throughput aggregation")
+        if fault_id is not None:
+            return value if self._last_value is None else self._last_value
+        fault_id = self._injector.trip("pcm", "spike", "throughput aggregation")
+        if fault_id is not None:
+            # A burst no memory subsystem could deliver.
+            return value * _PCM_SPIKE_GAIN + 3.0 * self._injector.peak_bw_mbps()
+        fault_id, spec = self._injector.trip_spec("pcm", "drift", "throughput aggregation")
+        if fault_id is not None and spec is not None:
+            elapsed = self._injector.now_s - spec.start_s
+            return value * (1.0 + _PCM_DRIFT_RATE * elapsed)
+        self._last_value = value
         return value
 
 
 class _FaultyRAPLCounters:
-    """RAPL proxy: transient read failures + register-reset glitches."""
+    """RAPL proxy: transient read failures, register-reset glitches, and
+    silent value corruption (``stuck``/``spike``/``drift``)."""
 
     def __init__(self, inner, injector: FaultInjector):
         self._inner = inner
         self._injector = injector
+        self._last_values: dict = {}
 
     def __getattr__(self, name):
         return getattr(self._inner, name)
@@ -303,6 +387,18 @@ class _FaultyRAPLCounters:
         fault_id = self._injector.trip("rapl", "glitch", what)
         if fault_id is not None:
             return 0.0  # register-reset glitch: silent value corruption
+        fault_id = self._injector.trip("rapl", "stuck", what)
+        if fault_id is not None:
+            return self._last_values.get(what, value)
+        fault_id = self._injector.trip("rapl", "spike", what)
+        if fault_id is not None:
+            return value * _RAPL_SPIKE_GAIN
+        fault_id, spec = self._injector.trip_spec("rapl", "drift", what)
+        if fault_id is not None and spec is not None:
+            # A bogus extra-watts slope folded into the reading.
+            elapsed = self._injector.now_s - spec.start_s
+            return value + _RAPL_DRIFT_W * elapsed
+        self._last_values[what] = value
         return value
 
     def energy_j(self, domain: str, meter: Optional[AccessMeter] = None) -> float:
@@ -344,4 +440,11 @@ class _FaultyHSMPDevice:
                 ),
                 fault_id,
             )
+        fault_id = self._injector.trip("actuation", "write_ignored", "fabric P-state request")
+        if fault_id is not None:
+            # The mailbox acks the request (and charges one transaction)
+            # but the fabric clock never changes.
+            if meter is not None:
+                meter.charge("hsmp_mailbox", _MAILBOX_TIME_S, _MAILBOX_ENERGY_J)
+            return float(freq_ghz)
         return self._inner.set_fabric_clock_ghz(freq_ghz, meter, delay_s=delay_s, socket=socket)

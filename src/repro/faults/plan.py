@@ -22,14 +22,34 @@ msr        read_error     MSR counter reads raise :class:`MSRAccessError`
                           (the read still charges the meter — time was spent)
 msr        wrap           fixed counters jump to just below 2^48 and wrap
                           (silent; readers must delta modulo 2^48)
+msr        stuck          per-core counter sweeps return the previous
+                          sweep's values — the device stops advancing
+                          (silent; deltas collapse to zero)
+msr        bias           per-core counter sweeps come back additively
+                          shifted (silent; implied rates explode)
 pcm        dropout        throughput reads raise :class:`TelemetryError`
 pcm        freeze         the cumulative counter stops advancing (silent;
                           reads return stale throughput)
+pcm        stuck          throughput reads repeat the last returned sample
+                          (silent; the device itself keeps advancing)
+pcm        drift          throughput reads grow by a multiplicative factor
+                          proportional to time-in-window (silent, sneaky)
+pcm        spike          throughput reads return a physically impossible
+                          burst well beyond peak memory bandwidth (silent)
 rapl       read_error     energy/power reads raise :class:`TelemetryError`
 rapl       glitch         energy reads return 0 — a register-reset glitch
                           (silent value corruption)
+rapl       stuck          energy/power reads repeat the last returned value
+                          (silent; cumulative energy stops advancing)
+rapl       drift          energy reads gain a bogus extra-watts slope
+                          (silent, sneaky miscalibration)
+rapl       spike          energy/power reads come back scaled far beyond
+                          any physical power budget (silent)
 actuation  write_error    uncore-limit writes (MSR 0x620 or HSMP mailbox)
                           raise without applying the request
+actuation  write_ignored  uncore-limit writes are acknowledged and charged
+                          but never applied (silent; only a register
+                          read-back can tell)
 ========== ============== ====================================================
 """
 
@@ -41,18 +61,58 @@ from typing import Optional, Sequence, Tuple
 from repro.errors import FaultInjectionError
 from repro.sim.rng import spawn_generator
 
-__all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan", "standard_campaign"]
+__all__ = [
+    "FAULT_KINDS",
+    "SILENT_KINDS_BY_DEVICE",
+    "SILENT_KINDS",
+    "FaultSpec",
+    "FaultPlan",
+    "standard_campaign",
+    "silent_campaign",
+]
 
 #: Valid fault kinds per device.
 FAULT_KINDS = {
-    "msr": ("read_error", "wrap"),
-    "pcm": ("dropout", "freeze"),
-    "rapl": ("read_error", "glitch"),
-    "actuation": ("write_error",),
+    "msr": ("read_error", "wrap", "stuck", "bias"),
+    "pcm": ("dropout", "freeze", "stuck", "drift", "spike"),
+    "rapl": ("read_error", "glitch", "stuck", "drift", "spike"),
+    "actuation": ("write_error", "write_ignored"),
 }
 
-#: Kinds that never raise: they corrupt or stall data instead.
-SILENT_KINDS = ("wrap", "freeze", "glitch")
+#: Kinds that never raise, per device: they corrupt or stall data instead.
+#: Silence is a *(device, kind)* property — a kind name shared across
+#: devices (``stuck``, ``drift``, ``spike``) is classified per device, never
+#: by a flat name lookup.
+SILENT_KINDS_BY_DEVICE = {
+    "msr": frozenset({"wrap", "stuck", "bias"}),
+    "pcm": frozenset({"freeze", "stuck", "drift", "spike"}),
+    "rapl": frozenset({"glitch", "stuck", "drift", "spike"}),
+    "actuation": frozenset({"write_ignored"}),
+}
+
+
+def _validate_silent_table() -> None:
+    if set(SILENT_KINDS_BY_DEVICE) != set(FAULT_KINDS):
+        raise FaultInjectionError(
+            "SILENT_KINDS_BY_DEVICE devices "
+            f"{sorted(SILENT_KINDS_BY_DEVICE)} != FAULT_KINDS devices {sorted(FAULT_KINDS)}"
+        )
+    for device, kinds in SILENT_KINDS_BY_DEVICE.items():
+        unknown = kinds - set(FAULT_KINDS[device])
+        if unknown:
+            raise FaultInjectionError(
+                f"SILENT_KINDS_BY_DEVICE[{device!r}] names unknown kinds {sorted(unknown)}; "
+                f"known: {FAULT_KINDS[device]}"
+            )
+
+
+_validate_silent_table()
+
+#: Flat view of every silent kind name (back-compat/reporting only — use
+#: :data:`SILENT_KINDS_BY_DEVICE` to classify a spec).
+SILENT_KINDS = tuple(
+    sorted({kind for kinds in SILENT_KINDS_BY_DEVICE.values() for kind in kinds})
+)
 
 
 @dataclass(frozen=True)
@@ -75,6 +135,22 @@ class FaultSpec:
         Maximum number of injections charged to this spec (``None`` =
         unlimited within the window). A ``freeze`` spec counts as a single
         injection covering its whole window.
+
+    Window semantics (pinned by ``tests/test_fault_windows.py``):
+
+    * Access faults activate on ``start_s <= now < end_s`` — half-open, so
+      a zero-duration window never matches an access, and back-to-back
+      windows on the same device hand over without overlap: an access at
+      exactly the boundary belongs to the later window.
+    * Point faults (``wrap``) fire at the first tick with ``now >=
+      start_s`` even when ``duration_s`` is zero.
+    * When several in-window specs could satisfy one access, precedence is
+      two-level and deterministic. Across *different kinds* the device
+      proxy asks in a fixed order — raising kinds before silent
+      corruption (e.g. ``read_error`` before ``stuck`` before ``bias``;
+      ``dropout`` before ``stuck`` before ``spike`` before ``drift``).
+      Within *one kind*, **plan order wins**: the injector consumes the
+      first matching spec with budget left.
     """
 
     device: str
@@ -109,7 +185,7 @@ class FaultSpec:
     @property
     def silent(self) -> bool:
         """True if this fault corrupts data instead of raising."""
-        return self.kind in SILENT_KINDS
+        return self.kind in SILENT_KINDS_BY_DEVICE[self.device]
 
     def describe(self) -> str:
         """One-line human summary."""
@@ -223,3 +299,37 @@ def standard_campaign(seed: int = 1, *, horizon_s: float = 20.0) -> FaultPlan:
         FaultSpec("pcm", "freeze", at(0.86), round(horizon_s * 0.05, 3), count=1),
     )
     return FaultPlan(specs, seed=seed, name="standard")
+
+
+def silent_campaign(seed: int = 1, *, horizon_s: float = 20.0) -> FaultPlan:
+    """A campaign of *only silent* corruption windows, for detection scoring.
+
+    Every window is a fault that never raises — the supervised runtime is
+    blind to all of them, so any detection must come from the telemetry
+    guard.  Windows are anchored at fixed fractions of the horizon with a
+    small seed-driven jitter (±1 % of the horizon) and sized at 9 % of the
+    horizon (~1.8 s at the default horizon — several governor decision
+    periods, matching the CI gate on sustained ``stuck``/``freeze``
+    faults), except the trailing actuation window, which is longer because
+    actuations are sparse.  Value-corruption kinds run with an unlimited
+    budget so every access in the window is corrupted.
+    """
+    rng = spawn_generator(seed)
+
+    def at(frac: float) -> float:
+        return round(float((frac + rng.uniform(-0.01, 0.01)) * horizon_s), 3)
+
+    win = round(horizon_s * 0.09, 3)
+    specs = (
+        FaultSpec("pcm", "freeze", at(0.08), win, count=1),
+        FaultSpec("pcm", "stuck", at(0.20), win, count=None),
+        FaultSpec("pcm", "spike", at(0.32), win, count=None),
+        FaultSpec("msr", "stuck", at(0.44), win, count=None),
+        FaultSpec("msr", "bias", at(0.56), win, count=None),
+        FaultSpec("rapl", "stuck", at(0.08), win, count=None),
+        FaultSpec("rapl", "spike", at(0.32), win, count=None),
+        FaultSpec("rapl", "drift", at(0.68), win, count=None),
+        FaultSpec("pcm", "drift", at(0.68), win, count=None),
+        FaultSpec("actuation", "write_ignored", at(0.80), round(horizon_s * 0.15, 3), count=None),
+    )
+    return FaultPlan(specs, seed=seed, name="silent")

@@ -11,9 +11,11 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Union
 
 from repro.errors import GovernorError
+from repro.guard.core import TelemetryGuard
+from repro.guard.view import RawTelemetryView
 from repro.hw.node import HeterogeneousNode
 from repro.obs.config import Observability
 from repro.sim.observers import TickObserver
@@ -62,6 +64,20 @@ class GovernorContext:
     def uncore_max_ghz(self) -> float:
         """Hardware uncore ceiling."""
         return self.node.uncore_max_ghz
+
+    @property
+    def telemetry(self) -> Union[TelemetryGuard, RawTelemetryView]:
+        """The governor's sanctioned telemetry read surface.
+
+        Resolves to the hub's installed :class:`TelemetryGuard` when one
+        exists, else a zero-state raw pass-through with the same method
+        surface.  Policies must read counters through this property rather
+        than grabbing ``hub.pcm``/``hub.msr``/``hub.rapl`` handles (lint
+        rule RL007 enforces it) — that is the trust boundary that lets the
+        guard quarantine corrupt samples before they reach policy logic.
+        """
+        guard = self.hub.guard
+        return guard if guard is not None else RawTelemetryView(self.hub)
 
     @property
     def actuation_pending(self) -> bool:

@@ -80,8 +80,8 @@ class PowerCapGovernor(UncoreGovernor):
     def sample_and_decide(self, now_s: float, meter: AccessMeter) -> Decision:
         """One capping cycle: windowed CPU power vs the cap."""
         ctx = self.context
-        rapl = ctx.hub.rapl
-        energy = rapl.energy_j(RAPL_PKG, meter) + rapl.energy_j(RAPL_DRAM, meter)
+        tel = ctx.telemetry
+        energy = tel.energy_j(RAPL_PKG, meter) + tel.energy_j(RAPL_DRAM, meter)
         if self._prev_energy_j is None or self._prev_time_s is None:
             self._prev_energy_j, self._prev_time_s = energy, now_s
             return Decision(now_s, None, "warmup")

@@ -133,9 +133,9 @@ class UPSGovernor(UncoreGovernor):
         Returns ``(ipc, dram_power_w)`` window-averaged since the previous
         invocation, or ``(None, None)`` on the first call (no window yet).
         """
-        hub = self.context.hub
-        instr, cycles = hub.msr.read_all_core_counters(meter)
-        dram_energy = hub.rapl.energy_j(RAPL_DRAM, meter)
+        tel = self.context.telemetry
+        instr, cycles = tel.read_all_core_counters(meter)
+        dram_energy = tel.energy_j(RAPL_DRAM, meter)
 
         ipc: Optional[float] = None
         dram_power: Optional[float] = None

@@ -1,0 +1,41 @@
+"""repro.guard — the trust boundary between telemetry and policy.
+
+Devices → injector proxies → **guard** → governor: every telemetry sample a
+governor acts on, and every actuation write it issues, can be routed
+through a :class:`~repro.guard.core.TelemetryGuard` installed on the hub
+(:meth:`~repro.telemetry.hub.TelemetryHub.install_guard`).  The guard
+
+* validates each sample against physical bounds derived from the hardware
+  preset, max slew rates, frozen-sample signatures and cross-sensor
+  consistency, quarantining bad samples behind a deterministic
+  last-known-good/holdover estimate;
+* verifies each actuation write against its register read-back, retrying
+  with bounded backoff before tripping;
+* runs one circuit breaker per device (closed → open → half-open) with
+  seeded, sim-clock probe scheduling, surfacing refusals as
+  :class:`~repro.errors.GuardError` so the supervised runtime's *existing*
+  fail-safe/degraded path handles them.
+
+Governors reach telemetry through ``ctx.telemetry`` (see
+:class:`~repro.governors.base.GovernorContext`), which resolves to the
+guard when installed and to the zero-overhead
+:class:`~repro.guard.view.RawTelemetryView` otherwise — guard-off runs are
+bit-identical to the pre-guard code, and lint rule RL007 keeps governor
+code from bypassing the boundary.
+"""
+
+from repro.guard.bounds import GuardBounds
+from repro.guard.breaker import BreakerState, CircuitBreaker
+from repro.guard.config import GuardConfig
+from repro.guard.core import GUARD_DEVICES, TelemetryGuard
+from repro.guard.view import RawTelemetryView
+
+__all__ = [
+    "GuardBounds",
+    "BreakerState",
+    "CircuitBreaker",
+    "GuardConfig",
+    "GUARD_DEVICES",
+    "TelemetryGuard",
+    "RawTelemetryView",
+]

@@ -1,0 +1,54 @@
+"""GuardBounds: physical plausibility limits derived from a hardware preset.
+
+Nothing here reads live state — bounds are pure functions of the preset's
+nameplate figures (peak memory bandwidth, per-socket TDP, the DRAM power
+model, core clock ceiling) scaled by the guard's headroom margin, so two
+runs with the same preset and config always validate against the same
+numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.presets import SystemPreset
+
+__all__ = ["GuardBounds"]
+
+
+@dataclass(frozen=True)
+class GuardBounds:
+    """Per-channel plausibility limits (all already margin-scaled)."""
+
+    #: Memory throughput ceiling, MB/s.
+    pcm_max_mbps: float
+    #: Whole-node package power ceiling, W.
+    pkg_power_max_w: float
+    #: DRAM power ceiling, W (the DRAM power model at peak bandwidth).
+    dram_power_max_w: float
+    #: Per-core unhalted-cycle rate ceiling, Hz.
+    core_max_hz: float
+    #: Instructions-per-cycle ceiling.
+    max_ipc: float
+
+    @classmethod
+    def from_preset(cls, preset: SystemPreset, *, margin: float, max_ipc: float) -> "GuardBounds":
+        """Derive bounds from ``preset``, scaled by ``margin``."""
+        return cls(
+            pcm_max_mbps=preset.peak_bw_gbps * 1e3 * margin,
+            pkg_power_max_w=preset.n_sockets * preset.tdp_w_per_socket * margin,
+            dram_power_max_w=(
+                preset.dram_base_w + preset.dram_w_per_gbps * preset.peak_bw_gbps
+            )
+            * margin,
+            core_max_hz=preset.core_max_ghz * 1e9 * margin,
+            max_ipc=max_ipc,
+        )
+
+    def rapl_power_max_w(self, domain: str) -> float:
+        """Power ceiling for one RAPL domain."""
+        return self.dram_power_max_w if domain == "dram" else self.pkg_power_max_w
+
+    def implied_dram_w(self, preset_base_w: float, preset_w_per_gbps: float, mbps: float) -> float:
+        """DRAM power implied by a bandwidth sample (cross-sensor check)."""
+        return preset_base_w + preset_w_per_gbps * (mbps / 1e3)

@@ -1,0 +1,142 @@
+"""Per-device circuit breakers with seeded, sim-clock probe scheduling.
+
+A breaker is a three-state machine — ``closed`` → ``open`` → ``half_open``
+— driven entirely by quarantine verdicts and simulated time.  Probe times
+are drawn from a generator spawned off ``derive_seed(seed,
+"guard.breaker.<device>")``, so the schedule is a pure function of the run
+seed: two runs of the same configuration (at any ``map_parallel`` worker
+count) open, probe and re-arm at identical simulated times.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.guard.config import GuardConfig
+from repro.sim.rng import derive_seed, spawn_generator
+
+__all__ = ["BreakerState", "CircuitBreaker"]
+
+
+class BreakerState:
+    """String constants for the three breaker states."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+#: Numeric gauge encoding per state (exported to the metrics registry).
+_GAUGE_VALUES = {BreakerState.CLOSED: 0.0, BreakerState.OPEN: 1.0, BreakerState.HALF_OPEN: 2.0}
+
+
+class CircuitBreaker:
+    """One device's breaker.
+
+    Parameters
+    ----------
+    device:
+        Device family this breaker protects (``msr``/``pcm``/``rapl``/
+        ``actuation``) — also the probe stream's seed label.
+    config:
+        The guard's tunables (threshold, open duration, backoff, jitter).
+    seed:
+        The run seed the probe-jitter stream derives from.
+    """
+
+    def __init__(self, device: str, config: GuardConfig, seed: int) -> None:
+        self.device = device
+        self._config = config
+        self._rng = spawn_generator(derive_seed(seed, "guard.breaker." + device))
+        self.state = BreakerState.CLOSED
+        self.strikes = 0
+        self.trip_count = 0
+        self.probe_count = 0
+        #: Consecutive open spans without an intervening close (escalates
+        #: the probe delay).
+        self._open_spans = 0
+        self._probe_at_s: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Gate
+    # ------------------------------------------------------------------
+    def allow(self, now_s: float) -> bool:
+        """May the device be accessed at ``now_s``?
+
+        An open breaker whose probe time has arrived transitions to
+        half-open and allows the access (the probe); the next
+        :meth:`record_success`/:meth:`record_failure` decides whether it
+        closes or re-opens.
+        """
+        if self.state == BreakerState.CLOSED:
+            return True
+        if self.state == BreakerState.OPEN:
+            if self._probe_at_s is not None and now_s >= self._probe_at_s:
+                self.state = BreakerState.HALF_OPEN
+                self.probe_count += 1
+                return True
+            return False
+        return True  # half-open: the probe (and its retries) flow through
+
+    # ------------------------------------------------------------------
+    # Verdicts
+    # ------------------------------------------------------------------
+    def record_success(self) -> bool:
+        """A clean validated access; returns True if this closed the breaker."""
+        self.strikes = 0
+        if self.state == BreakerState.HALF_OPEN:
+            self.state = BreakerState.CLOSED
+            self._open_spans = 0
+            self._probe_at_s = None
+            return True
+        return False
+
+    def record_failure(self, now_s: float) -> bool:
+        """A quarantined access; returns True if this opened the breaker."""
+        if self.state == BreakerState.HALF_OPEN:
+            self._open(now_s)
+            return True
+        self.strikes += 1
+        if self.state == BreakerState.CLOSED and self.strikes >= self._config.breaker_threshold:
+            self._open(now_s)
+            return True
+        return False
+
+    def force_open(self, now_s: float) -> bool:
+        """Trip immediately (write-verify exhaustion); True if newly opened."""
+        if self.state == BreakerState.OPEN:
+            return False
+        self._open(now_s)
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def probe_at_s(self) -> Optional[float]:
+        """Scheduled half-open probe time while open."""
+        return self._probe_at_s
+
+    @property
+    def gauge_value(self) -> float:
+        """Numeric state encoding (closed=0, open=1, half-open=2)."""
+        return _GAUGE_VALUES[self.state]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _open(self, now_s: float) -> None:
+        cfg = self._config
+        self.state = BreakerState.OPEN
+        self.trip_count += 1
+        self._open_spans += 1
+        self.strikes = 0
+        span = min(
+            cfg.breaker_open_s * cfg.breaker_backoff ** (self._open_spans - 1),
+            cfg.breaker_max_open_s,
+        )
+        jitter = 1.0 + cfg.breaker_jitter_frac * float(self._rng.uniform(-1.0, 1.0))
+        self._probe_at_s = now_s + span * jitter
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CircuitBreaker({self.device!r}, {self.state}, trips={self.trip_count})"

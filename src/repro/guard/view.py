@@ -1,0 +1,50 @@
+"""RawTelemetryView: the guard-off governor read surface.
+
+Governors read telemetry through ``ctx.telemetry`` (RL007 enforces it).
+When no guard is installed, that property resolves to this view — a
+zero-state pass-through that issues *exactly* the device calls the
+governors used to make directly, with the same meters and the same
+charges, so guard-off runs stay golden-trace bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Tuple
+
+import numpy as np
+
+from repro.telemetry.sampling import AccessMeter
+
+if TYPE_CHECKING:  # typing-only to keep this leaf module import-light
+    from repro.telemetry.hub import TelemetryHub
+
+__all__ = ["RawTelemetryView"]
+
+
+class RawTelemetryView:
+    """Unguarded pass-through to the hub's devices."""
+
+    __slots__ = ("_hub",)
+
+    def __init__(self, hub: "TelemetryHub") -> None:
+        self._hub = hub
+
+    def read_throughput_mbps(
+        self, meter: Optional[AccessMeter] = None, *, window_s: Optional[float] = None
+    ) -> float:
+        """PCM aggregation-window throughput, MB/s."""
+        return self._hub.pcm.read_throughput_mbps(meter, window_s=window_s)
+
+    def read_all_core_counters(
+        self, meter: Optional[AccessMeter] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The UPS per-core (instructions, cycles) MSR sweep."""
+        return self._hub.msr.read_all_core_counters(meter)
+
+    def energy_j(self, domain: str, meter: Optional[AccessMeter] = None) -> float:
+        """Cumulative RAPL energy for one domain, J."""
+        return self._hub.rapl.energy_j(domain, meter)
+
+    def power_w(self, domain: str, meter: Optional[AccessMeter] = None) -> float:
+        """Instantaneous RAPL power for one domain, W."""
+        return self._hub.rapl.power_w(domain, meter)

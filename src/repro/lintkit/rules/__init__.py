@@ -13,6 +13,7 @@ from typing import Tuple
 
 from repro.lintkit.core import Rule, iter_child_rules
 from repro.lintkit.rules.determinism import DeterminismRule
+from repro.lintkit.rules.guard import GuardBypassRule
 from repro.lintkit.rules.meters import MeterExceptionRule
 from repro.lintkit.rules.metrics import MetricNameRule
 from repro.lintkit.rules.msr import MSRSafetyRule
@@ -26,6 +27,7 @@ __all__ = [
     "MeterExceptionRule",
     "PickleSafetyRule",
     "MetricNameRule",
+    "GuardBypassRule",
     "default_rules",
 ]
 
@@ -41,6 +43,7 @@ def default_rules() -> Tuple[Rule, ...]:
                 MeterExceptionRule(),
                 PickleSafetyRule(),
                 MetricNameRule(),
+                GuardBypassRule(),
             ]
         )
     )

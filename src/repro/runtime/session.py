@@ -32,6 +32,8 @@ from repro.governors.oracle import OracleGovernor
 from repro.governors.powercap import PowerCapGovernor
 from repro.governors.static import StaticUncoreGovernor
 from repro.governors.ups import UPSConfig, UPSGovernor
+from repro.guard.config import GuardConfig
+from repro.guard.core import TelemetryGuard
 from repro.hw.presets import SystemPreset, get_preset
 from repro.obs.config import Observability, ObsConfig
 from repro.obs.registry import MetricsRegistry
@@ -127,6 +129,20 @@ class RunResult:
     actuation_latency_s: float = 0.0
     #: Ticks during which some uncore transition was still settling.
     actuation_settling_ticks: int = 0
+    #: Whether the run executed with a TelemetryGuard installed.
+    guarded: bool = False
+    #: Samples quarantined by the guard (holdover substituted).
+    guard_quarantines: int = 0
+    #: Guard quarantines split per device family.
+    guard_quarantines_by_device: Dict[str, int] = field(default_factory=dict)
+    #: Circuit-breaker openings across all devices.
+    guard_breaker_trips: int = 0
+    #: Accesses refused outright by an open breaker.
+    guard_refusals: int = 0
+    #: Actuation write-verify mismatches (including retried ones).
+    guard_verify_failures: int = 0
+    #: Guard-validated accesses per device family (guarded runs).
+    guard_reads_by_device: Dict[str, int] = field(default_factory=dict)
 
     @property
     def cpu_energy_j(self) -> float:
@@ -193,6 +209,8 @@ def run_application(
     incident_log: Optional[IncidentLog] = None,
     obs: Union[Observability, ObsConfig, None] = None,
     actuation_latency: Union[LatencyModel, str, None] = None,
+    guard: Optional[bool] = None,
+    guard_config: Optional[GuardConfig] = None,
 ) -> RunResult:
     """Simulate one workload under one governor on one system.
 
@@ -252,6 +270,19 @@ def run_application(
         ``"hub"``/unset) additionally forces the run through an explicitly
         constructed :class:`~repro.backends.sim.SimBackend` — the CI
         conformance job uses it to diff the two construction paths.
+    guard:
+        Install a :class:`~repro.guard.core.TelemetryGuard` between the
+        hub's devices and the governor: every sample is validated against
+        the preset's physical bounds (corrupt ones quarantined and
+        replaced by deterministic holdover estimates), every uncore write
+        is read back and verified, and per-device circuit breakers route
+        persistent corruption into the supervisor's fail-safe path.
+        Defaults to ``True`` when ``guard_config`` is given, else
+        ``False``. On clean telemetry the default guard is invisible:
+        traces and decisions stay bit-identical to an unguarded run.
+    guard_config:
+        Guard tunables (:class:`~repro.guard.config.GuardConfig`);
+        defaults apply when omitted.
 
     Returns
     -------
@@ -297,6 +328,12 @@ def run_application(
     log = incident_log if incident_log is not None else IncidentLog()
     if fault_plan is not None:
         hub.install_fault_injector(FaultInjector(fault_plan, log=log))
+    if guard is None:
+        guard = guard_config is not None
+    telemetry_guard: Optional[TelemetryGuard] = None
+    if guard:
+        telemetry_guard = TelemetryGuard(preset, guard_config, log=log, seed=seed)
+        hub.install_guard(telemetry_guard)
 
     runtimes = []
     daemon: Optional[MonitorDaemon] = None
@@ -383,4 +420,19 @@ def run_application(
         actuation_switches=hub.backend.switch_count,
         actuation_latency_s=hub.backend.latency_charged_s,
         actuation_settling_ticks=hub.backend.settling_ticks,
+        guarded=telemetry_guard is not None,
+        guard_quarantines=telemetry_guard.quarantine_count if telemetry_guard is not None else 0,
+        guard_quarantines_by_device=(
+            dict(telemetry_guard.quarantines_by_device) if telemetry_guard is not None else {}
+        ),
+        guard_breaker_trips=(
+            telemetry_guard.breaker_trip_count if telemetry_guard is not None else 0
+        ),
+        guard_refusals=telemetry_guard.refusal_count if telemetry_guard is not None else 0,
+        guard_verify_failures=(
+            telemetry_guard.verify_failure_count if telemetry_guard is not None else 0
+        ),
+        guard_reads_by_device=(
+            dict(telemetry_guard.reads_by_device) if telemetry_guard is not None else {}
+        ),
     )

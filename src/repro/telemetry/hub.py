@@ -33,8 +33,10 @@ from repro.telemetry.rapl import RAPLCounters
 from repro.telemetry.sampling import AccessMeter
 
 if TYPE_CHECKING:  # typing-only: faults builds its proxies *around* the
-    # hub, so a runtime import here would be circular.
+    # hub, so a runtime import here would be circular (likewise the guard,
+    # which sits above the proxies).
     from repro.faults.injector import FaultInjector
+    from repro.guard.core import TelemetryGuard
 
 __all__ = ["TelemetryHub", "ACCESS_COUNTER_NAMES"]
 
@@ -49,6 +51,7 @@ ACCESS_COUNTER_NAMES: Mapping[str, str] = {
     "hsmp_mailbox": "repro.telemetry.writes.hsmp",
     "retry_backoff": "repro.supervisor.backoff_charges",
     "actuation_latency": "repro.actuation.latency_charges",
+    "guard_check": "repro.guard.check_charges",
 }
 
 
@@ -104,6 +107,8 @@ class TelemetryHub:
         self.backend.bind(self)
         #: Installed fault injector, if any (see :meth:`install_fault_injector`).
         self.fault_injector: Optional["FaultInjector"] = None
+        #: Installed telemetry guard, if any (see :meth:`install_guard`).
+        self.guard: Optional["TelemetryGuard"] = None
         #: Attached metrics registry, if any (see :meth:`attach_metrics`).
         self._metrics: Optional[MetricsRegistry] = None
 
@@ -122,6 +127,21 @@ class TelemetryHub:
         injector.arm(self)
         self.fault_injector = injector
 
+    def install_guard(self, guard: "TelemetryGuard") -> None:
+        """Put ``guard`` between this hub's devices and the governors.
+
+        The guard looks devices up on the hub at call time, so it always
+        sees whatever the fault injector installed — the trust chain is
+        devices → injector proxies → guard → governor regardless of
+        installation order.  A hub accepts at most one guard.
+        """
+        if self.guard is not None:
+            raise TelemetryError("hub already has a guard installed")
+        guard.bind(self)
+        self.guard = guard
+        if self._metrics is not None:
+            guard.attach_metrics(self._metrics)
+
     def attach_metrics(self, registry: MetricsRegistry) -> None:
         """Route per-device access counts into ``registry``.
 
@@ -133,6 +153,8 @@ class TelemetryHub:
             raise TelemetryError("hub already has a metrics registry attached")
         self._metrics = registry
         self.backend.attach_metrics(registry)
+        if self.guard is not None:
+            self.guard.attach_metrics(registry)
 
     def count_accesses(self, counts: Mapping[str, int]) -> None:
         """Fold one cycle's meter access counts into per-device counters.
@@ -162,6 +184,10 @@ class TelemetryHub:
             # Campaign time advances first so faults scheduled at this
             # tick's boundary are active for the accesses that follow.
             self.fault_injector.on_tick(dt_s)
+        if self.guard is not None:
+            # The guard's clock mirrors campaign time (breaker probe
+            # schedules live on the sim clock, not wall time).
+            self.guard.on_tick(dt_s)
         self.msr.on_tick(dt_s)
         self.pcm.on_tick(dt_s)
         self.rapl.on_tick(dt_s)
@@ -178,9 +204,14 @@ class TelemetryHub:
         Kept under its historical name — callers need no migration. The
         backend picks the vendor mechanism (MSR ``0x620`` on Intel, HSMP
         mailbox on AMD), samples any modeled switch latency and charges it
-        to ``meter``.
+        to ``meter``.  With a guard installed, the write is verified
+        against its register read-back (see
+        :meth:`repro.guard.core.TelemetryGuard.actuate_uncore_max_ghz`).
         """
-        self.backend.set_uncore_max_ghz(freq_ghz, meter)
+        if self.guard is not None:
+            self.guard.actuate_uncore_max_ghz(freq_ghz, meter)
+        else:
+            self.backend.set_uncore_max_ghz(freq_ghz, meter)
         if self._metrics is not None:
             self._metrics.counter("repro.telemetry.actuations").inc()
 

@@ -1,0 +1,5 @@
+"""RL007 fixture: the core/ package (MAGUS) is in scope too."""
+
+
+def sample(ctx, meter):
+    return ctx.hub.pcm.read_throughput_mbps(meter)

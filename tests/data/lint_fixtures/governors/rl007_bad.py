@@ -1,0 +1,11 @@
+"""RL007 fixture: every raw device-handle form the rule must catch."""
+
+
+def sample_and_decide(self, now_s, meter):
+    throughput = self.context.hub.pcm.read_throughput_mbps(meter)
+    instr, cycles = self.context.hub.msr.read_all_core_counters(meter)
+    hub = self.context.hub
+    energy = hub.rapl.energy_j("dram", meter)
+    fclk = hub.hsmp.read_fabric_clock_ghz(0, meter)
+    rapl = hub.rapl
+    return throughput, instr, cycles, energy, fclk, rapl

@@ -1,0 +1,16 @@
+"""RL007 clean fixture: guarded reads and non-device hub use pass."""
+
+
+def sample_and_decide(self, now_s, meter):
+    tel = self.context.telemetry
+    throughput = tel.read_throughput_mbps(meter)
+    instr, cycles = tel.read_all_core_counters(meter)
+    energy = self.context.telemetry.energy_j("dram", meter)
+    # Non-device hub attributes are fine: actuation and guard state are
+    # not raw telemetry handles.
+    pending = self.context.hub.actuation_pending
+    guard = self.context.hub.guard
+    # 'pcm'-named attributes on non-hub receivers are someone else's
+    # business (e.g. a result bag).
+    mbps = self.result.pcm
+    return throughput, instr, cycles, energy, pending, guard, mbps

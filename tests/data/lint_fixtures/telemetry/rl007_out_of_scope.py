@@ -1,0 +1,7 @@
+"""RL007 scope fixture: below the trust boundary, raw handles are the job."""
+
+
+def on_tick(self, hub, dt_s):
+    hub.pcm.on_tick(dt_s)
+    hub.msr.on_tick(dt_s)
+    return hub.rapl.energy_j("package", None)

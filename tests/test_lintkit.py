@@ -44,10 +44,10 @@ def codes_and_lines(violations):
 
 
 class TestRuleCatalogue:
-    def test_six_rules_with_unique_codes(self):
+    def test_seven_rules_with_unique_codes(self):
         rules = default_rules()
         assert [r.code for r in rules] == [
-            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
         ]
         assert all(r.rationale for r in rules)
 
@@ -165,6 +165,33 @@ class TestRL006MetricNames:
     def test_clean_fixture_is_silent(self):
         # Variables, name tables and unrelated receivers all pass.
         assert run_on("obs/rl006_ok.py") == []
+
+
+class TestRL007GuardBypass:
+    def test_bad_fixture_fires_every_form(self):
+        violations = run_on("governors/rl007_bad.py")
+        assert codes_and_lines(violations) == [
+            ("RL007", 5),   # ctx.hub.pcm chained read
+            ("RL007", 6),   # ctx.hub.msr chained read
+            ("RL007", 8),   # aliased hub variable, .rapl
+            ("RL007", 9),   # aliased hub variable, .hsmp
+            ("RL007", 10),  # bare handle alias assignment
+        ]
+        messages = " ".join(v.message for v in violations)
+        assert "ctx.telemetry" in messages
+        assert "bypassing" in messages
+
+    def test_core_package_is_in_scope(self):
+        violations = run_on("core/rl007_bad.py")
+        assert codes_and_lines(violations) == [("RL007", 5)]
+
+    def test_clean_fixture_is_silent(self):
+        # Guarded reads, non-device hub attributes, non-hub receivers.
+        assert run_on("governors/rl007_ok.py") == []
+
+    def test_below_the_trust_boundary_is_out_of_scope(self):
+        violations = run_on("telemetry/rl007_out_of_scope.py")
+        assert [v for v in violations if v.rule == "RL007"] == []
 
 
 class TestSuppressions:
