@@ -17,6 +17,7 @@ an entry point). Subcommands mirror the library's main workflows::
     repro campaign run --outdir out --quick      # journaled, crash-resumable protocol
     repro campaign run --outdir out --resume     # skip journalled steps, rerun the rest
     repro fleet --job unet@0 --job bfs@5 --mtbf 300   # fleet under node failures
+    repro coordinate --job sort@0 --job bfs@3 --gate  # leased power caps + chaos
 """
 
 from __future__ import annotations
@@ -142,6 +143,59 @@ def build_parser() -> argparse.ArgumentParser:
         "--lost-work", type=float, default=1.0, metavar="FRACTION",
         help="fraction of a killed segment's work lost (1.0 = no checkpointing)",
     )
+    fleet_p.add_argument(
+        "--json", action="store_true",
+        help="machine-readable baseline/method summaries + comparison "
+        "(schema shared with 'repro coordinate --json')",
+    )
+
+    coord_p = sub.add_parser(
+        "coordinate",
+        help="fleet under the cluster power-budget coordinator with "
+        "control-plane chaos (leased caps, never-exceed invariant)",
+    )
+    coord_p.add_argument("--system", default="intel_a100", choices=sorted(PRESETS))
+    coord_p.add_argument(
+        "--job",
+        action="append",
+        required=True,
+        metavar="WORKLOAD[@START]",
+        help="workload name with optional start time, e.g. sort@0 bfs@3",
+    )
+    coord_p.add_argument("--governor", default="default", choices=GOVERNORS)
+    coord_p.add_argument(
+        "--seed", type=int, default=1, help="job seed; also seeds the chaos campaign"
+    )
+    coord_p.add_argument(
+        "--budget", type=float, default=None, metavar="WATTS",
+        help="explicit global power budget (default: --budget-frac of ample)",
+    )
+    coord_p.add_argument(
+        "--budget-frac", type=float, default=0.85, metavar="FRACTION",
+        help="budget as a fraction of the ample (never-throttling) budget",
+    )
+    coord_p.add_argument(
+        "--max-time", type=float, default=60.0, metavar="SECONDS",
+        help="per-job simulation horizon",
+    )
+    coord_p.add_argument(
+        "--no-chaos", action="store_true",
+        help="skip the coordinated control-plane fault campaign",
+    )
+    coord_p.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="write the fsynced grant journal to this file",
+    )
+    coord_p.add_argument(
+        "--json", action="store_true",
+        help="machine-readable invariant scorecard instead of the report",
+    )
+    coord_p.add_argument(
+        "--gate", action="store_true",
+        help="exit 1 on any budget-overshoot tick or fail-safe miss "
+        "(the control-plane-chaos CI gate)",
+    )
+    coord_p.add_argument("--out", default=None, metavar="PATH", help="also write the report to a file")
 
     camp_p = sub.add_parser(
         "campaign", help="journaled, crash-resumable runs of the paper protocol"
@@ -491,6 +545,21 @@ def _cmd_fleet(args) -> int:
     baseline = sim.run_fleet("default", failure_model=model)
     method = sim.run_fleet(args.governor, failure_model=model)
     comparison = compare_fleets(baseline, method, budget_w=args.budget)
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "baseline": baseline.summary_dict(args.budget),
+                    "method": method.summary_dict(args.budget),
+                    "comparison": comparison.to_dict(),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
     print(
         format_table(
             ("policy", "peak power (W)", "fleet energy (kJ)", "makespan (s)", "queue wait (s)"),
@@ -520,6 +589,61 @@ def _cmd_fleet(args) -> int:
             )
         )
     print(str(comparison))
+    return 0
+
+
+def _cmd_coordinate(args) -> int:
+    import json
+
+    from repro.cluster import ClusterJob
+    from repro.errors import ExperimentError
+    from repro.experiments.coordination import (
+        assert_coordination_safe,
+        coordination_row_dict,
+        format_coordination,
+        run_coordination,
+    )
+
+    jobs = []
+    for i, spec in enumerate(args.job):
+        name, _, start = spec.partition("@")
+        jobs.append(
+            ClusterJob(
+                f"job{i}-{name}",
+                name,
+                float(start) if start else 0.0,
+                seed=args.seed + i,
+                max_time_s=args.max_time,
+            )
+        )
+    _, score = run_coordination(
+        args.system,
+        jobs,
+        args.governor,
+        seed=args.seed,
+        budget_frac=args.budget_frac,
+        budget_w=args.budget,
+        chaos=not args.no_chaos,
+        journal_path=args.journal,
+    )
+    if args.json:
+        report = json.dumps(coordination_row_dict(score), indent=2, sort_keys=True)
+    else:
+        report = format_coordination(score)
+    print(report)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report + "\n")
+    if args.gate:
+        try:
+            assert_coordination_safe(score)
+        except ExperimentError as exc:
+            print(f"GATE: {exc}", file=sys.stderr)
+            return 1
+        print(
+            "gate: granted caps never exceeded the budget on any tick; "
+            "partitioned nodes reverted to the safe floor in time"
+        )
     return 0
 
 
@@ -746,6 +870,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_verify(args)
         if args.command == "fleet":
             return _cmd_fleet(args)
+        if args.command == "coordinate":
+            return _cmd_coordinate(args)
         if args.command == "campaign":
             return _cmd_campaign(args)
         if args.command == "lint":

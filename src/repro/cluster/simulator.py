@@ -230,6 +230,32 @@ class FleetResult:
             log.setdefault(event.node_id, []).append(event)
         return log
 
+    def summary_dict(self, budget_w: Optional[float] = None) -> Dict[str, object]:
+        """Machine-readable fleet summary (the ``repro fleet --json`` body).
+
+        Field names are shared with the coordinator's
+        :meth:`~repro.coordinator.fleet.CoordinatedFleetResult.to_dict`
+        where the quantities coincide (``peak_power_w``,
+        ``fleet_energy_j``, ``time_over_budget_s``...), so downstream
+        tooling can diff coordinated and uncoordinated runs directly.
+        """
+        return {
+            "preset": self.preset_name,
+            "governor": self.governor,
+            "peak_power_w": self.peak_power_w,
+            "fleet_energy_j": self.fleet_energy_j,
+            "makespan_s": self.makespan_s,
+            "total_queue_wait_s": self.total_queue_wait_s,
+            "budget_w": budget_w,
+            "time_over_budget_s": (
+                self.time_over_budget_s(budget_w) if budget_w is not None else None
+            ),
+            "n_failures": self.n_failures,
+            "lost_work_s": self.lost_work_s,
+            "wasted_energy_j": self.wasted_energy_j,
+            "total_restart_delay_s": self.total_restart_delay_s,
+        }
+
     # -- metric rollups (observability-enabled fleets) -----------------------
 
     def node_metrics(self) -> Dict[int, MetricsRegistry]:
@@ -595,6 +621,24 @@ class FleetComparison:
     method_failures: int = 0
     baseline_wasted_energy_j: float = 0.0
     method_wasted_energy_j: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """Machine-readable comparison row (``repro fleet --json``)."""
+        return {
+            "baseline_governor": self.baseline_governor,
+            "method_governor": self.method_governor,
+            "peak_power_reduction_w": self.peak_power_reduction_w,
+            "peak_power_reduction_frac": self.peak_power_reduction_frac,
+            "fleet_energy_saving_frac": self.fleet_energy_saving_frac,
+            "makespan_increase_frac": self.makespan_increase_frac,
+            "budget_w": self.budget_w,
+            "baseline_time_over_budget_s": self.baseline_time_over_budget_s,
+            "method_time_over_budget_s": self.method_time_over_budget_s,
+            "baseline_failures": self.baseline_failures,
+            "method_failures": self.method_failures,
+            "baseline_wasted_energy_j": self.baseline_wasted_energy_j,
+            "method_wasted_energy_j": self.method_wasted_energy_j,
+        }
 
     def __str__(self) -> str:
         text = (

@@ -1,0 +1,55 @@
+"""Partition-tolerant cluster power-budget coordination.
+
+The paper's §6.1 budget argument is about one machine; this package lifts
+it to a fleet: a :class:`~repro.coordinator.core.BudgetCoordinator` grants
+each node a **leased** power cap, re-arbitrates the global budget from
+node heartbeats every epoch, and holds one hard safety invariant — *the
+sum of granted caps never exceeds the global budget on any tick, under any
+fault*.  The mechanisms:
+
+* :mod:`~repro.coordinator.lease` — leases that expire to a preset-derived
+  safe floor on the node's own clock (partitioned nodes self-revert) and
+  reject stale replays by monotone sequence number;
+* :mod:`~repro.coordinator.journal` — a fsynced-JSONL grant log, the sole
+  survivor of a coordinator crash (replay + quarantine on restart);
+* :mod:`~repro.coordinator.chaos` — the control plane: all traffic flows
+  through a seeded-faulty transport interpreting ``control``-device
+  :class:`~repro.faults.plan.FaultSpec` windows;
+* :mod:`~repro.coordinator.core` — staleness-weighted demand estimation
+  and conservative (pessimistic-cap) arbitration;
+* :mod:`~repro.coordinator.fleet` — the two-phase fleet driver tying it to
+  :class:`~repro.cluster.simulator.ClusterSimulator`.
+
+The scoring side lives in :mod:`repro.experiments.coordination`; the
+per-node enforcement side in
+:class:`~repro.governors.leased.LeasedPowerCapGovernor`.
+"""
+
+from repro.coordinator.chaos import ControlPlane, Heartbeat
+from repro.coordinator.config import CoordinatorConfig, safe_floor_w
+from repro.coordinator.core import BudgetCoordinator, NodeView
+from repro.coordinator.fleet import (
+    CoordinatedFleetResult,
+    ample_budget_w,
+    node_demand_matrix,
+    run_coordinated_fleet,
+)
+from repro.coordinator.journal import GrantJournal
+from repro.coordinator.lease import CapSchedule, Lease, NodeLeaseState
+
+__all__ = [
+    "BudgetCoordinator",
+    "CapSchedule",
+    "ControlPlane",
+    "CoordinatedFleetResult",
+    "CoordinatorConfig",
+    "GrantJournal",
+    "Heartbeat",
+    "Lease",
+    "NodeLeaseState",
+    "NodeView",
+    "ample_budget_w",
+    "node_demand_matrix",
+    "run_coordinated_fleet",
+    "safe_floor_w",
+]

@@ -1,0 +1,151 @@
+"""Durable grant journal: the coordinator's crash-recovery ground truth.
+
+Every grant is journaled *before* it is handed to the control plane for
+delivery, using the same fsynced-JSONL discipline as the campaign journal
+(:mod:`repro.campaign.journal`): one JSON object per line, flushed and
+``os.fsync``-ed per append so a crash can lose at most a partially written
+final line — which replay tolerates and discards.  Everything else must
+parse, or the journal is corrupt and recovery refuses to guess.
+
+A recovering coordinator replays the journal to rebuild two things:
+
+* the set of journaled leases whose expiry is still in the future — the
+  *pessimistic* picture of what nodes may still believe they hold (a
+  journaled grant may or may not have been delivered; safety requires
+  assuming it was); and
+* the next per-node sequence number (one past the largest journaled), so
+  post-restart grants are not rejected by nodes as stale replays.
+
+The journal can run file-backed (durability semantics under test) or
+in-memory (fleet runs that only need the replay logic); both modes feed
+the same :meth:`GrantJournal.replay`.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.coordinator.lease import Lease
+from repro.errors import CoordinatorError
+
+__all__ = ["GrantJournal"]
+
+_GRANT = "grant"
+_RESTART = "restart"
+
+
+class GrantJournal:
+    """Append-only, fsynced JSONL log of every grant the coordinator issues."""
+
+    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+        self.path: Optional[Path] = Path(path) if path is not None else None
+        self._lines: List[str] = []
+        self._handle: Optional[io.TextIOWrapper] = None
+        if self.path is not None and self.path.exists():
+            self._lines = self.path.read_text(encoding="utf-8").splitlines()
+
+    # ---------------------------------------------------------------- append
+    def _append_line(self, record: Dict[str, object]) -> None:
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        self._lines.append(line)
+        if self.path is None:
+            return
+        if self._handle is None:
+            self._handle = self.path.open("a", encoding="utf-8")
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def record_grant(self, lease: Lease) -> None:
+        """Journal ``lease``; must complete before the grant is transmitted."""
+        record: Dict[str, object] = {"kind": _GRANT}
+        record.update(lease.to_dict())
+        self._append_line(record)
+
+    def record_restart(self, time_s: float, quarantine_until_s: float) -> None:
+        """Journal a recovery event (bookkeeping only; replay ignores none)."""
+        self._append_line(
+            {
+                "kind": _RESTART,
+                "time_s": time_s,
+                "quarantine_until_s": quarantine_until_s,
+            }
+        )
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # ---------------------------------------------------------------- replay
+    def _raw_lines(self) -> List[str]:
+        """Journal lines as recovery would see them.
+
+        File-backed journals re-read from disk — recovery must trust only
+        what was durably written, not this process's memory of it.
+        """
+        if self.path is not None:
+            if not self.path.exists():
+                return []
+            return self.path.read_text(encoding="utf-8").splitlines()
+        return list(self._lines)
+
+    def replay(self) -> List[Lease]:
+        """Parse the journaled grants, oldest first.
+
+        Tolerates exactly one unparsable *final* line (a crash-truncated
+        append); a malformed line anywhere else means the journal was
+        tampered with or corrupted, and recovery raises rather than
+        rebuilding from a lie.
+        """
+        lines = self._raw_lines()
+        leases: List[Lease] = []
+        for idx, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if idx == len(lines) - 1:
+                    break  # crash-truncated final append; the grant was never sent
+                raise CoordinatorError(
+                    f"corrupt grant journal: unparsable line {idx + 1} "
+                    f"of {len(lines)}"
+                ) from exc
+            if not isinstance(record, dict) or "kind" not in record:
+                raise CoordinatorError(
+                    f"corrupt grant journal: line {idx + 1} is not a record"
+                )
+            if record["kind"] == _GRANT:
+                payload = {k: v for k, v in record.items() if k != "kind"}
+                leases.append(Lease.from_dict(payload))
+            elif record["kind"] != _RESTART:
+                raise CoordinatorError(
+                    f"corrupt grant journal: unknown record kind "
+                    f"{record['kind']!r} on line {idx + 1}"
+                )
+        return leases
+
+    def outstanding_at(self, time_s: float) -> Dict[int, List[Lease]]:
+        """Journaled leases per node that are not yet provably expired."""
+        outstanding: Dict[int, List[Lease]] = {}
+        for lease in self.replay():
+            if lease.expires_s > time_s:
+                outstanding.setdefault(lease.node_id, []).append(lease)
+        return outstanding
+
+    def next_seq(self) -> Dict[int, int]:
+        """Per-node next sequence number: one past the largest journaled."""
+        next_seq: Dict[int, int] = {}
+        for lease in self.replay():
+            next_seq[lease.node_id] = max(
+                next_seq.get(lease.node_id, 0), lease.seq + 1
+            )
+        return next_seq
+
+    def grant_count(self) -> int:
+        return sum(1 for _ in self.replay())

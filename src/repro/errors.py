@@ -36,6 +36,7 @@ __all__ = [
     "PoolError",
     "TaskTimeoutError",
     "CampaignError",
+    "CoordinatorError",
     "LintError",
     "ObsError",
 ]
@@ -170,6 +171,13 @@ class TaskTimeoutError(PoolError):
 class CampaignError(ExperimentError):
     """Raised by the journaled-campaign runner (bad step names, corrupt
     journal entries, cache-key mismatches...)."""
+
+
+class CoordinatorError(ExperimentError):
+    """Raised by the cluster power-budget coordinator: invalid lease/epoch
+    configuration, a corrupt grant journal, or — defensively — an
+    arbitration step that would violate the never-exceed budget invariant
+    (the coordinator refuses to issue the grant rather than overshoot)."""
 
 
 class LintError(ReproError):

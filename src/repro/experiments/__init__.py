@@ -19,6 +19,11 @@ Module      Paper artefact                                       Section
 ``resilience`` is not a paper artefact: it measures each governor under a
 seeded telemetry-fault campaign against its fault-free golden run (energy
 delta, slowdown, incident accounting) — the chaos CI job's workload.
+
+``coordination`` is its fleet-scale sibling: a schedule under the cluster
+power-budget coordinator with control-plane chaos, scored for the
+never-exceed budget invariant, fail-safe floor reversion and
+reconvergence — the control-plane-chaos CI job's workload.
 """
 
 from repro.experiments.fig1_profiling import Fig1Result, run_fig1
@@ -37,6 +42,13 @@ from repro.experiments.fig7_sensitivity import Fig7Result, run_fig7, threshold_g
 from repro.experiments.table1_jaccard import Table1Row, run_table1, format_table1
 from repro.experiments.table2_overhead import Table2Row, run_table2, format_table2
 from repro.experiments.resilience import ResilienceRow, run_resilience, format_resilience
+from repro.experiments.coordination import (
+    CoordinationScore,
+    run_coordination,
+    score_coordination,
+    format_coordination,
+    assert_coordination_safe,
+)
 from repro.experiments.paper import PAPER, PaperClaim, ClaimResult, verify_reproduction, format_verification
 from repro.experiments.export import export_all, export_rows_csv, export_series_csv
 
@@ -67,6 +79,11 @@ __all__ = [
     "ResilienceRow",
     "run_resilience",
     "format_resilience",
+    "CoordinationScore",
+    "run_coordination",
+    "score_coordination",
+    "format_coordination",
+    "assert_coordination_safe",
     "PAPER",
     "PaperClaim",
     "ClaimResult",

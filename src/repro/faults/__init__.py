@@ -22,11 +22,14 @@ comparison in :mod:`repro.experiments.resilience`.
 from repro.faults.incidents import Incident, IncidentLog
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import (
+    CONTROL_DEVICE,
     FAULT_KINDS,
+    HUB_DEVICES,
     SILENT_KINDS,
     SILENT_KINDS_BY_DEVICE,
     FaultPlan,
     FaultSpec,
+    coordinated_campaign,
     silent_campaign,
     standard_campaign,
 )
@@ -35,11 +38,14 @@ __all__ = [
     "Incident",
     "IncidentLog",
     "FaultInjector",
+    "CONTROL_DEVICE",
     "FAULT_KINDS",
+    "HUB_DEVICES",
     "SILENT_KINDS",
     "SILENT_KINDS_BY_DEVICE",
     "FaultPlan",
     "FaultSpec",
+    "coordinated_campaign",
     "silent_campaign",
     "standard_campaign",
 ]

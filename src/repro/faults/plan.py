@@ -51,6 +51,38 @@ actuation  write_ignored  uncore-limit writes are acknowledged and charged
                           but never applied (silent; only a register
                           read-back can tell)
 ========== ============== ====================================================
+
+Control-plane fault kinds (``device="control"``) are interpreted by the
+cluster power-budget coordinator's :class:`~repro.coordinator.chaos.
+ControlPlane` rather than by the telemetry-hub proxies — a hub-level
+:class:`~repro.faults.injector.FaultInjector` simply never matches them.
+They may carry an optional ``target`` node id (``None`` = every node):
+
+========== ==================== ==============================================
+device     kind                 behaviour while active
+========== ==================== ==============================================
+control    heartbeat_drop       node→coordinator heartbeats are discarded
+control    heartbeat_delay      heartbeats are delivered late (a seeded
+                                multiple of the heartbeat period)
+control    heartbeat_reorder    heartbeats are held one tick and delivered
+                                in inverted node order
+control    partition_uplink     one-way partition: nothing the target node
+                                sends reaches the coordinator
+control    partition_downlink   one-way partition: no grant the coordinator
+                                sends reaches the target node
+control    coordinator_crash    the coordinator loses its in-memory grant
+                                state at the window start and restarts
+                                (journal replay + quarantine) at the later
+                                of window end and its restart delay
+control    grant_replay         a stale, previously delivered grant is
+                                re-delivered to the target node (nodes must
+                                reject it by lease sequence number)
+========== ==================== ==============================================
+
+All control kinds are *silent*: nothing raises — safety must come from the
+lease protocol itself (expiry to the safe floor, monotone sequence
+numbers, conservative reclamation), which is exactly what the coordinated
+chaos campaign scores.
 """
 
 from __future__ import annotations
@@ -63,12 +95,15 @@ from repro.sim.rng import spawn_generator
 
 __all__ = [
     "FAULT_KINDS",
+    "HUB_DEVICES",
+    "CONTROL_DEVICE",
     "SILENT_KINDS_BY_DEVICE",
     "SILENT_KINDS",
     "FaultSpec",
     "FaultPlan",
     "standard_campaign",
     "silent_campaign",
+    "coordinated_campaign",
 ]
 
 #: Valid fault kinds per device.
@@ -77,7 +112,25 @@ FAULT_KINDS = {
     "pcm": ("dropout", "freeze", "stuck", "drift", "spike"),
     "rapl": ("read_error", "glitch", "stuck", "drift", "spike"),
     "actuation": ("write_error", "write_ignored"),
+    "control": (
+        "heartbeat_drop",
+        "heartbeat_delay",
+        "heartbeat_reorder",
+        "partition_uplink",
+        "partition_downlink",
+        "coordinator_crash",
+        "grant_replay",
+    ),
 }
+
+#: Devices whose faults the telemetry-hub injector proxies interpret.
+#: :meth:`FaultPlan.generate` draws only from these — control-plane faults
+#: are composed explicitly (or via :func:`coordinated_campaign`) because
+#: they are meaningless without a coordinator in the loop.
+HUB_DEVICES = ("actuation", "msr", "pcm", "rapl")
+
+#: The cluster-coordinator control-plane pseudo-device.
+CONTROL_DEVICE = "control"
 
 #: Kinds that never raise, per device: they corrupt or stall data instead.
 #: Silence is a *(device, kind)* property — a kind name shared across
@@ -88,6 +141,9 @@ SILENT_KINDS_BY_DEVICE = {
     "pcm": frozenset({"freeze", "stuck", "drift", "spike"}),
     "rapl": frozenset({"glitch", "stuck", "drift", "spike"}),
     "actuation": frozenset({"write_ignored"}),
+    # Control-plane faults never raise anywhere: lost messages are just
+    # lost, and only the lease protocol's own fail-safes can contain them.
+    "control": frozenset(FAULT_KINDS["control"]),
 }
 
 
@@ -135,6 +191,10 @@ class FaultSpec:
         Maximum number of injections charged to this spec (``None`` =
         unlimited within the window). A ``freeze`` spec counts as a single
         injection covering its whole window.
+    target:
+        Control-plane faults only: the node id the fault applies to
+        (``None`` = every node; ``coordinator_crash`` ignores it).  Hub
+        device faults must leave it ``None`` — they hit the whole device.
 
     Window semantics (pinned by ``tests/test_fault_windows.py``):
 
@@ -158,6 +218,7 @@ class FaultSpec:
     start_s: float
     duration_s: float = 1.0
     count: Optional[int] = 1
+    target: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.device not in FAULT_KINDS:
@@ -176,6 +237,16 @@ class FaultSpec:
             )
         if self.count is not None and self.count < 1:
             raise FaultInjectionError(f"count must be >= 1 or None, got {self.count!r}")
+        if self.target is not None:
+            if self.device != CONTROL_DEVICE:
+                raise FaultInjectionError(
+                    f"target is a control-plane concept; device {self.device!r} "
+                    f"faults hit the whole device (got target={self.target!r})"
+                )
+            if not isinstance(self.target, int) or self.target < 0:
+                raise FaultInjectionError(
+                    f"target must be a node id >= 0 or None, got {self.target!r}"
+                )
 
     @property
     def end_s(self) -> float:
@@ -190,8 +261,9 @@ class FaultSpec:
     def describe(self) -> str:
         """One-line human summary."""
         budget = "∞" if self.count is None else str(self.count)
+        where = f" node{self.target}" if self.target is not None else ""
         return (
-            f"{self.device}/{self.kind} @ [{self.start_s:.2f}, {self.end_s:.2f})s "
+            f"{self.device}/{self.kind}{where} @ [{self.start_s:.2f}, {self.end_s:.2f})s "
             f"x{budget}"
         )
 
@@ -249,7 +321,7 @@ class FaultPlan:
         if n_faults < 1:
             raise FaultInjectionError(f"n_faults must be >= 1, got {n_faults!r}")
         rng = spawn_generator(seed)
-        pairs = [(d, k) for d, kinds in sorted(FAULT_KINDS.items()) for k in kinds]
+        pairs = [(d, k) for d in HUB_DEVICES for k in FAULT_KINDS[d]]
         specs = []
         for _ in range(n_faults):
             device, kind = pairs[int(rng.integers(len(pairs)))]
@@ -333,3 +405,53 @@ def silent_campaign(seed: int = 1, *, horizon_s: float = 20.0) -> FaultPlan:
         FaultSpec("actuation", "write_ignored", at(0.80), round(horizon_s * 0.15, 3), count=None),
     )
     return FaultPlan(specs, seed=seed, name="silent")
+
+
+def coordinated_campaign(
+    seed: int = 1, *, horizon_s: float = 60.0, n_nodes: int = 3
+) -> FaultPlan:
+    """The control-plane chaos campaign for the cluster budget coordinator.
+
+    One window per control-plane fault family, anchored at fixed fractions
+    of the horizon with a small seed-driven jitter (±1 % of the horizon),
+    targeting nodes round-robin so every failure mode lands on a live
+    node:
+
+    * a fleet-wide heartbeat-loss stretch (telemetry goes dark, leases
+      must coast then decay),
+    * delayed and reordered heartbeat windows (stale/out-of-order demand),
+    * a one-way **downlink** partition long enough to outlive a lease, so
+      the cut-off node must self-revert to the safe floor,
+    * a coordinator crash-restart (journal replay + quarantine epoch),
+    * a one-way **uplink** partition (the coordinator must reclaim the
+      silent node's headroom only after its lease provably expired),
+    * a stale-grant replay burst the node must reject by sequence number.
+
+    Partition windows are sized at 18 % / 12 % of the horizon, so with the
+    default coordinator timing (3 s leases on a 60 s horizon) every
+    partition comfortably outlives a lease duration.
+    """
+    if n_nodes < 1:
+        raise FaultInjectionError(f"n_nodes must be >= 1, got {n_nodes!r}")
+    rng = spawn_generator(seed)
+
+    def at(frac: float) -> float:
+        return round(float((frac + rng.uniform(-0.01, 0.01)) * horizon_s), 3)
+
+    win = round(horizon_s * 0.08, 3)
+    specs = (
+        FaultSpec("control", "heartbeat_drop", at(0.08), win, count=None),
+        FaultSpec("control", "heartbeat_delay", at(0.20), win, count=None),
+        FaultSpec("control", "heartbeat_reorder", at(0.30), round(horizon_s * 0.06, 3), count=None),
+        FaultSpec(
+            "control", "partition_downlink", at(0.40), round(horizon_s * 0.18, 3),
+            count=None, target=1 % n_nodes,
+        ),
+        FaultSpec("control", "coordinator_crash", at(0.62), round(horizon_s * 0.04, 3), count=1),
+        FaultSpec(
+            "control", "partition_uplink", at(0.72), round(horizon_s * 0.12, 3),
+            count=None, target=2 % n_nodes,
+        ),
+        FaultSpec("control", "grant_replay", at(0.90), round(horizon_s * 0.05, 3), count=3, target=0),
+    )
+    return FaultPlan(specs, seed=seed, name="coordinated")

@@ -18,6 +18,8 @@ from repro.governors.oracle import OracleGovernor
 from repro.governors.powercap import PowerCapGovernor
 from repro.governors.ups import UPSGovernor, UPSConfig
 
+from repro.governors.leased import LeasedPowerCapGovernor
+
 __all__ = [
     "Decision",
     "GovernorContext",
@@ -27,5 +29,6 @@ __all__ = [
     "UPSGovernor",
     "UPSConfig",
     "PowerCapGovernor",
+    "LeasedPowerCapGovernor",
     "OracleGovernor",
 ]

@@ -1,0 +1,73 @@
+"""Leased power-cap governor: the node-side enforcement of a coordinator grant.
+
+This is how a :class:`~repro.coordinator.core.BudgetCoordinator` grant
+actually reaches hardware: the node runs a :class:`LeasedPowerCapGovernor`
+— a :class:`~repro.governors.powercap.PowerCapGovernor` whose cap follows
+a :class:`~repro.coordinator.lease.CapSchedule` instead of staying fixed.
+The schedule already encodes the full lease protocol (grants step the cap
+up when *delivered*, expiries step it down to the safe floor), so the
+governor needs no network awareness at all: every decision cycle it reads
+the schedule at the current simulated time, updates ``cap_w``, and runs
+the unchanged hysteretic capping policy.
+
+Because the only change is *when* ``cap_w`` is assigned, a constant
+schedule makes this governor decision-for-decision bit-identical to the
+plain ``PowerCapGovernor`` it subclasses — the golden equivalence the
+coordinator tests pin.  It composes with the supervised runtime like any
+other governor: under a :class:`~repro.runtime.supervisor.SupervisedDaemon`
+the fail-safe path still pins the uncore to minimum, which a floored cap
+only ever reinforces.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.governors.base import Decision
+from repro.governors.powercap import PowerCapGovernor
+from repro.telemetry.sampling import AccessMeter
+
+if TYPE_CHECKING:  # typing-only: the coordinator package sits *above* the
+    # governor layer (its fleet driver imports the runtime session, which
+    # imports this package), so a runtime import here would be circular.
+    # The governor only calls ``schedule.cap_at(now_s)`` — duck-typed.
+    from repro.coordinator.lease import CapSchedule
+
+__all__ = ["LeasedPowerCapGovernor"]
+
+
+class LeasedPowerCapGovernor(PowerCapGovernor):
+    """A power-cap governor whose cap tracks a lease-derived schedule.
+
+    Parameters
+    ----------
+    schedule:
+        The effective-cap step function, typically
+        :meth:`~repro.coordinator.lease.NodeLeaseState.schedule` rendered
+        from the grants one node actually received.
+    hysteresis / step_ghz / interval_s:
+        Forwarded to :class:`~repro.governors.powercap.PowerCapGovernor`.
+    """
+
+    name = "leased_powercap"
+
+    def __init__(
+        self,
+        schedule: CapSchedule,
+        *,
+        hysteresis: float = 0.06,
+        step_ghz: float = 0.2,
+        interval_s: float = 0.2,
+    ):
+        super().__init__(
+            schedule.cap_at(0.0),
+            hysteresis=hysteresis,
+            step_ghz=step_ghz,
+            interval_s=interval_s,
+        )
+        self.schedule = schedule
+
+    def sample_and_decide(self, now_s: float, meter: AccessMeter) -> Decision:
+        """Refresh the cap from the schedule, then run one capping cycle."""
+        self.cap_w = self.schedule.cap_at(now_s)
+        return super().sample_and_decide(now_s, meter)

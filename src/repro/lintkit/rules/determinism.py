@@ -4,7 +4,8 @@ The golden-trace tests pin entire runs bit-for-bit, fault campaigns
 replay from a seed, and campaign resume validates artefact hashes.  All
 of that dies the moment simulated code reads the host's clock or an
 unseeded/global random stream.  Inside the simulation packages
-(``sim/``, ``governors/``, ``cluster/``, ``faults/``) time must come
+(``sim/``, ``governors/``, ``cluster/``, ``faults/``, ``coordinator/``)
+time must come
 from :class:`repro.sim.clock.SimClock` and randomness from
 :mod:`repro.sim.rng` (``RngStreams`` / ``spawn_generator``), never from
 ``time.time()``-style wall clocks, the ``random`` module, or direct
@@ -24,7 +25,7 @@ from repro.lintkit.core import LintContext, Rule, Violation
 __all__ = ["DeterminismRule"]
 
 #: Packages whose code runs inside (or replays against) the simulation.
-_SCOPED_DIRS = frozenset({"sim", "governors", "cluster", "faults", "obs"})
+_SCOPED_DIRS = frozenset({"sim", "governors", "cluster", "faults", "obs", "coordinator"})
 
 #: The sanctioned clock/rng implementations themselves.
 _EXEMPT_FILES = frozenset({"sim/clock.py", "sim/rng.py"})

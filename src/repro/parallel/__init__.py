@@ -1,6 +1,14 @@
 """Process-parallel sweep execution for experiment grids."""
 
-from repro.parallel.pool import default_workers, map_parallel, run_grid
+from repro.parallel.pool import TimeoutUnsupportedWarning, default_workers, map_parallel, run_grid
 from repro.parallel.retry import NO_RETRY, RetryPolicy, TaskFailure
 
-__all__ = ["map_parallel", "run_grid", "default_workers", "RetryPolicy", "TaskFailure", "NO_RETRY"]
+__all__ = [
+    "map_parallel",
+    "run_grid",
+    "default_workers",
+    "RetryPolicy",
+    "TaskFailure",
+    "NO_RETRY",
+    "TimeoutUnsupportedWarning",
+]

@@ -36,6 +36,7 @@ import signal
 import threading
 import time
 import types
+import warnings
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -43,9 +44,38 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from repro.errors import ExperimentError, PoolError, TaskTimeoutError
 from repro.parallel.retry import NO_RETRY, RetryPolicy, TaskFailure
 
-__all__ = ["map_parallel", "run_grid", "default_workers"]
+__all__ = ["map_parallel", "run_grid", "default_workers", "TimeoutUnsupportedWarning"]
 
 _ON_ERROR_MODES = ("raise", "collect")
+
+
+class TimeoutUnsupportedWarning(UserWarning):
+    """``timeout_s`` was requested where it cannot be enforced.
+
+    Per-task timeouts rely on ``SIGALRM`` firing on the executing thread,
+    which requires a Unix platform and a main-thread caller for the serial
+    path.  Where neither holds the sweep still runs — unbounded — and this
+    warning is emitted exactly once per process so the degradation is
+    visible without aborting the campaign.
+    """
+
+
+_timeout_warning_lock = threading.Lock()
+_timeout_warning_emitted = False
+
+
+def _warn_timeout_unsupported(reason: str) -> None:
+    """Emit the degradation warning once per process (idempotent)."""
+    global _timeout_warning_emitted
+    with _timeout_warning_lock:
+        if _timeout_warning_emitted:
+            return
+        _timeout_warning_emitted = True
+    warnings.warn(
+        f"timeout_s cannot be enforced here ({reason}); tasks run unbounded",
+        TimeoutUnsupportedWarning,
+        stacklevel=3,
+    )
 
 
 def _check_picklable(func: Callable[..., Any], kwargs_list: Sequence[Dict[str, Any]] = ()) -> None:
@@ -293,7 +323,10 @@ def map_parallel(
     timeout_s:
         Per-task wall-clock budget; a task past it raises
         :class:`~repro.errors.TaskTimeoutError` (retryable like any other
-        failure).  ``None`` (default) runs unbounded.
+        failure).  ``None`` (default) runs unbounded.  Where the budget
+        cannot be enforced (no ``SIGALRM`` on the platform, or serial
+        execution off the main thread) it degrades to unbounded with a
+        one-time :class:`TimeoutUnsupportedWarning` instead of failing.
     retry:
         A :class:`~repro.parallel.retry.RetryPolicy` for transient
         failures; ``None`` (default) means one attempt, fail fast.
@@ -321,7 +354,20 @@ def map_parallel(
     if workers < 1:
         raise ExperimentError(f"n_workers must be >= 1, got {workers!r}")
     policy = retry if retry is not None else NO_RETRY
-    if workers == 1 or len(tasks) == 1:
+    serial = workers == 1 or len(tasks) == 1
+    if timeout_s is not None:
+        # Degrade, don't abort: where SIGALRM can't fire the sweep still
+        # runs (unbounded), with a single structured warning.  Pool workers
+        # execute tasks on their own main thread, so only the platform
+        # check applies to the parallel path; the serial path additionally
+        # needs *this* thread to be the main thread.
+        if not hasattr(signal, "SIGALRM"):
+            _warn_timeout_unsupported("this platform has no SIGALRM")
+            timeout_s = None
+        elif serial and threading.current_thread() is not threading.main_thread():
+            _warn_timeout_unsupported("serial execution off the main thread")
+            timeout_s = None
+    if serial:
         return _run_serial(func, tasks, timeout_s, policy, on_error)
     _check_picklable(func, tasks)
     return _run_pool(func, tasks, min(workers, len(tasks)), timeout_s, policy, on_error)

@@ -1,0 +1,18 @@
+"""RL001 fixture: control-plane timing off the wall clock, in scope.
+
+A coordinator that stamps heartbeats from the host clock (or jitters
+them from a global RNG) cannot replay a chaos campaign bit-for-bit —
+exactly what the never-exceed invariant proof depends on.
+"""
+
+import random
+import time
+
+
+def heartbeat_due(last_sent_s: float, heartbeat_s: float) -> bool:
+    now = time.monotonic()  # line 13: wall clock in lease timing
+    return now - last_sent_s >= heartbeat_s
+
+
+def jittered_delay(base_s: float) -> float:
+    return base_s * (1.0 + random.random())  # line 18: global RNG jitter

@@ -1,0 +1,13 @@
+"""RL001 clean fixture: coordinator timing routed through sim.clock/rng."""
+
+from repro.sim.clock import SimClock
+from repro.sim.rng import spawn_generator
+
+
+def heartbeat_due(clock: SimClock, last_sent_s: float, heartbeat_s: float) -> bool:
+    return clock.now - last_sent_s >= heartbeat_s
+
+
+def jittered_delay(base_s: float, seed: int) -> float:
+    rng = spawn_generator(seed)
+    return base_s * (1.0 + float(rng.uniform()))

@@ -27,6 +27,7 @@ import repro.faults.plan as plan_mod
 from repro.errors import FaultInjectionError, TelemetryError
 from repro.faults import (
     FAULT_KINDS,
+    HUB_DEVICES,
     SILENT_KINDS,
     SILENT_KINDS_BY_DEVICE,
     FaultInjector,
@@ -280,7 +281,7 @@ class TestCampaigns:
         plan = silent_campaign(3)
         assert len(plan) == 10
         assert all(spec.silent for spec in plan)
-        assert {spec.device for spec in plan} == set(FAULT_KINDS)
+        assert {spec.device for spec in plan} == set(HUB_DEVICES)
 
     def test_standard_campaign_mixes_raising_and_silent(self):
         plan = standard_campaign(3)

@@ -1,0 +1,130 @@
+"""Edge-case coverage for ``FleetResult.time_over_budget_s``.
+
+The coordinator's never-exceed invariant and the fleet comparison both
+lean on this one accounting primitive, so its boundary semantics are
+pinned here: the budget itself is *not* over (strict ``>``), degenerate
+single-sample traces still count whole grid steps, and fleets whose
+nodes finish at different times only accrue over-budget time while the
+aggregate actually exceeds the cap.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterJob, ClusterSimulator
+from repro.cluster.simulator import GRID_S, FleetResult, JobOutcome, Placement
+from repro.errors import ExperimentError
+
+
+def make_result(aggregate_w, with_job=False):
+    """A synthetic FleetResult around a given aggregate-power trace."""
+    aggregate = np.asarray(aggregate_w, dtype=float)
+    grid = GRID_S * np.arange(1, aggregate.size + 1)
+    outcomes = []
+    placements = {}
+    if with_job:
+        job = ClusterJob("j0", "sort", 0.0, seed=1)
+        outcomes = [
+            JobOutcome(
+                job=job,
+                governor="default",
+                runtime_s=float(grid[-1]),
+                completed=True,
+                total_energy_j=float(np.trapezoid(aggregate, grid)),
+                power_times_s=np.array([]),
+                power_values_w=np.array([]),
+            )
+        ]
+        placements = {"j0": Placement(node_id=0, actual_start_s=0.0, queue_wait_s=0.0)}
+    return FleetResult(
+        preset_name="intel_a100",
+        governor="default",
+        outcomes=outcomes,
+        grid_times_s=grid,
+        aggregate_power_w=aggregate,
+        idle_node_power_w=50.0,
+        placements=placements,
+    )
+
+
+class TestBudgetBoundary:
+    def test_budget_exactly_at_peak_is_not_over(self):
+        # Strict ">": running *at* the budget is compliant, not over.
+        r = make_result([100.0, 250.0, 250.0, 100.0])
+        assert r.time_over_budget_s(250.0) == 0.0
+
+    def test_one_ulp_below_peak_counts_the_peak_samples(self):
+        r = make_result([100.0, 250.0, 250.0, 100.0])
+        just_under = float(np.nextafter(250.0, 0.0))
+        assert r.time_over_budget_s(just_under) == pytest.approx(2 * GRID_S)
+
+    def test_flat_trace_at_budget_is_zero(self):
+        r = make_result([180.0] * 8)
+        assert r.time_over_budget_s(180.0) == 0.0
+        assert r.time_over_budget_s(float(np.nextafter(180.0, 0.0))) == pytest.approx(8 * GRID_S)
+
+    def test_nonpositive_budget_rejected(self):
+        r = make_result([100.0])
+        for bad in (0.0, -5.0):
+            with pytest.raises(ExperimentError):
+                r.time_over_budget_s(bad)
+
+
+class TestSingleSampleTrace:
+    def test_single_sample_over_counts_one_grid_step(self):
+        r = make_result([300.0])
+        assert r.time_over_budget_s(299.0) == pytest.approx(GRID_S)
+
+    def test_single_sample_at_budget_is_zero(self):
+        r = make_result([300.0])
+        assert r.time_over_budget_s(300.0) == 0.0
+
+    def test_single_sample_peak_and_energy_consistent(self):
+        r = make_result([300.0])
+        assert r.peak_power_w == 300.0
+        # One sample has no interval to integrate over.
+        assert r.fleet_energy_j == 0.0
+
+
+class TestNonUniformNodeEndTimes:
+    def test_only_the_overlap_window_accrues(self):
+        # Node A works (150 W) for 4 samples then idles (50 W); node B
+        # works the whole 8.  The 300 W aggregate only exists while both
+        # are busy — after A finishes, 150 + 50 stays under a 250 W cap.
+        node_a = np.array([150.0] * 4 + [50.0] * 4)
+        node_b = np.array([150.0] * 8)
+        r = make_result(node_a + node_b)
+        assert r.time_over_budget_s(250.0) == pytest.approx(4 * GRID_S)
+        assert r.time_over_budget_s(150.0) == pytest.approx(8 * GRID_S)
+
+    def test_real_fleet_with_staggered_jobs(self):
+        # j1 starts 4 s after j0, so the nodes genuinely end at
+        # different times; the budget boundary semantics must hold on
+        # the real aggregation grid too.
+        fleet = ClusterSimulator(
+            "intel_a100",
+            [
+                ClusterJob("j0", "sort", 0.0, seed=1, max_time_s=10.0),
+                ClusterJob("j1", "bfs", 4.0, seed=2, max_time_s=10.0),
+            ],
+        ).run_fleet("default", n_workers=1)
+        assert fleet.time_over_budget_s(fleet.peak_power_w) == 0.0
+        just_under = float(np.nextafter(fleet.peak_power_w, 0.0))
+        assert fleet.time_over_budget_s(just_under) >= GRID_S
+        # Above-peak budgets are trivially never exceeded.
+        assert fleet.time_over_budget_s(fleet.peak_power_w + 1.0) == 0.0
+
+
+class TestSummaryDict:
+    def test_no_budget_reports_none(self):
+        r = make_result([100.0, 200.0], with_job=True)
+        d = r.summary_dict()
+        assert d["budget_w"] is None
+        assert d["time_over_budget_s"] is None
+
+    def test_budget_flows_through(self):
+        r = make_result([100.0, 200.0], with_job=True)
+        d = r.summary_dict(budget_w=150.0)
+        assert d["budget_w"] == 150.0
+        assert d["time_over_budget_s"] == pytest.approx(GRID_S)
+        assert d["peak_power_w"] == 200.0

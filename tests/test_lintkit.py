@@ -72,6 +72,18 @@ class TestRL001Determinism:
         # experiments/ legitimately wall-clocks real work.
         assert run_on("experiments/rl001_out_of_scope.py") == []
 
+    def test_coordinator_dir_is_in_scope(self):
+        # Lease/heartbeat timing must replay bit-for-bit: the control
+        # plane gets the same determinism discipline as the simulation.
+        violations = run_on("coordinator/rl001_bad.py")
+        assert codes_and_lines(violations) == [
+            ("RL001", 13),  # time.monotonic in lease timing
+            ("RL001", 18),  # global RNG jitter
+        ]
+
+    def test_coordinator_clean_fixture_is_silent(self):
+        assert run_on("coordinator/rl001_ok.py") == []
+
 
 class TestRL002MSRSafety:
     def test_bad_fixture_fires(self):

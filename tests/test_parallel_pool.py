@@ -62,6 +62,94 @@ class TestRunGrid:
         assert grid[0]["a"] == 1
 
 
+class TestTimeoutDegradation:
+    """timeout_s degrades to unbounded — with one warning — where SIGALRM
+    cannot fire, instead of raising or silently ignoring the budget."""
+
+    @pytest.fixture(autouse=True)
+    def _reset_warning_latch(self):
+        import repro.parallel.pool as pool
+
+        pool._timeout_warning_emitted = False
+        yield
+        pool._timeout_warning_emitted = False
+
+    def run_off_main_thread(self, fn):
+        import threading
+
+        box = {}
+
+        def target():
+            try:
+                box["result"] = fn()
+            except BaseException as exc:  # propagate for assertion
+                box["error"] = exc
+
+        thread = threading.Thread(target=target)
+        thread.start()
+        thread.join()
+        if "error" in box:
+            raise box["error"]
+        return box["result"]
+
+    def test_serial_off_main_thread_warns_once_and_completes(self):
+        import warnings
+
+        from repro.parallel.pool import TimeoutUnsupportedWarning
+
+        def sweep():
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                first = map_parallel(square, [{"x": 2}, {"x": 3}], n_workers=1, timeout_s=5.0)
+                second = map_parallel(square, [{"x": 4}], n_workers=1, timeout_s=5.0)
+                return first, second, caught
+
+        first, second, caught = self.run_off_main_thread(sweep)
+        assert first == [4, 9]
+        assert second == [16]
+        # One structured warning per process, not one per call.
+        categories = [w.category for w in caught]
+        assert categories == [TimeoutUnsupportedWarning]
+        assert "unbounded" in str(caught[0].message)
+
+    def test_main_thread_serial_does_not_warn(self):
+        import warnings
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            out = map_parallel(square, [{"x": 2}, {"x": 3}], n_workers=1, timeout_s=5.0)
+        assert out == [4, 9]
+        assert caught == []
+
+    def test_no_timeout_off_main_thread_is_silent(self):
+        import warnings
+
+        def sweep():
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                return map_parallel(square, [{"x": 2}], n_workers=1), caught
+
+        out, caught = self.run_off_main_thread(sweep)
+        assert out == [4]
+        assert caught == []
+
+    def test_platform_without_sigalrm_degrades(self, monkeypatch):
+        import signal
+        import warnings
+
+        import repro.parallel.pool as pool
+        from repro.parallel.pool import TimeoutUnsupportedWarning
+
+        monkeypatch.delattr(signal, "SIGALRM")
+        assert not hasattr(pool.signal, "SIGALRM")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            out = map_parallel(square, [{"x": 5}], n_workers=1, timeout_s=5.0)
+        assert out == [25]
+        assert [w.category for w in caught] == [TimeoutUnsupportedWarning]
+        assert "SIGALRM" in str(caught[0].message)
+
+
 class TestParallelExperiments:
     def test_simulated_runs_in_pool(self):
         # End-to-end: run two real simulations across processes.

@@ -87,3 +87,78 @@ class TestFleetCli:
     def test_fleet_requires_jobs(self):
         with pytest.raises(SystemExit):
             main(["fleet"])
+
+
+class TestFleetJsonCli:
+    def test_fleet_json_schema(self, capsys):
+        import json
+
+        rc = main(
+            [
+                "fleet", "--job", "sort@0", "--job", "bfs@3",
+                "--governor", "magus", "--seed", "1",
+                "--budget", "700", "--json",
+            ]
+        )
+        assert rc == 0
+        body = json.loads(capsys.readouterr().out)
+        assert set(body) == {"baseline", "method", "comparison"}
+        for side in ("baseline", "method"):
+            assert body[side]["budget_w"] == 700.0
+            assert body[side]["time_over_budget_s"] is not None
+        comparison = body["comparison"]
+        assert comparison["method_governor"] == "magus"
+        assert "baseline_time_over_budget_s" in comparison
+        assert "method_time_over_budget_s" in comparison
+
+    def test_fleet_json_without_budget_reports_null(self, capsys):
+        import json
+
+        rc = main(["fleet", "--job", "sort@0", "--job", "bfs@3", "--json"])
+        assert rc == 0
+        body = json.loads(capsys.readouterr().out)
+        assert body["baseline"]["budget_w"] is None
+        assert body["baseline"]["time_over_budget_s"] is None
+
+
+class TestCoordinateCli:
+    def test_chaos_json_gate_and_journal(self, capsys, tmp_path):
+        import json
+
+        journal = tmp_path / "grants.jsonl"
+        out_file = tmp_path / "score.json"
+        rc = main(
+            [
+                "coordinate", "--job", "sort@0", "--job", "bfs@3",
+                "--seed", "2", "--max-time", "12", "--budget-frac", "0.8",
+                "--json", "--gate",
+                "--journal", str(journal), "--out", str(out_file),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        body = json.loads(out[: out.rindex("}") + 1])
+        assert body["never_exceeded"] is True
+        assert body["overshoot_ticks"] == 0
+        assert body["journal_overshoot_ticks"] == 0
+        assert body["partition_floor_ok"] is True
+        assert "gate:" in out
+        # The grant journal and the report artifact landed on disk.
+        assert journal.exists() and journal.stat().st_size > 0
+        assert json.loads(out_file.read_text())["never_exceeded"] is True
+
+    def test_no_chaos_text_report(self, capsys):
+        rc = main(
+            [
+                "coordinate", "--job", "sort@0",
+                "--seed", "1", "--max-time", "10", "--no-chaos",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "never-exceed: OK" in out
+        assert "no faults" in out
+
+    def test_requires_jobs(self):
+        with pytest.raises(SystemExit):
+            main(["coordinate"])
