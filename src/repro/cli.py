@@ -307,6 +307,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--package-root", default=None, metavar="DIR",
         help="directory standing in for the repro package root (fixture trees)",
     )
+    lint_p.add_argument(
+        "--project", action="store_true",
+        help="also run the whole-program rules (RL008+: seed provenance, "
+        "parallel shared state, units inference) over one linked call graph",
+    )
+    lint_p.add_argument(
+        "--call-graph-dump", default=None, metavar="PATH",
+        help="with --project: write call-graph construction stats as JSON",
+    )
+    lint_p.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the (path, mtime, size) parse memo shared by the passes",
+    )
 
     return parser
 
@@ -797,33 +810,58 @@ def _cmd_verify(args) -> int:
 
 
 def _cmd_lint(args) -> int:
+    import json as _json
+
     from repro.lintkit import (
         Baseline,
         default_rules,
         format_json,
         format_text,
         lint_paths,
+        lint_project,
         load_baseline,
+        project_rules,
         save_baseline,
     )
 
     if args.list_rules:
+        catalogue = [(r.code, r.name, r.rationale) for r in default_rules()]
+        catalogue += [
+            (r.code, f"{r.name} (--project)", r.rationale) for r in project_rules()
+        ]
         print(
             format_table(
                 ("code", "name", "protects"),
-                [(r.code, r.name, r.rationale) for r in default_rules()],
+                catalogue,
                 title="repro lint rules",
             )
         )
         return 0
-    violations, n_files = lint_paths(args.paths, root=args.package_root)
+    use_cache = not args.no_cache
+    violations, n_files = lint_paths(
+        args.paths, root=args.package_root, use_cache=use_cache
+    )
+    stats_dict = None
+    if args.project:
+        project_violations, _, stats = lint_project(
+            args.paths, root=args.package_root, use_cache=use_cache
+        )
+        violations = sorted([*violations, *project_violations])
+        stats_dict = stats.to_dict()
+        if args.call_graph_dump:
+            with open(args.call_graph_dump, "w") as fh:
+                _json.dump(stats_dict, fh, indent=2)
+                fh.write("\n")
     if args.update_baseline:
         n = save_baseline(args.baseline, violations)
         print(f"baseline {args.baseline} rewritten with {n} entr{'y' if n == 1 else 'ies'}")
         return 0
     baseline = Baseline() if args.no_baseline else load_baseline(args.baseline)
     new = baseline.filter_new(violations)
-    report = format_json(new, n_files) if args.format == "json" else format_text(new, n_files)
+    if args.format == "json":
+        report = format_json(new, n_files, project_stats=stats_dict)
+    else:
+        report = format_text(new, n_files)
     print(report, end="" if report.endswith("\n") else "\n")
     if args.out:
         with open(args.out, "w") as fh:

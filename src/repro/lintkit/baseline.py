@@ -6,22 +6,52 @@ the repository has zero grandfathered debt — but the mechanism exists so
 a future sweep that adds a rule can land it without blocking on fixing
 every historical hit in the same commit, then burn the entries down.
 
-``repro lint --update-baseline`` rewrites the file from the current
-violation set; entries are kept sorted so diffs review cleanly.
+Schema version 2 (current):
+
+* entries are stored **repo-relative** (relative to the working
+  directory at save time), so a baseline written on one checkout matches
+  on another; matching normalises violation paths the same way;
+* a ``counts`` object summarises entries per rule, so a reviewer can see
+  the debt profile from the diff without counting lines;
+* entries stay sorted so diffs review cleanly.
+
+Version-1 files (no counts, paths as given) still load; saving always
+writes version 2.  ``repro lint --update-baseline`` rewrites the file
+from the current violation set.
 """
 
 from __future__ import annotations
 
 import json
+from collections import Counter
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, List, Tuple
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Tuple
 
 from repro.errors import LintError
 from repro.lintkit.core import Violation
 
 __all__ = ["Baseline", "load_baseline", "save_baseline"]
 
-_VERSION = 1
+_VERSION = 2
+_READABLE_VERSIONS = frozenset({1, 2})
+
+
+def _repo_relative(path: str) -> str:
+    """Normalise a violation/baseline path for matching.
+
+    Absolute paths under the current working directory are rewritten
+    relative to it; everything else passes through in posix form.  Both
+    the saver and the matcher use this, so a baseline written by
+    ``repro lint /abs/checkout/src`` still matches ``repro lint src``.
+    """
+    p = Path(path)
+    if p.is_absolute():
+        try:
+            return p.relative_to(Path.cwd()).as_posix()
+        except ValueError:
+            return p.as_posix()
+    return p.as_posix()
 
 
 @dataclass(frozen=True)
@@ -35,16 +65,24 @@ class Baseline:
 
     def filter_new(self, violations: Iterable[Violation]) -> List[Violation]:
         """Return only the violations not covered by this baseline."""
-        return [v for v in violations if v.key() not in self.entries]
+        return [
+            v
+            for v in violations
+            if (_repo_relative(v.path), v.rule, v.line) not in self.entries
+        ]
 
 
 def load_baseline(path: str) -> Baseline:
     """Load a baseline file; a missing file is an empty baseline.
 
+    Accepts schema versions 1 and 2 (version 1 files are migrated on the
+    next ``--update-baseline``).
+
     Raises
     ------
     LintError
-        If the file exists but is not a valid version-1 baseline.
+        If the file exists but is not a valid baseline of a readable
+        version.
     """
     try:
         with open(path, "r", encoding="utf-8") as fh:
@@ -53,22 +91,27 @@ def load_baseline(path: str) -> Baseline:
         return Baseline()
     except (OSError, json.JSONDecodeError) as exc:
         raise LintError(f"unreadable baseline {path!r}: {exc}") from exc
-    if not isinstance(payload, dict) or payload.get("version") != _VERSION:
-        raise LintError(f"baseline {path!r} is not a version-{_VERSION} baseline file")
+    if not isinstance(payload, dict) or payload.get("version") not in _READABLE_VERSIONS:
+        readable = "/".join(str(v) for v in sorted(_READABLE_VERSIONS))
+        raise LintError(f"baseline {path!r} is not a version-{readable} baseline file")
     entries = set()
     for item in payload.get("entries", ()):
         try:
-            entries.add((str(item["path"]), str(item["rule"]), int(item["line"])))
+            entries.add(
+                (_repo_relative(str(item["path"])), str(item["rule"]), int(item["line"]))
+            )
         except (TypeError, KeyError, ValueError) as exc:
             raise LintError(f"malformed baseline entry in {path!r}: {item!r}") from exc
     return Baseline(entries=frozenset(entries))
 
 
 def save_baseline(path: str, violations: Iterable[Violation]) -> int:
-    """Write ``violations`` as the new baseline; returns the entry count."""
-    entries = sorted({v.key() for v in violations})
+    """Write ``violations`` as a version-2 baseline; returns the entry count."""
+    entries = sorted({(_repo_relative(v.path), v.rule, v.line) for v in violations})
+    counts: Dict[str, int] = dict(sorted(Counter(rule for _, rule, _ in entries).items()))
     payload = {
         "version": _VERSION,
+        "counts": counts,
         "entries": [{"path": p, "rule": r, "line": n} for p, r, n in entries],
     }
     with open(path, "w", encoding="utf-8") as fh:

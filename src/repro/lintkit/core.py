@@ -16,9 +16,19 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Tuple
 
-__all__ = ["Violation", "LintContext", "Rule", "dotted_name", "last_segment"]
+if TYPE_CHECKING:  # circular only at type-check time: project imports loader
+    from repro.lintkit.project import Project
+
+__all__ = [
+    "Violation",
+    "LintContext",
+    "ProjectRule",
+    "Rule",
+    "dotted_name",
+    "last_segment",
+]
 
 
 @dataclass(frozen=True, order=True)
@@ -131,6 +141,38 @@ class Rule:
         """Build a :class:`Violation` for ``node`` with this rule's code."""
         return Violation(
             path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.code,
+            message=message,
+        )
+
+
+class ProjectRule(Rule):
+    """Base class for whole-program rules (``repro lint --project``).
+
+    Project rules see the entire parsed tree at once — the module graph,
+    symbol table and call graph of :class:`repro.lintkit.project.Project`
+    — instead of one file's AST.  They implement :meth:`check_project`;
+    the per-file :meth:`check` is a no-op so a project rule accidentally
+    handed to the per-file engine stays silent rather than crashing.
+    """
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        """Project rules have no per-file pass."""
+        return iter(())
+
+    def check_project(self, project: "Project") -> Iterator[Violation]:
+        """Yield every violation of this rule across ``project``."""
+        raise NotImplementedError
+        yield  # pragma: no cover - makes the abstract method a generator
+
+    def project_hit(
+        self, path: str, node: ast.AST, message: str
+    ) -> Violation:
+        """Build a :class:`Violation` at ``node`` in the file at ``path``."""
+        return Violation(
+            path=path,
             line=getattr(node, "lineno", 1),
             col=getattr(node, "col_offset", 0),
             rule=self.code,

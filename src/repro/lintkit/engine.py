@@ -1,80 +1,61 @@
-"""File collection, parsing and rule dispatch for ``repro lint``.
+"""Rule dispatch for ``repro lint``: the per-file and whole-program passes.
 
 The engine is deliberately import-free with respect to the linted code:
-files are read and parsed with :mod:`ast`, never executed, so the linter
-can check a tree whose dependencies are absent (CI bootstraps) or whose
-modules would have import-time side effects.
+files are read and parsed with :mod:`ast` (via the shared, memoising
+:mod:`repro.lintkit.loader`), never executed, so the linter can check a
+tree whose dependencies are absent (CI bootstraps) or whose modules
+would have import-time side effects.
+
+Two entry points share one loader pass:
+
+* :func:`lint_paths` — the per-file rules (RL001–RL007), one
+  :class:`~repro.lintkit.core.LintContext` per file;
+* :func:`lint_project` — the whole-program rules (RL008–RL010) over one
+  linked :class:`~repro.lintkit.project.Project`.
+
+Running both (``repro lint --project``) parses each file exactly once:
+the second pass hits the loader's memo.
 """
 
 from __future__ import annotations
 
-import ast
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import LintError
-from repro.lintkit.core import LintContext, Rule, Violation
-from repro.lintkit.rules import default_rules
-from repro.lintkit.suppressions import scan_suppressions
+from repro.lintkit.core import LintContext, ProjectRule, Rule, Violation
+from repro.lintkit.loader import (
+    ParseFailure,
+    collect_files,
+    package_relative,
+    parse_file,
+)
+from repro.lintkit.project import ProjectStats, build_project
+from repro.lintkit.rules import default_rules, project_rules
+from repro.lintkit.suppressions import SuppressionIndex, scan_suppressions
 
-__all__ = ["collect_files", "lint_file", "lint_paths", "package_relative"]
-
-#: The package directory whose layout defines rule scopes.
-_PACKAGE = "repro"
-_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "build", "dist"})
-
-
-def collect_files(paths: Sequence[str]) -> List[Path]:
-    """Expand files/directories into a sorted, de-duplicated ``.py`` list.
-
-    Raises
-    ------
-    LintError
-        If a given path does not exist (a typo must not lint "clean").
-    """
-    out = []
-    seen = set()
-    for raw in paths:
-        path = Path(raw)
-        if not path.exists():
-            raise LintError(f"no such file or directory: {raw!r}")
-        candidates: Iterable[Path]
-        if path.is_dir():
-            candidates = sorted(path.rglob("*.py"))
-        else:
-            candidates = [path]
-        for file in candidates:
-            if any(part in _SKIP_DIRS for part in file.parts):
-                continue
-            key = file.resolve()
-            if key not in seen:
-                seen.add(key)
-                out.append(file)
-    return out
+__all__ = [
+    "collect_files",
+    "lint_file",
+    "lint_paths",
+    "lint_project",
+    "package_relative",
+]
 
 
-def package_relative(path: Path, root: Optional[Path] = None) -> str:
-    """The path rules scope on: relative to the ``repro`` package root.
-
-    ``src/repro/sim/clock.py`` → ``sim/clock.py``.  Files outside any
-    ``repro`` directory fall back to being relative to ``root`` (the lint
-    invocation root) — which is how fixture trees that mirror the package
-    layout (``lint_fixtures/sim/bad.py``) land in the right scope.
-    """
-    parts = path.parts
-    for i in range(len(parts) - 1, -1, -1):
-        if parts[i] == _PACKAGE:
-            return "/".join(parts[i + 1 :])
+def _anchor_for(paths: Sequence[str], root: Optional[str]) -> Optional[Path]:
+    """The directory standing in for the package root (see ``lint_paths``)."""
     if root is not None:
-        try:
-            return path.resolve().relative_to(root.resolve()).as_posix()
-        except ValueError:
-            pass
-    return path.as_posix()
+        return Path(root)
+    roots = [Path(p) for p in paths if Path(p).is_dir()]
+    return roots[0] if len(roots) == 1 else None
 
 
 def lint_file(
-    path: Path, rules: Sequence[Rule], *, root: Optional[Path] = None
+    path: Path,
+    rules: Sequence[Rule],
+    *,
+    root: Optional[Path] = None,
+    use_cache: bool = True,
 ) -> List[Violation]:
     """Lint one file, returning its (suppression-filtered) violations.
 
@@ -83,22 +64,16 @@ def lint_file(
     """
     display = path.as_posix()
     try:
-        source = path.read_text(encoding="utf-8")
-    except (OSError, UnicodeDecodeError) as exc:
-        return [Violation(display, 1, 0, "RL000", f"unreadable file: {exc}")]
-    try:
-        tree = ast.parse(source, filename=display)
-    except SyntaxError as exc:
-        return [
-            Violation(display, exc.lineno or 1, 0, "RL000", f"syntax error: {exc.msg}")
-        ]
+        parsed = parse_file(path, use_cache=use_cache)
+    except ParseFailure as exc:
+        return [Violation(display, exc.line, 0, "RL000", exc.message)]
     ctx = LintContext(
         path=display,
         pkg_path=package_relative(path, root),
-        tree=tree,
-        source=source,
+        tree=parsed.tree,
+        source=parsed.source,
     )
-    suppressions = scan_suppressions(source)
+    suppressions = scan_suppressions(parsed.source)
     found: List[Violation] = []
     for rule in rules:
         for violation in rule.check(ctx):
@@ -112,6 +87,7 @@ def lint_paths(
     *,
     rules: Optional[Sequence[Rule]] = None,
     root: Optional[str] = None,
+    use_cache: bool = True,
 ) -> Tuple[List[Violation], int]:
     """Lint every file under ``paths`` with ``rules`` (default: all).
 
@@ -126,6 +102,9 @@ def lint_paths(
         file is outside any ``repro`` directory (fixture trees).  When
         omitted and exactly one directory was passed, that directory is
         the root.
+    use_cache:
+        Memoise parses on ``(path, mtime, size)`` (``--no-cache`` turns
+        this off).
 
     Returns
     -------
@@ -134,12 +113,46 @@ def lint_paths(
     """
     active = tuple(rules) if rules is not None else default_rules()
     files = collect_files(paths)
-    if root is not None:
-        anchor: Optional[Path] = Path(root)
-    else:
-        roots = [Path(p) for p in paths if Path(p).is_dir()]
-        anchor = roots[0] if len(roots) == 1 else None
+    anchor = _anchor_for(paths, root)
     violations: List[Violation] = []
     for file in files:
-        violations.extend(lint_file(file, active, root=anchor))
+        violations.extend(lint_file(file, active, root=anchor, use_cache=use_cache))
     return sorted(violations), len(files)
+
+
+def lint_project(
+    paths: Sequence[str],
+    *,
+    rules: Optional[Sequence[ProjectRule]] = None,
+    root: Optional[str] = None,
+    use_cache: bool = True,
+) -> Tuple[List[Violation], int, ProjectStats]:
+    """Run the whole-program rules over the tree under ``paths``.
+
+    Builds one linked :class:`~repro.lintkit.project.Project` from every
+    parseable file (syntax errors are the per-file pass's to report) and
+    dispatches each :class:`~repro.lintkit.core.ProjectRule` against it.
+    Suppression comments work exactly as in the per-file pass: a
+    ``# repro-lint: disable=RL008`` on the flagged line wins.
+
+    Returns
+    -------
+    (violations, n_files, stats)
+        Sorted suppression-filtered violations, the number of files in
+        the project model, and the call-graph construction stats.
+    """
+    active = tuple(rules) if rules is not None else project_rules()
+    files = collect_files(paths)
+    anchor = _anchor_for(paths, root)
+    project = build_project(files, root=anchor, use_cache=use_cache)
+    suppressions: Dict[str, SuppressionIndex] = {
+        mod.path: scan_suppressions(mod.source) for mod in project.modules.values()
+    }
+    violations: List[Violation] = []
+    for rule in active:
+        for violation in rule.check_project(project):
+            filt = suppressions.get(violation.path)
+            if filt is not None and filt.is_suppressed(violation.rule, violation.line):
+                continue
+            violations.append(violation)
+    return sorted(violations), len(project.modules), project.stats()

@@ -1,0 +1,167 @@
+"""File collection and cached parsing shared by every lint pass.
+
+``repro lint`` runs the per-file rules *and* (with ``--project``) a
+whole-program analysis over the same tree.  Both passes need the same
+things from disk — the ``.py`` file list, the source text, the parsed
+AST, the package-relative path rules scope on — so this module owns them
+once.  Parses are memoised on ``(resolved path, mtime_ns, size)``: a
+second pass over an unchanged file is a dictionary hit, not a re-parse,
+which is what keeps ``--project`` from doubling lint time.
+
+The loader never imports or executes the code it reads (see
+:mod:`repro.lintkit.engine` for why that invariant matters).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import LintError
+
+__all__ = [
+    "ParsedFile",
+    "ParseFailure",
+    "clear_parse_cache",
+    "collect_files",
+    "package_relative",
+    "parse_cache_stats",
+    "parse_file",
+]
+
+#: The package directory whose layout defines rule scopes.
+_PACKAGE = "repro"
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "build", "dist"})
+
+
+@dataclass(frozen=True)
+class ParsedFile:
+    """One successfully parsed source file."""
+
+    #: Display path (posix form), as reported in violations.
+    path: str
+    #: Parsed module AST.
+    tree: ast.Module
+    #: Full source text.
+    source: str
+
+
+class ParseFailure(Exception):
+    """A file could not be read or parsed.
+
+    Carries the line and message the engine turns into an ``RL000``
+    violation; raising (rather than returning a sentinel) keeps the cache
+    honest — failures are never memoised, so a fixed file re-parses.
+    """
+
+    def __init__(self, line: int, message: str) -> None:
+        super().__init__(message)
+        self.line = line
+        self.message = message
+
+
+#: Parse memo: resolved path -> ((mtime_ns, size), parse).
+_CACHE: Dict[str, Tuple[Tuple[int, int], ParsedFile]] = {}
+_HITS = [0]
+_MISSES = [0]
+
+
+def clear_parse_cache() -> None:
+    """Drop every memoised parse (tests; long-lived processes)."""
+    _CACHE.clear()
+    _HITS[0] = 0
+    _MISSES[0] = 0
+
+
+def parse_cache_stats() -> Tuple[int, int]:
+    """``(hits, misses)`` since the last :func:`clear_parse_cache`."""
+    return _HITS[0], _MISSES[0]
+
+
+def parse_file(path: Path, *, use_cache: bool = True) -> ParsedFile:
+    """Read and parse ``path``, memoised on ``(path, mtime_ns, size)``.
+
+    Raises
+    ------
+    ParseFailure
+        If the file is unreadable or not valid Python.
+    """
+    display = path.as_posix()
+    key: Optional[str] = None
+    stamp: Optional[Tuple[int, int]] = None
+    if use_cache:
+        try:
+            stat = path.stat()
+            key = str(path.resolve())
+            stamp = (stat.st_mtime_ns, stat.st_size)
+        except OSError:
+            key = None  # unstattable files fall through to the read error
+        if key is not None:
+            cached = _CACHE.get(key)
+            if cached is not None and cached[0] == stamp:
+                _HITS[0] += 1
+                return cached[1]
+            _MISSES[0] += 1
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        raise ParseFailure(1, f"unreadable file: {exc}") from exc
+    try:
+        tree = ast.parse(source, filename=display)
+    except SyntaxError as exc:
+        raise ParseFailure(exc.lineno or 1, f"syntax error: {exc.msg}") from exc
+    parsed = ParsedFile(path=display, tree=tree, source=source)
+    if use_cache and key is not None and stamp is not None:
+        _CACHE[key] = (stamp, parsed)
+    return parsed
+
+
+def collect_files(paths: Sequence[str]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list.
+
+    Raises
+    ------
+    LintError
+        If a given path does not exist (a typo must not lint "clean").
+    """
+    out = []
+    seen = set()
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise LintError(f"no such file or directory: {raw!r}")
+        candidates: Iterable[Path]
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for file in candidates:
+            if any(part in _SKIP_DIRS for part in file.parts):
+                continue
+            key = file.resolve()
+            if key not in seen:
+                seen.add(key)
+                out.append(file)
+    return out
+
+
+def package_relative(path: Path, root: Optional[Path] = None) -> str:
+    """The path rules scope on: relative to the ``repro`` package root.
+
+    ``src/repro/sim/clock.py`` → ``sim/clock.py``.  Files outside any
+    ``repro`` directory fall back to being relative to ``root`` (the lint
+    invocation root) — which is how fixture trees that mirror the package
+    layout (``lint_fixtures/sim/bad.py``) land in the right scope.
+    """
+    parts = path.parts
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == _PACKAGE:
+            return "/".join(parts[i + 1 :])
+    if root is not None:
+        try:
+            return path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            pass
+    return path.as_posix()

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import json
 from collections import Counter
-from typing import List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.lintkit.core import Violation
 
@@ -32,9 +32,20 @@ def format_text(violations: Sequence[Violation], n_files: int) -> str:
     return "\n".join(lines)
 
 
-def format_json(violations: Sequence[Violation], n_files: int) -> str:
-    """Render violations as the version-1 JSON report document."""
-    payload = {
+def format_json(
+    violations: Sequence[Violation],
+    n_files: int,
+    *,
+    project_stats: Optional[Dict[str, int]] = None,
+) -> str:
+    """Render violations as the version-1 JSON report document.
+
+    ``project_stats`` (the call-graph construction stats of a
+    ``--project`` run) lands under an optional ``"project"`` key; the
+    document stays schema version 1 — consumers that ignore unknown keys
+    are unaffected.
+    """
+    payload: Dict[str, object] = {
         "version": 1,
         "files": n_files,
         "violations": [
@@ -49,4 +60,6 @@ def format_json(violations: Sequence[Violation], n_files: int) -> str:
         ],
         "counts": dict(sorted(Counter(v.rule for v in violations).items())),
     }
+    if project_stats is not None:
+        payload["project"] = dict(project_stats)
     return json.dumps(payload, indent=2) + "\n"

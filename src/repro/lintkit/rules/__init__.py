@@ -11,14 +11,17 @@ from __future__ import annotations
 
 from typing import Tuple
 
-from repro.lintkit.core import Rule, iter_child_rules
+from repro.lintkit.core import ProjectRule, Rule, iter_child_rules
 from repro.lintkit.rules.determinism import DeterminismRule
 from repro.lintkit.rules.guard import GuardBypassRule
 from repro.lintkit.rules.meters import MeterExceptionRule
 from repro.lintkit.rules.metrics import MetricNameRule
 from repro.lintkit.rules.msr import MSRSafetyRule
 from repro.lintkit.rules.pickles import PickleSafetyRule
+from repro.lintkit.rules.races import ParallelSharedStateRule
+from repro.lintkit.rules.seeds import SeedProvenanceRule
 from repro.lintkit.rules.units import UnitsRule
+from repro.lintkit.rules.unitsflow import UnitsFlowRule
 
 __all__ = [
     "DeterminismRule",
@@ -28,12 +31,16 @@ __all__ = [
     "PickleSafetyRule",
     "MetricNameRule",
     "GuardBypassRule",
+    "SeedProvenanceRule",
+    "ParallelSharedStateRule",
+    "UnitsFlowRule",
     "default_rules",
+    "project_rules",
 ]
 
 
 def default_rules() -> Tuple[Rule, ...]:
-    """Instantiate the full shipped rule set, in code order."""
+    """Instantiate the per-file rule set, in code order."""
     return tuple(
         iter_child_rules(
             [
@@ -47,3 +54,15 @@ def default_rules() -> Tuple[Rule, ...]:
             ]
         )
     )
+
+
+def project_rules() -> Tuple[ProjectRule, ...]:
+    """The whole-program rule set run by ``repro lint --project``."""
+    rules = iter_child_rules(
+        [
+            SeedProvenanceRule(),
+            ParallelSharedStateRule(),
+            UnitsFlowRule(),
+        ]
+    )
+    return tuple(r for r in rules if isinstance(r, ProjectRule))

@@ -1,0 +1,295 @@
+"""RL009 — parallel shared-state hygiene for pool-worker call trees.
+
+``map_parallel`` hands each worker invocation to a process pool, so a
+worker sees a *copy* of module state — writes to it are silently lost —
+and under a thread fallback the same writes become data races.  Either
+way the sweep's results depend on worker count and scheduling, which is
+exactly the non-determinism the golden-trace gate exists to catch (too
+late, and only when a trace happens to cover it).
+
+This rule finds every *worker entry point* — a callable reference passed
+to ``map_parallel`` / ``run_grid`` / ``pool.submit`` / ``apply_async``
+anywhere in the project — takes the transitive closure of the call graph
+from those entries, and flags shared-state writes inside any reachable
+function:
+
+* ``global NAME`` plus a binding of ``NAME`` (the classic counter);
+* mutation of a module-level mutable container (``CACHE.append``,
+  ``RESULTS[key] = ...``, ``del SEEN[k]``) — the module global need not
+  be re-bound to be shared;
+* class-level state writes (``cls.attr = ...`` or ``SomeClass.attr =
+  ...`` on a project class) — class objects are shared across threads;
+* mutating a *mutable default argument* (``def f(x, acc=[])`` then
+  ``acc.append``) — one list shared by every call in a thread pool;
+* mutating a name closed over from an enclosing function — closures
+  capture by reference, so the workers share the object.
+
+Submission calls located inside ``parallel/`` itself are infrastructure
+(the pool forwarding work to its own ``_invoke`` shim), not worker
+entries, and are excluded.  Reads of shared state are always fine — the
+rule only cares about writes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, Optional, Set, Tuple, Type, Union
+
+from repro.lintkit.core import ProjectRule, Violation, last_segment
+from repro.lintkit.project import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    Project,
+    iter_body_calls,
+    iter_own_nodes,
+)
+
+__all__ = ["ParallelSharedStateRule"]
+
+#: Pool submission APIs whose first argument is a worker entry point.
+_SUBMISSION_APIS = frozenset({"map_parallel", "run_grid", "submit", "apply_async"})
+
+#: Container methods that mutate their receiver in place.
+_MUTATING_METHODS = frozenset(
+    {
+        "append", "appendleft", "extend", "extendleft", "insert",
+        "add", "update", "setdefault",
+        "pop", "popleft", "popitem", "remove", "discard", "clear",
+        "sort", "reverse",
+    }
+)
+
+
+def _mutable_default_params(fn: FunctionInfo) -> FrozenSet[str]:
+    """Parameter names of ``fn`` whose default is a mutable container."""
+    args = fn.node.args
+    names: Set[str] = set()
+    positional = [*args.posonlyargs, *args.args]
+    for arg, default in zip(positional[len(positional) - len(args.defaults):], args.defaults):
+        if isinstance(default, (ast.List, ast.Dict, ast.Set)):
+            names.add(arg.arg)
+    for arg, kw_default in zip(args.kwonlyargs, args.kw_defaults):
+        if isinstance(kw_default, (ast.List, ast.Dict, ast.Set)):
+            names.add(arg.arg)
+    return frozenset(names)
+
+
+class ParallelSharedStateRule(ProjectRule):
+    """Flag shared-state writes reachable from pool-worker entry points."""
+
+    code = "RL009"
+    name = "parallel-shared-state"
+    rationale = (
+        "pool workers run in separate processes (or racing threads); any "
+        "write to module/class state from a worker call tree makes results "
+        "depend on worker count and scheduling"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Violation]:
+        entries = self._worker_entries(project)
+        if not entries:
+            return
+        reachable = project.reachable_from(sorted(entries))
+        for qualname in sorted(reachable):
+            fn = project.functions.get(qualname)
+            if fn is None:
+                continue
+            yield from self._check_function(project, fn)
+
+    # ------------------------------------------------------------------
+    # entry collection
+
+    def _worker_entries(self, project: Project) -> Set[str]:
+        """Qualnames of functions passed to a submission API as workers."""
+        entries: Set[str] = set()
+        for fn in project.functions.values():
+            mod = project.modules[fn.module]
+            if mod.top_dir == "parallel":
+                continue  # the pool's own forwarding shims, not workers
+            for call in iter_body_calls(fn.node):
+                entries.update(self._entry_refs(project, mod, fn, call))
+        for mod in project.modules.values():
+            if mod.top_dir == "parallel":
+                continue
+            for node in iter_own_nodes(mod.tree.body):
+                if isinstance(node, ast.Call):
+                    entries.update(self._entry_refs(project, mod, None, node))
+        return entries
+
+    @staticmethod
+    def _entry_refs(
+        project: Project,
+        mod: ModuleInfo,
+        fn: Optional[FunctionInfo],
+        call: ast.Call,
+    ) -> Iterator[str]:
+        name = last_segment(call.func)
+        if isinstance(call.func, ast.Name) and call.func.id in mod.imports:
+            # An aliased import still submits: mp = map_parallel.
+            name = mod.imports[call.func.id].rsplit(".", 1)[-1]
+        if name not in _SUBMISSION_APIS or not call.args:
+            return
+        worker = project.resolve_callable_ref(mod, fn, call.args[0])
+        if worker is not None:
+            yield worker.qualname
+
+    # ------------------------------------------------------------------
+    # per-function write checks
+
+    def _check_function(
+        self, project: Project, fn: FunctionInfo
+    ) -> Iterator[Violation]:
+        mod = project.modules[fn.module]
+        declared_global = self._declared(fn, ast.Global)
+        declared_nonlocal = self._declared(fn, ast.Nonlocal)
+        mutable_defaults = _mutable_default_params(fn)
+        for node in iter_own_nodes(fn.node.body):
+            yield from self._check_bindings(mod, fn, node, declared_global, declared_nonlocal)
+            yield from self._check_mutation(
+                mod, fn, node, declared_global, declared_nonlocal, mutable_defaults
+            )
+            yield from self._check_class_store(project, mod, fn, node)
+
+    @staticmethod
+    def _declared(
+        fn: FunctionInfo, kind: Union[Type[ast.Global], Type[ast.Nonlocal]]
+    ) -> FrozenSet[str]:
+        names: Set[str] = set()
+        for node in iter_own_nodes(fn.node.body):
+            if isinstance(node, kind):
+                names.update(node.names)
+        return frozenset(names)
+
+    def _check_bindings(
+        self,
+        mod: ModuleInfo,
+        fn: FunctionInfo,
+        node: ast.AST,
+        declared_global: FrozenSet[str],
+        declared_nonlocal: FrozenSet[str],
+    ) -> Iterator[Violation]:
+        """``global``/``nonlocal`` names re-bound inside a worker tree."""
+        if not (declared_global or declared_nonlocal):
+            return
+        if isinstance(node, ast.Name) and isinstance(node.ctx, (ast.Store, ast.Del)):
+            if node.id in declared_global:
+                yield self.project_hit(
+                    mod.path,
+                    node,
+                    f"{fn.qualname}() is reachable from a pool worker entry "
+                    f"and rebinds module global {node.id!r}; worker writes to "
+                    f"module state are lost across processes and race across "
+                    f"threads — return the value instead",
+                )
+            elif node.id in declared_nonlocal:
+                yield self.project_hit(
+                    mod.path,
+                    node,
+                    f"{fn.qualname}() is reachable from a pool worker entry "
+                    f"and rebinds closed-over name {node.id!r} via nonlocal; "
+                    f"workers share the enclosing frame — return the value "
+                    f"instead",
+                )
+
+    def _check_mutation(
+        self,
+        mod: ModuleInfo,
+        fn: FunctionInfo,
+        node: ast.AST,
+        declared_global: FrozenSet[str],
+        declared_nonlocal: FrozenSet[str],
+        mutable_defaults: FrozenSet[str],
+    ) -> Iterator[Violation]:
+        """In-place mutation of shared containers (method call / subscript)."""
+        name, how = self._mutated_name(node)
+        if name is None:
+            return
+        if name in mutable_defaults:
+            yield self.project_hit(
+                mod.path,
+                node,
+                f"{fn.qualname}() {how} its mutable default argument "
+                f"{name!r} while reachable from a pool worker entry; one "
+                f"default object is shared by every call — default to None "
+                f"and allocate inside the function",
+            )
+            return
+        if name in fn.local_names and name not in declared_global and name not in declared_nonlocal:
+            return  # a fresh local container: private to this call
+        if name in mod.mutable_globals or name in declared_global:
+            yield self.project_hit(
+                mod.path,
+                node,
+                f"{fn.qualname}() {how} module-level container {name!r} "
+                f"while reachable from a pool worker entry; per-process "
+                f"copies diverge silently and thread fallbacks race — "
+                f"return results and merge in the parent",
+            )
+        elif name in fn.enclosing_locals or name in declared_nonlocal:
+            yield self.project_hit(
+                mod.path,
+                node,
+                f"{fn.qualname}() {how} closed-over container {name!r} "
+                f"while reachable from a pool worker entry; closures capture "
+                f"by reference, so workers share the object — pass data in "
+                f"and return results instead",
+            )
+
+    @staticmethod
+    def _mutated_name(node: ast.AST) -> Tuple[Optional[str], str]:
+        """``(receiver name, verb)`` when ``node`` mutates a named container."""
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.attr in _MUTATING_METHODS
+        ):
+            return node.func.value.id, f"calls .{node.func.attr}() on"
+        if isinstance(node, ast.Subscript) and isinstance(node.ctx, (ast.Store, ast.Del)):
+            target = node.value
+            if isinstance(target, ast.Name):
+                verb = "deletes an item of" if isinstance(node.ctx, ast.Del) else "assigns an item of"
+                return target.id, verb
+        if isinstance(node, ast.AugAssign):
+            target = node.target
+            if isinstance(target, ast.Subscript) and isinstance(target.value, ast.Name):
+                return target.value.id, "augments an item of"
+        return None, ""
+
+    def _check_class_store(
+        self,
+        project: Project,
+        mod: ModuleInfo,
+        fn: FunctionInfo,
+        node: ast.AST,
+    ) -> Iterator[Violation]:
+        """``cls.attr = ...`` / ``SomeClass.attr = ...`` in a worker tree."""
+        if not (isinstance(node, ast.Attribute) and isinstance(node.ctx, (ast.Store, ast.Del))):
+            return
+        base = node.value
+        if not isinstance(base, ast.Name):
+            return
+        is_cls = (
+            base.id == "cls"
+            and fn.class_name is not None
+            and fn.params[:1] == ("cls",)
+        )
+        target = fn.class_name if is_cls else base.id
+        if is_cls or self._names_project_class(project, mod, base.id):
+            yield self.project_hit(
+                mod.path,
+                node,
+                f"{fn.qualname}() writes class attribute {target}.{node.attr} "
+                f"while reachable from a pool worker entry; class objects are "
+                f"shared state — store per-run results on instances or return "
+                f"them",
+            )
+
+    @staticmethod
+    def _names_project_class(project: Project, mod: ModuleInfo, name: str) -> bool:
+        if name in mod.classes:
+            return True
+        if name in mod.imports:
+            return isinstance(project.resolve_export(mod.imports[name]), ClassInfo)
+        return False

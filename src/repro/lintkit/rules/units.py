@@ -27,11 +27,11 @@ from typing import Dict, Iterator, Optional, Tuple
 
 from repro.lintkit.core import LintContext, Rule, Violation, last_segment
 
-__all__ = ["UnitsRule"]
+__all__ = ["UnitsRule", "unit_suffix", "UNIT_SUFFIXES"]
 
 #: Recognised unit suffixes.  Each suffix is its own unit: seconds and
 #: milliseconds conflict just as hard as seconds and watts.
-_UNIT_SUFFIXES = frozenset(
+UNIT_SUFFIXES = frozenset(
     {
         "s", "ms", "us", "ns",
         "w", "kw", "mw",
@@ -50,11 +50,13 @@ _KNOWN_APIS: Dict[str, Tuple[Optional[str], ...]] = {
 }
 
 
-def _suffix(node: ast.AST) -> Optional[str]:
+def unit_suffix(node: ast.AST) -> Optional[str]:
     """The unit suffix of a name-like node, or ``None``.
 
     Resolves through attribute access and subscripts so ``self.backoff_s``
-    and ``delays_s[i]`` both read as seconds.
+    and ``delays_s[i]`` both read as seconds.  Shared with the
+    interprocedural RL010 rule, which infers the same dimensions through
+    assignments and calls.
     """
     while isinstance(node, ast.Subscript):
         node = node.value
@@ -66,7 +68,7 @@ def _suffix(node: ast.AST) -> Optional[str]:
     if name is None or "_" not in name:
         return None
     tail = name.rsplit("_", 1)[1].lower()
-    return tail if tail in _UNIT_SUFFIXES else None
+    return tail if tail in UNIT_SUFFIXES else None
 
 
 def _is_bare_nonzero_number(node: ast.AST) -> bool:
@@ -107,7 +109,7 @@ class UnitsRule(Rule):
     def _check_pair(
         self, ctx: LintContext, node: ast.AST, left: ast.AST, right: ast.AST, what: str
     ) -> Iterator[Violation]:
-        a, b = _suffix(left), _suffix(right)
+        a, b = unit_suffix(left), unit_suffix(right)
         if a is not None and b is not None and a != b:
             yield self.hit(
                 ctx,
@@ -120,8 +122,8 @@ class UnitsRule(Rule):
         for kw in node.keywords:
             if kw.arg is None:
                 continue
-            param = _suffix(ast.Name(id=kw.arg))
-            value = _suffix(kw.value)
+            param = unit_suffix(ast.Name(id=kw.arg))
+            value = unit_suffix(kw.value)
             if param is not None and value is not None and param != value:
                 yield self.hit(
                     ctx,
@@ -133,7 +135,7 @@ class UnitsRule(Rule):
         if params is None:
             return
         for slot, arg in zip(params, node.args):
-            if slot is None or _suffix(ast.Name(id=slot)) is None:
+            if slot is None or unit_suffix(ast.Name(id=slot)) is None:
                 continue
             if _is_bare_nonzero_number(arg):
                 yield self.hit(

@@ -1,0 +1,273 @@
+"""RL010 — interprocedural units inference (the dataflow upgrade of RL003).
+
+RL003 checks the ``_s``/``_w``/``_j``/``_hz`` suffix convention where
+both operands *carry* a suffix.  That misses every conflict laundered
+through one assignment: ``x = read_power_w(); total_j += x`` is invisible
+per-file because ``x`` is anonymous.  This rule runs the suffix
+convention through the project dataflow engine — dimensions flow through
+assignments, helper returns (a ``..._j`` function returns joules by
+contract), parameters and keyword arguments — and flags conflicts the
+*inferred* dimensions prove:
+
+* add/sub/compare where the inferred dimensions of the two sides differ
+  (sites where both sides carry literal suffixes are RL003's and are not
+  re-reported here);
+* a positional or keyword argument whose inferred dimension conflicts
+  with the suffixed parameter it binds to in a *resolved* project callee
+  (keyword bindings whose value carries a literal suffix are RL003's);
+* assigning a value of known conflicting dimension to a suffix-named
+  target (``duration_s = read_power_w()``);
+* returning a value of known conflicting dimension from a suffix-named
+  function (``def idle_energy_j(...): return power_w``).
+
+Multiplication and division deliberately erase the dimension — units
+legitimately compose there — and unknown stays unknown: the rule only
+speaks when the lattice *proves* a dimension on both sides.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.lintkit.core import ProjectRule, Violation, last_segment
+from repro.lintkit.dataflow import ArgFacts, DataflowAnalysis, Domain, Env, Fact
+from repro.lintkit.project import (
+    FunctionInfo,
+    ModuleInfo,
+    Project,
+    iter_own_nodes,
+)
+from repro.lintkit.rules.units import unit_suffix
+
+__all__ = ["UnitsFlowRule"]
+
+#: Builtins that pass their (first/only) argument's dimension through.
+_PASSTHROUGH = frozenset({"abs", "float", "int", "round", "min", "max", "sum"})
+
+
+def _name_suffix(name: str) -> Optional[str]:
+    """Unit suffix of a bare identifier string."""
+    return unit_suffix(ast.Name(id=name))
+
+
+class _UnitsDomain(Domain):
+    """Dimension lattice: the unit suffix string, or unknown."""
+
+    def param_fact(self, fn: FunctionInfo, name: str) -> Fact:
+        return _name_suffix(name)
+
+    def name_fact(self, name: str, env_fact: Fact) -> Fact:
+        # A literal suffix is the name's contract; the environment only
+        # fills in dimensions for anonymous names.
+        return _name_suffix(name) or env_fact
+
+    def attribute_fact(self, node: ast.Attribute) -> Fact:
+        return _name_suffix(node.attr)
+
+    def binop_fact(self, node: ast.BinOp, left: Fact, right: Fact) -> Fact:
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            if left is not None and left == right:
+                return left
+            return None
+        # Mult/Div/Mod/Pow compose units; the result is a new dimension
+        # the flat lattice does not track.
+        return None
+
+    def call_fact(
+        self, node: ast.Call, callee: Optional[str], summary: Fact, args: ArgFacts
+    ) -> Fact:
+        name = last_segment(node.func)
+        if name in _PASSTHROUGH:
+            facts = {args.get(i) for i in range(len(node.args))}
+            facts.discard(None)
+            if len(facts) == 1:
+                return facts.pop()
+            return None
+        return summary
+
+    def return_fact(self, fn: FunctionInfo, joined: Fact) -> Fact:
+        # A suffix-named function returns that dimension by contract.
+        return _name_suffix(fn.name) or joined
+
+
+class UnitsFlowRule(ProjectRule):
+    """Flag unit conflicts the interprocedural dimension inference proves."""
+
+    code = "RL010"
+    name = "units-flow"
+    rationale = (
+        "the suffix convention only protects named values; dataflow "
+        "inference extends it through assignments, returns and calls"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Violation]:
+        analysis = DataflowAnalysis(project, _UnitsDomain())
+        for fn in project.functions.values():
+            mod = project.modules[fn.module]
+            env = analysis.function_env(fn)
+            yield from self._check_body(
+                project, analysis, mod, fn, env, iter_own_nodes(fn.node.body)
+            )
+        for mod in project.modules.values():
+            env = analysis.module_env(mod)
+            yield from self._check_body(
+                project, analysis, mod, None, env, iter_own_nodes(mod.tree.body)
+            )
+
+    def _check_body(
+        self,
+        project: Project,
+        analysis: DataflowAnalysis,
+        mod: ModuleInfo,
+        fn: Optional[FunctionInfo],
+        env: Env,
+        nodes: Iterator[ast.AST],
+    ) -> Iterator[Violation]:
+        for node in nodes:
+            if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+                yield from self._check_pair(
+                    analysis, mod, fn, env, node, node.left, node.right, "arithmetic"
+                )
+            elif isinstance(node, ast.AugAssign) and isinstance(node.op, (ast.Add, ast.Sub)):
+                yield from self._check_pair(
+                    analysis, mod, fn, env, node, node.target, node.value, "arithmetic"
+                )
+            elif isinstance(node, ast.Compare) and len(node.comparators) == 1:
+                if not isinstance(node.ops[0], (ast.Is, ast.IsNot, ast.In, ast.NotIn)):
+                    yield from self._check_pair(
+                        analysis, mod, fn, env, node, node.left, node.comparators[0], "comparison"
+                    )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(project, analysis, mod, fn, env, node)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                yield from self._check_assign(analysis, mod, fn, env, node)
+            elif isinstance(node, ast.Return) and fn is not None and node.value is not None:
+                yield from self._check_return(analysis, mod, fn, env, node)
+
+    def _check_pair(
+        self,
+        analysis: DataflowAnalysis,
+        mod: ModuleInfo,
+        fn: Optional[FunctionInfo],
+        env: Env,
+        node: ast.AST,
+        left: ast.expr,
+        right: ast.expr,
+        what: str,
+    ) -> Iterator[Violation]:
+        if unit_suffix(left) is not None and unit_suffix(right) is not None:
+            return  # both sides carry literal suffixes: RL003's site
+        a = analysis.expr_fact(mod, fn, env, left)
+        b = analysis.expr_fact(mod, fn, env, right)
+        if a is not None and b is not None and a != b:
+            yield self.project_hit(
+                mod.path,
+                node,
+                f"{what} mixes inferred units _{a} and _{b}; the dimension "
+                f"flowed here through assignments/returns — convert via "
+                f"repro.units at the source",
+            )
+
+    def _check_call(
+        self,
+        project: Project,
+        analysis: DataflowAnalysis,
+        mod: ModuleInfo,
+        fn: Optional[FunctionInfo],
+        env: Env,
+        call: ast.Call,
+    ) -> Iterator[Violation]:
+        callee_qual = analysis.resolve_call(mod, fn, call)
+        if callee_qual is None:
+            return
+        callee = project.functions.get(callee_qual)
+        if callee is None:
+            return
+        params = callee.params
+        if params[:1] in (("self",), ("cls",)):
+            params = params[1:]
+        for i, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred) or i >= len(params):
+                break
+            yield from self._check_binding(analysis, mod, fn, env, call, callee, params[i], arg)
+        for kw in call.keywords:
+            if kw.arg is None or kw.arg not in params:
+                continue
+            if unit_suffix(kw.value) is not None:
+                continue  # literal-suffix keyword conflicts are RL003's
+            yield from self._check_binding(analysis, mod, fn, env, call, callee, kw.arg, kw.value)
+
+    def _check_binding(
+        self,
+        analysis: DataflowAnalysis,
+        mod: ModuleInfo,
+        fn: Optional[FunctionInfo],
+        env: Env,
+        call: ast.Call,
+        callee: FunctionInfo,
+        param: str,
+        value: ast.expr,
+    ) -> Iterator[Violation]:
+        expected = _name_suffix(param)
+        if expected is None:
+            return
+        got = analysis.expr_fact(mod, fn, env, value)
+        if got is not None and got != expected:
+            yield self.project_hit(
+                mod.path,
+                call,
+                f"argument of inferred unit _{got} is bound to parameter "
+                f"{param!r} of {callee.qualname}(), which promises _{expected}; "
+                f"convert via repro.units before the call",
+            )
+
+    def _check_assign(
+        self,
+        analysis: DataflowAnalysis,
+        mod: ModuleInfo,
+        fn: Optional[FunctionInfo],
+        env: Env,
+        node: ast.AST,
+    ) -> Iterator[Violation]:
+        targets: Tuple[ast.expr, ...]
+        if isinstance(node, ast.Assign):
+            targets, value = tuple(node.targets), node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = (node.target,), node.value
+        else:
+            return
+        got = analysis.expr_fact(mod, fn, env, value)
+        if got is None:
+            return
+        for target in targets:
+            expected = unit_suffix(target)
+            if expected is not None and got != expected:
+                yield self.project_hit(
+                    mod.path,
+                    node,
+                    f"value of inferred unit _{got} is assigned to "
+                    f"{'a target' if not isinstance(target, ast.Name) else repr(target.id)} "
+                    f"suffixed _{expected}; convert via repro.units first",
+                )
+
+    def _check_return(
+        self,
+        analysis: DataflowAnalysis,
+        mod: ModuleInfo,
+        fn: FunctionInfo,
+        env: Env,
+        node: ast.Return,
+    ) -> Iterator[Violation]:
+        expected = _name_suffix(fn.name)
+        if expected is None or node.value is None:
+            return
+        got = analysis.expr_fact(mod, fn, env, node.value)
+        if got is not None and got != expected:
+            yield self.project_hit(
+                mod.path,
+                node,
+                f"{fn.qualname}() promises _{expected} by name but returns a "
+                f"value of inferred unit _{got}; convert via repro.units "
+                f"before returning",
+            )

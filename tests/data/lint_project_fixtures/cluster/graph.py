@@ -1,0 +1,16 @@
+"""Call-graph shapes: aliased imports, method calls, typed locals."""
+
+from repro.sim.helpers import offset_seed as shift
+
+
+class Planner:
+    def plan(self, seed):
+        return self.step(seed)
+
+    def step(self, seed):
+        return shift(seed, 1)
+
+
+def run(seed):
+    p = Planner()
+    return p.plan(seed)

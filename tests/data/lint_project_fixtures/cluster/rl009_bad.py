@@ -1,0 +1,48 @@
+"""RL009 violations: a decorated worker's call tree writes shared state."""
+
+import functools
+
+from repro.parallel.pool import map_parallel as fan_out
+
+RESULTS = []
+TOTALS = {}
+COUNTER = 0
+
+
+def record(key, value):
+    TOTALS[key] = value
+
+
+def tally():
+    global COUNTER
+    COUNTER = COUNTER + 1
+
+
+class Jobs:
+    done = 0
+
+    @classmethod
+    def mark(cls):
+        cls.done = Jobs.done + 1
+
+
+def traced(func):
+    @functools.wraps(func)
+    def wrapper(*args, **kwargs):
+        return func(*args, **kwargs)
+
+    return wrapper
+
+
+@traced
+def worker(item, acc=[]):
+    acc.append(item)
+    RESULTS.append(item)
+    record("sum", item)
+    tally()
+    Jobs.mark()
+    return item
+
+
+def sweep(items):
+    return fan_out(worker, [{"item": i} for i in items])

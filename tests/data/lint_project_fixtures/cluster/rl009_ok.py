@@ -1,0 +1,24 @@
+"""Clean parallel hygiene: workers build local state and return it."""
+
+from repro.parallel.pool import map_parallel
+
+RESULTS = []  # mutated only by the parent, after the pool returns
+
+
+def summarise(values):
+    acc = []  # local container: private to this call
+    for v in values:
+        acc.append(v * 2)
+    return acc
+
+
+def worker(item):
+    local = {}
+    local["item"] = item
+    return summarise([item])
+
+
+def sweep(items):
+    outcomes = map_parallel(worker, [{"item": i} for i in items])
+    RESULTS.extend(outcomes)  # parent-side merge: not in the worker tree
+    return outcomes

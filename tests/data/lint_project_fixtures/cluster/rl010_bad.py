@@ -1,0 +1,38 @@
+"""RL010 violations: unit conflicts only the dataflow inference sees."""
+
+
+def read_power_w():
+    return 42.5
+
+
+def wait_s(duration_s):
+    return duration_s
+
+
+def mixed_arithmetic(duration_s):
+    x = read_power_w()
+    return x + duration_s
+
+
+def mixed_comparison(limit_s):
+    sample = read_power_w()
+    return sample > limit_s
+
+
+def wrong_argument():
+    v = read_power_w()
+    return wait_s(v)
+
+
+def wrong_keyword():
+    v = read_power_w()
+    return wait_s(duration_s=v)
+
+
+def wrong_assignment():
+    elapsed_s = read_power_w()
+    return elapsed_s
+
+
+def wrong_return_j(power_w):
+    return power_w

@@ -1,0 +1,24 @@
+"""Clean units flow: dimensions agree, or compose through * and /."""
+
+
+def read_power_w():
+    return 42.5
+
+
+def idle_energy_j(duration_s):
+    power = read_power_w()
+    return power * duration_s  # W × s is J: products compose units
+
+
+def total_wait_s(a_s, b_s):
+    budget_s = a_s + b_s
+    return budget_s
+
+
+def clamp_s(raw_s, limit_s):
+    chosen_s = min(raw_s, limit_s)
+    return chosen_s
+
+
+def threshold_ok(sample_w, limit_w):
+    return sample_w > limit_w

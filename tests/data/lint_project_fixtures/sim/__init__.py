@@ -1,0 +1,3 @@
+"""Package re-exports, so the call graph must follow the chain."""
+
+from repro.sim.rng import derive_seed, spawn_generator

@@ -1,0 +1,15 @@
+"""Helpers the taint rule must see *through*."""
+
+
+def hardcoded_seed():
+    # The literal is born here; the violation is reported at the sink
+    # that consumes it, two calls away.
+    return 20240601
+
+
+def offset_seed(seed, lane):
+    return seed + lane
+
+
+def pass_through(value):
+    return value

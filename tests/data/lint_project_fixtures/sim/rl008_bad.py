@@ -1,0 +1,30 @@
+"""RL008 violations: literal, laundered and unprovable seeds."""
+
+from repro.sim import spawn_generator
+from repro.sim.helpers import hardcoded_seed, pass_through
+from repro.sim.rng import derive_seed
+
+
+def literal_direct():
+    return spawn_generator(1234)
+
+
+def literal_through_helper():
+    s = hardcoded_seed()
+    return spawn_generator(s)
+
+
+def literal_by_keyword():
+    return spawn_generator(seed=7)
+
+
+def literal_into_derive(name):
+    return derive_seed(99, name)
+
+
+def unprovable(cfg):
+    return spawn_generator(pass_through(cfg))
+
+
+def suppressed_literal():
+    return spawn_generator(4321)  # repro-lint: disable=RL008

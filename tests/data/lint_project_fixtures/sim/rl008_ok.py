@@ -1,0 +1,30 @@
+"""Clean seed provenance: every sink traces to a master seed."""
+
+from repro.sim import derive_seed, spawn_generator
+from repro.sim.helpers import offset_seed
+from repro.sim.rng import RngStreams
+
+
+def from_param(seed):
+    return spawn_generator(seed)
+
+
+def from_derived(master_seed):
+    child = derive_seed(master_seed, "clock")
+    return spawn_generator(child)
+
+
+def from_kwarg(seed):
+    return spawn_generator(seed=derive_seed(master_seed=seed, name="net"))
+
+
+def from_helper(seed, lane):
+    return spawn_generator(offset_seed(seed, lane))
+
+
+def from_attribute(cfg):
+    return spawn_generator(cfg.master_seed)
+
+
+def streams(run_seed):
+    return RngStreams(run_seed)

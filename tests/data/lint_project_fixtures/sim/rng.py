@@ -1,0 +1,14 @@
+"""Stand-in for the sanctioned RNG module (RL008-exempt by path)."""
+
+
+def spawn_generator(seed):
+    return ("rng", seed)
+
+
+def derive_seed(master_seed, name):
+    return hash((master_seed, name))
+
+
+class RngStreams:
+    def __init__(self, master_seed):
+        self.master_seed = master_seed

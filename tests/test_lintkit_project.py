@@ -1,0 +1,354 @@
+"""Tests for the whole-program lint pass (``repro lint --project``).
+
+The fixture tree under ``tests/data/lint_project_fixtures/`` mirrors the
+package layout, so the project model roots its modules at ``repro.`` and
+imports between fixture files resolve exactly as they do on the real
+tree — aliased imports, ``__init__`` re-exports, method calls and all.
+Each interprocedural rule is held to the same contract as the per-file
+rules: a fixture with known violations (exact codes and lines asserted)
+and a clean fixture that must stay silent.  The self-check at the bottom
+is the acceptance gate: ``src/repro`` is clean under RL008–RL010 with an
+empty baseline.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.errors import LintError
+from repro.lintkit import (
+    build_project,
+    clear_parse_cache,
+    collect_files,
+    lint_paths,
+    lint_project,
+    load_baseline,
+    parse_cache_stats,
+    project_rules,
+    save_baseline,
+)
+from repro.lintkit.core import Violation
+
+FIXTURES = Path(__file__).parent / "data" / "lint_project_fixtures"
+REPO = Path(__file__).resolve().parent.parent
+CLI_ENV = {**os.environ, "PYTHONPATH": str(REPO / "src")}
+
+
+def run_project_rule(code):
+    """Run one project rule over the fixture tree, returning its violations."""
+    (rule,) = [r for r in project_rules() if r.code == code]
+    violations, _, _ = lint_project([str(FIXTURES)], rules=[rule], root=str(FIXTURES))
+    return violations
+
+
+def codes_and_lines(violations):
+    return sorted((v.rule, Path(v.path).name, v.line) for v in violations)
+
+
+class TestProjectRuleCatalogue:
+    def test_three_project_rules_with_unique_codes(self):
+        rules = project_rules()
+        assert [r.code for r in rules] == ["RL008", "RL009", "RL010"]
+        assert all(r.rationale for r in rules)
+
+    def test_project_rules_are_silent_per_file(self):
+        # A project rule handed to the per-file engine must not crash or fire.
+        violations, _ = lint_paths(
+            [str(FIXTURES / "sim" / "rl008_bad.py")],
+            rules=list(project_rules()),
+            root=str(FIXTURES),
+        )
+        assert violations == []
+
+
+class TestCallGraph:
+    @pytest.fixture(scope="class")
+    def project(self):
+        return build_project(collect_files([str(FIXTURES)]), root=FIXTURES)
+
+    def test_modules_are_rooted_at_repro(self, project):
+        assert "repro.sim.rng" in project.modules
+        assert "repro.cluster.graph" in project.modules
+        assert "repro.sim" in project.modules  # the __init__ package
+
+    def test_aliased_import_edge(self, project):
+        # step() calls offset_seed through the alias ``shift``.
+        assert "repro.sim.helpers.offset_seed" in project.call_graph[
+            "repro.cluster.graph.Planner.step"
+        ]
+
+    def test_self_method_edge(self, project):
+        assert "repro.cluster.graph.Planner.step" in project.call_graph[
+            "repro.cluster.graph.Planner.plan"
+        ]
+
+    def test_typed_local_method_edge(self, project):
+        # run() constructs Planner() locally, so p.plan() resolves.
+        assert "repro.cluster.graph.Planner.plan" in project.call_graph[
+            "repro.cluster.graph.run"
+        ]
+
+    def test_reexport_resolves_through_init(self, project):
+        symbol = project.resolve_export("repro.sim.spawn_generator")
+        assert symbol is not None
+        assert symbol.qualname == "repro.sim.rng.spawn_generator"
+
+    def test_reachability_covers_worker_tree(self, project):
+        reached = project.reachable_from(["repro.cluster.rl009_bad.worker"])
+        assert "repro.cluster.rl009_bad.record" in reached
+        assert "repro.cluster.rl009_bad.tally" in reached
+        assert "repro.cluster.rl009_bad.Jobs.mark" in reached
+        # The submitting function is not part of the worker tree.
+        assert "repro.cluster.rl009_bad.sweep" not in reached
+
+    def test_stats_shape(self, project):
+        stats = project.stats().to_dict()
+        assert stats["modules"] == 10
+        assert stats["functions"] > 0
+        assert stats["call_edges"] > 0
+        assert set(stats) == {
+            "modules", "functions", "classes", "call_edges", "unresolved_calls",
+        }
+
+
+class TestRL008SeedProvenance:
+    def test_bad_fixture_fires_every_form(self):
+        violations = run_project_rule("RL008")
+        assert codes_and_lines(violations) == [
+            ("RL008", "rl008_bad.py", 9),   # literal at the sink
+            ("RL008", "rl008_bad.py", 14),  # literal through a helper return
+            ("RL008", "rl008_bad.py", 18),  # literal by keyword
+            ("RL008", "rl008_bad.py", 22),  # literal master into derive_seed
+            ("RL008", "rl008_bad.py", 26),  # unprovable provenance
+        ]
+
+    def test_literal_and_unknown_get_distinct_messages(self):
+        violations = run_project_rule("RL008")
+        by_line = {v.line: v.message for v in violations}
+        assert "seeded from a literal" in by_line[9]
+        assert "not provably derived" in by_line[26]
+
+    def test_suppression_comment_wins(self):
+        # rl008_bad.py:30 carries `# repro-lint: disable=RL008`.
+        assert all(v.line != 30 for v in run_project_rule("RL008"))
+
+    def test_clean_fixture_is_silent(self):
+        assert all(
+            Path(v.path).name != "rl008_ok.py" for v in run_project_rule("RL008")
+        )
+
+    def test_sanctioned_rng_module_is_exempt(self):
+        assert all(
+            Path(v.path).name != "rng.py" for v in run_project_rule("RL008")
+        )
+
+
+class TestRL009ParallelSharedState:
+    def test_bad_fixture_fires_every_form(self):
+        violations = run_project_rule("RL009")
+        assert codes_and_lines(violations) == [
+            ("RL009", "rl009_bad.py", 13),  # helper writes module dict
+            ("RL009", "rl009_bad.py", 18),  # global counter rebind
+            ("RL009", "rl009_bad.py", 26),  # cls attribute store
+            ("RL009", "rl009_bad.py", 39),  # mutable default mutation
+            ("RL009", "rl009_bad.py", 40),  # module list append
+        ]
+
+    def test_decorated_worker_is_still_an_entry(self):
+        # The worker carries @traced; resolution is by name, not value.
+        messages = [v.message for v in run_project_rule("RL009")]
+        assert any("worker()" in m and "default argument" in m for m in messages)
+
+    def test_violations_name_the_offending_function(self):
+        by_line = {v.line: v.message for v in run_project_rule("RL009")}
+        assert "rl009_bad.tally()" in by_line[18]
+        assert "rl009_bad.Jobs.mark()" in by_line[26]
+
+    def test_clean_fixture_is_silent(self):
+        assert all(
+            Path(v.path).name != "rl009_ok.py" for v in run_project_rule("RL009")
+        )
+
+
+class TestRL010UnitsFlow:
+    def test_bad_fixture_fires_every_form(self):
+        violations = run_project_rule("RL010")
+        assert codes_and_lines(violations) == [
+            ("RL010", "rl010_bad.py", 14),  # arithmetic via helper return
+            ("RL010", "rl010_bad.py", 19),  # comparison via assignment
+            ("RL010", "rl010_bad.py", 24),  # positional arg vs _s param
+            ("RL010", "rl010_bad.py", 29),  # keyword arg vs _s param
+            ("RL010", "rl010_bad.py", 33),  # assignment to _s target
+            ("RL010", "rl010_bad.py", 38),  # return vs _j name contract
+        ]
+
+    def test_dimension_flows_through_return_contract(self):
+        # read_power_w has no suffixed return expression: the _w comes
+        # from the function's own name, through the summary.
+        by_line = {v.line: v.message for v in run_project_rule("RL010")}
+        assert "_w" in by_line[14] and "_s" in by_line[14]
+
+    def test_clean_fixture_is_silent(self):
+        assert all(
+            Path(v.path).name != "rl010_ok.py" for v in run_project_rule("RL010")
+        )
+
+
+class TestLintProjectEngine:
+    def test_all_rules_sorted_with_stats(self):
+        violations, n_files, stats = lint_project([str(FIXTURES)], root=str(FIXTURES))
+        assert n_files == 10
+        assert violations == sorted(violations)
+        assert {v.rule for v in violations} == {"RL008", "RL009", "RL010"}
+        assert stats.to_dict()["modules"] == 10
+
+    def test_missing_path_raises(self):
+        with pytest.raises(LintError):
+            lint_project(["definitely/not/a/path"])
+
+    def test_repo_is_clean_under_project_rules(self):
+        # The acceptance gate: src/repro lints clean with an empty baseline.
+        violations, _, stats = lint_project([str(REPO / "src")])
+        assert violations == []
+        assert stats.to_dict()["call_edges"] > 1000
+
+
+class TestParseCache:
+    def test_second_pass_hits_the_memo(self):
+        clear_parse_cache()
+        lint_paths([str(FIXTURES)], root=str(FIXTURES))
+        _, first_misses = parse_cache_stats()
+        assert first_misses == 10
+        lint_project([str(FIXTURES)], root=str(FIXTURES))
+        hits, misses = parse_cache_stats()
+        assert misses == first_misses  # no re-parses
+        assert hits == 10
+
+    def test_no_cache_bypasses_the_memo(self):
+        clear_parse_cache()
+        lint_paths([str(FIXTURES)], root=str(FIXTURES), use_cache=False)
+        assert parse_cache_stats() == (0, 0)
+
+    def test_modified_file_reparses(self, tmp_path):
+        (tmp_path / "sim").mkdir()
+        target = tmp_path / "sim" / "mod.py"
+        target.write_text("import time\n\n\ndef f():\n    return time.time()\n")
+        clear_parse_cache()
+        first, _ = lint_paths([str(target)], root=str(tmp_path))
+        stamped = os.stat(target)
+        target.write_text("def f():\n    return 0\n")
+        # Force a different (mtime, size) stamp even on coarse filesystems.
+        os.utime(target, ns=(stamped.st_atime_ns, stamped.st_mtime_ns + 1_000_000))
+        second, _ = lint_paths([str(target)], root=str(tmp_path))
+        assert second == []
+        assert second != first
+
+
+class TestBaselineV2:
+    def _violation(self, path="src/repro/sim/rng.py", rule="RL008", line=3):
+        return Violation(path=path, line=line, col=0, rule=rule, message="m")
+
+    def test_saved_baseline_is_version_2_with_counts(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        save_baseline(
+            str(path),
+            [self._violation(), self._violation(rule="RL009", line=9),
+             self._violation(rule="RL009", line=4)],
+        )
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 2
+        assert payload["counts"] == {"RL008": 1, "RL009": 2}
+        entries = [(e["path"], e["rule"], e["line"]) for e in payload["entries"]]
+        assert entries == sorted(entries)
+
+    def test_version_1_baseline_still_loads(self, tmp_path):
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps({
+            "version": 1,
+            "entries": [{"path": "src/repro/sim/rng.py", "rule": "RL008", "line": 3}],
+        }))
+        baseline = load_baseline(str(path))
+        assert len(baseline) == 1
+        assert baseline.filter_new([self._violation()]) == []
+
+    def test_v1_to_v2_migration_round_trip(self, tmp_path):
+        v1 = tmp_path / "old.json"
+        v1.write_text(json.dumps({
+            "version": 1,
+            "entries": [{"path": "a.py", "rule": "RL010", "line": 7}],
+        }))
+        migrated = load_baseline(str(v1))
+        v2 = tmp_path / "new.json"
+        save_baseline(
+            str(v2), [self._violation(path="a.py", rule="RL010", line=7)]
+        )
+        payload = json.loads(v2.read_text())
+        assert payload["version"] == 2
+        assert load_baseline(str(v2)).entries == migrated.entries
+
+    def test_absolute_paths_normalise_to_repo_relative(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        path = tmp_path / "baseline.json"
+        absolute = str(tmp_path / "pkg" / "mod.py")
+        save_baseline(str(path), [self._violation(path=absolute, rule="RL009", line=2)])
+        payload = json.loads(path.read_text())
+        assert payload["entries"][0]["path"] == "pkg/mod.py"
+        baseline = load_baseline(str(path))
+        assert baseline.filter_new(
+            [self._violation(path="pkg/mod.py", rule="RL009", line=2)]
+        ) == []
+
+
+class TestProjectCLI:
+    def test_project_flag_reports_and_dumps_stats(self, tmp_path):
+        dump = tmp_path / "callgraph.json"
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro.cli", "lint", str(FIXTURES),
+                "--project", "--no-baseline", "--format", "json",
+                "--package-root", str(FIXTURES),
+                "--call-graph-dump", str(dump),
+            ],
+            capture_output=True,
+            text=True,
+            cwd=str(REPO),
+            env=CLI_ENV,
+        )
+        assert proc.returncode == 1, proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["version"] == 1
+        assert set(payload["counts"]) == {"RL008", "RL009", "RL010"}
+        assert payload["project"]["modules"] == 10
+        stats = json.loads(dump.read_text())
+        assert stats == payload["project"]
+
+    def test_no_cache_flag_still_lints(self):
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro.cli", "lint",
+                str(FIXTURES / "cluster" / "graph.py"),
+                "--no-cache", "--no-baseline", "--package-root", str(FIXTURES),
+            ],
+            capture_output=True,
+            text=True,
+            cwd=str(REPO),
+            env=CLI_ENV,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_list_rules_includes_project_rules(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "lint", "--list-rules"],
+            capture_output=True,
+            text=True,
+            cwd=str(REPO),
+            env=CLI_ENV,
+        )
+        assert proc.returncode == 0
+        for code in ("RL008", "RL009", "RL010"):
+            assert code in proc.stdout
+        assert "--project" in proc.stdout
