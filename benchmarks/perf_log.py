@@ -1,4 +1,4 @@
-"""Perf-trajectory publishing for the engine micro-benchmarks.
+"""Perf-trajectory publishing + regression sentry for the engine benches.
 
 The ``BENCH_*.json`` files at the repo root record how the hot-loop
 numbers move across PRs: each publish appends one entry (bench name,
@@ -14,21 +14,38 @@ checked-in entries come from deliberate publish runs::
 Only the perf-engine micro-benchmarks publish: the figure/table benches
 time multi-second simulations whose wall time tracks the machine, not
 the code.
+
+The regression sentry is a second, orthogonal channel: set
+``REPRO_BENCH_CURRENT=<path>`` to capture the current run's metrics to a
+scratch file (always written, no publish gate — it is throwaway CI
+state, not history), then diff it against the last trajectory entry per
+bench::
+
+    REPRO_BENCH_CURRENT=current.json pytest benchmarks/test_perf_engine.py --benchmark-only
+    python benchmarks/perf_log.py compare --current current.json
+
+``compare`` exits 1 when any ``*ticks_per_s`` metric regressed by more
+than the tolerance (default 10 %) — the CI ``perf-sentry`` gate.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import platform
 import subprocess
+import sys
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["publish", "trajectory_path"]
+__all__ = ["publish", "trajectory_path", "last_entries", "compare_entries", "main"]
 
 _REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Only throughput metrics gate: ratios and counts are informational.
+_GATED_SUFFIX = "ticks_per_s"
 
 
 def trajectory_path(series: str = "perf_engine") -> Path:
@@ -47,11 +64,34 @@ def _git_rev() -> str:
         return "unknown"
 
 
-def publish(bench: str, metrics: Dict[str, float], *, series: str = "perf_engine") -> None:
-    """Append one bench result to the series' trajectory file.
+def _entry(bench: str, metrics: Dict[str, float]) -> Dict[str, object]:
+    return {
+        "bench": bench,
+        "metrics": {k: round(float(v), 3) for k, v in sorted(metrics.items())},
+        "python": platform.python_version(),
+        "git_rev": _git_rev(),
+        "recorded_at": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+    }
 
-    No-op unless ``REPRO_BENCH_PUBLISH=1``: trajectory entries are
-    deliberate acts, not side effects of every test run.
+
+def _append(path: Path, entry: Dict[str, object]) -> None:
+    entries: List[Dict[str, object]] = []
+    if path.exists():
+        entries = json.loads(path.read_text())
+    entries.append(entry)
+    path.write_text(json.dumps(entries, indent=2, sort_keys=True) + "\n")
+
+
+def publish(bench: str, metrics: Dict[str, float], *, series: str = "perf_engine") -> None:
+    """Record one bench result.
+
+    Two independent sinks:
+
+    * the checked-in trajectory file — only with ``REPRO_BENCH_PUBLISH=1``
+      (trajectory entries are deliberate acts, not side effects of every
+      test run);
+    * the ``REPRO_BENCH_CURRENT`` capture file, whenever that variable
+      names a path — scratch state for ``compare``, never committed.
 
     Parameters
     ----------
@@ -63,19 +103,117 @@ def publish(bench: str, metrics: Dict[str, float], *, series: str = "perf_engine
     series:
         Which ``BENCH_<series>.json`` file to append to.
     """
-    if os.environ.get("REPRO_BENCH_PUBLISH") != "1":
-        return
-    path = trajectory_path(series)
-    entries: List[Dict[str, object]] = []
-    if path.exists():
-        entries = json.loads(path.read_text())
-    entries.append(
-        {
-            "bench": bench,
-            "metrics": {k: round(float(v), 3) for k, v in sorted(metrics.items())},
-            "python": platform.python_version(),
-            "git_rev": _git_rev(),
-            "recorded_at": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
-        }
+    entry = _entry(bench, metrics)
+    capture = os.environ.get("REPRO_BENCH_CURRENT")
+    if capture:
+        _append(Path(capture), entry)
+    if os.environ.get("REPRO_BENCH_PUBLISH") == "1":
+        _append(trajectory_path(series), entry)
+
+
+def last_entries(entries: Sequence[Dict[str, object]]) -> Dict[str, Dict[str, object]]:
+    """The newest entry per bench name, in file (= chronological) order."""
+    latest: Dict[str, Dict[str, object]] = {}
+    for entry in entries:
+        latest[str(entry["bench"])] = entry
+    return latest
+
+
+def compare_entries(
+    current: Sequence[Dict[str, object]],
+    trajectory: Sequence[Dict[str, object]],
+    *,
+    tolerance: float = 0.10,
+) -> Tuple[List[Tuple[str, str, float, float, float]], List[str]]:
+    """Diff the current run against the last trajectory entry per bench.
+
+    Returns ``(rows, failures)``: one row per gated metric as ``(bench,
+    metric, previous, current, delta_frac)`` (``delta_frac`` negative =
+    slower), and one failure string per ``*ticks_per_s`` metric that
+    regressed by more than ``tolerance``.  Benches or metrics with no
+    trajectory baseline are skipped — a new bench cannot regress.
+    """
+    baseline = last_entries(trajectory)
+    rows: List[Tuple[str, str, float, float, float]] = []
+    failures: List[str] = []
+    for entry in last_entries(current).values():
+        bench = str(entry["bench"])
+        prev = baseline.get(bench)
+        if prev is None:
+            continue
+        prev_metrics = prev["metrics"]
+        cur_metrics = entry["metrics"]
+        assert isinstance(prev_metrics, dict) and isinstance(cur_metrics, dict)
+        for metric in sorted(cur_metrics):
+            if not metric.endswith(_GATED_SUFFIX) or metric not in prev_metrics:
+                continue
+            was = float(prev_metrics[metric])
+            now = float(cur_metrics[metric])
+            if was <= 0:
+                continue
+            delta = now / was - 1.0
+            rows.append((bench, metric, was, now, delta))
+            if delta < -tolerance:
+                failures.append(
+                    f"{bench}.{metric}: {now:,.0f} ticks/s is {-delta * 100:.1f}% "
+                    f"below the last published {was:,.0f} "
+                    f"(rev {prev.get('git_rev', '?')}, gate {tolerance * 100:.0f}%)"
+                )
+    return rows, failures
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    current_path = Path(args.current)
+    if not current_path.exists():
+        print(f"error: no current-run capture at {current_path}", file=sys.stderr)
+        return 2
+    trajectory_file = Path(args.trajectory) if args.trajectory else trajectory_path(args.series)
+    trajectory = json.loads(trajectory_file.read_text()) if trajectory_file.exists() else []
+    current = json.loads(current_path.read_text())
+    rows, failures = compare_entries(current, trajectory, tolerance=args.tolerance)
+    if not rows:
+        print("perf-sentry: no overlapping benches to compare (empty trajectory?)")
+        return 0
+    width = max(len(f"{b}.{m}") for b, m, _, _, _ in rows)
+    print(f"perf-sentry vs {trajectory_file.name} (gate: -{args.tolerance * 100:.0f}%)")
+    for bench, metric, was, now, delta in rows:
+        flag = "REGRESSED" if delta < -args.tolerance else "ok"
+        print(
+            f"  {f'{bench}.{metric}':<{width}}  {was:>12,.0f} -> {now:>12,.0f}  "
+            f"{delta * 100:+6.1f}%  {flag}"
+        )
+    for failure in failures:
+        print(f"GATE: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="perf_log", description="bench trajectory tools"
     )
-    path.write_text(json.dumps(entries, indent=2, sort_keys=True) + "\n")
+    sub = parser.add_subparsers(dest="command", required=True)
+    cmp_p = sub.add_parser(
+        "compare", help="diff a current-run capture against the trajectory"
+    )
+    cmp_p.add_argument(
+        "--current", required=True, metavar="PATH",
+        help="capture file written via REPRO_BENCH_CURRENT",
+    )
+    cmp_p.add_argument(
+        "--trajectory", default=None, metavar="PATH",
+        help="trajectory file (default: BENCH_<series>.json at the repo root)",
+    )
+    cmp_p.add_argument("--series", default="perf_engine")
+    cmp_p.add_argument(
+        "--tolerance", type=float, default=0.10, metavar="FRACTION",
+        help="max tolerated ticks_per_s regression (default 0.10)",
+    )
+    args = parser.parse_args(argv)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

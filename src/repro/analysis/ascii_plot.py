@@ -15,7 +15,7 @@ import numpy as np
 from repro.errors import ExperimentError
 from repro.sim.trace import TimeSeries
 
-__all__ = ["sparkline", "strip_chart"]
+__all__ = ["sparkline", "strip_chart", "tsdb_strip_chart"]
 
 _LEVELS = "▁▂▃▄▅▆▇█"
 
@@ -99,4 +99,66 @@ def strip_chart(
     ]
     for label, ts in prepared.items():
         lines.append(f"{label:<{label_width}} {sparkline(ts.values, lo=lo, hi=hi, width=width)}")
+    return "\n".join(lines)
+
+
+def tsdb_strip_chart(
+    tsdb,
+    names: Sequence[str],
+    *,
+    width: int = 72,
+) -> str:
+    """Render TSDB series as per-row-scaled sparkline strips.
+
+    Unlike :func:`strip_chart`, every row gets its *own* vertical scale
+    (annotated as ``[lo, hi]`` on the right) — the watch set mixes
+    kilowatt rollups with 0/1 health flags, so a joint scale would
+    flatten everything but the largest series.  Each series is staircase
+    -resampled onto a uniform simulated-time grid, so the character axis
+    is time-faithful even though scrapes are event-driven.
+
+    Series are looked up by name; a name fanning out over labels (per
+    node, per device) renders one row per label set.  Names with no
+    samples are listed as ``(no samples)``.
+    """
+    from repro.obs.dashboard import series_points
+
+    if not names:
+        raise ExperimentError("tsdb_strip_chart needs at least one series name")
+    if width < 8:
+        raise ExperimentError(f"width must be >= 8, got {width!r}")
+    rows = []  # (label, points or None)
+    horizon = 0.0
+    for name in names:
+        matches = tsdb.query(name)
+        if not matches:
+            rows.append((name, None))
+            continue
+        for series in matches:
+            label = series.name
+            if label.startswith("repro.ts."):
+                label = label[len("repro.ts."):]
+            if series.labels:
+                label += "{" + ",".join(f"{k}={v}" for k, v in series.labels) + "}"
+            points = series_points(series)
+            if not points:
+                rows.append((label, None))
+                continue
+            horizon = max(horizon, points[-1][0])
+            rows.append((label, points))
+    label_width = max(len(label) for label, _ in rows)
+    grid = np.linspace(0.0, horizon if horizon > 0 else 1.0, max(width, 2))
+    lines = [f"{'':<{label_width}} simulated time 0..{horizon:.1f}s, per-row scale"]
+    for label, points in rows:
+        if points is None:
+            lines.append(f"{label:<{label_width}} (no samples)")
+            continue
+        times = np.array([t for t, _ in points])
+        values = np.array([v for _, v in points])
+        idx = np.clip(np.searchsorted(times, grid, side="right") - 1, 0, times.size - 1)
+        lo, hi = float(values.min()), float(values.max())
+        lines.append(
+            f"{label:<{label_width}} "
+            f"{sparkline(values[idx], lo=lo, hi=hi)} [{lo:.6g}, {hi:.6g}]"
+        )
     return "\n".join(lines)

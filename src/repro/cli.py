@@ -18,6 +18,8 @@ an entry point). Subcommands mirror the library's main workflows::
     repro campaign run --outdir out --resume     # skip journalled steps, rerun the rest
     repro fleet --job unet@0 --job bfs@5 --mtbf 300   # fleet under node failures
     repro coordinate --job sort@0 --job bfs@3 --gate  # leased power caps + chaos
+    repro watch --job sort@0 --job bfs@3              # ASCII strip charts of the scrape
+    repro alerts --job sort@0 --chaos uplink --gate   # SLO pack; exit 1 on a page
 """
 
 from __future__ import annotations
@@ -82,7 +84,14 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", help="decision-attributed Chrome trace of one run (open in Perfetto)"
     )
     trace_p.add_argument("--system", default="intel_a100", choices=sorted(PRESETS))
-    trace_p.add_argument("--workload", required=True)
+    trace_p.add_argument(
+        "--workload", default=None, help="single-run mode: the workload to trace"
+    )
+    trace_p.add_argument(
+        "--job", action="append", default=None, metavar="WORKLOAD[@START]",
+        help="coordinated-fleet mode (repeatable): trace the fleet scrape "
+        "as Chrome counter tracks instead of one run's spans",
+    )
     trace_p.add_argument("--governor", default="magus", choices=GOVERNORS)
     trace_p.add_argument("--seed", type=int, default=1)
     trace_p.add_argument("--max-time", type=float, default=600.0, metavar="SECONDS")
@@ -95,7 +104,14 @@ def build_parser() -> argparse.ArgumentParser:
         "metrics", help="run metrics (Prometheus/JSON) + by-cause energy attribution"
     )
     met_p.add_argument("--system", default="intel_a100", choices=sorted(PRESETS))
-    met_p.add_argument("--workload", required=True)
+    met_p.add_argument(
+        "--workload", default=None, help="single-run mode: the workload to meter"
+    )
+    met_p.add_argument(
+        "--job", action="append", default=None, metavar="WORKLOAD[@START]",
+        help="coordinated-fleet mode (repeatable): dump the coordinator + "
+        "per-job metrics rollup instead of one run's registry",
+    )
     met_p.add_argument("--governor", default="magus", choices=GOVERNORS)
     met_p.add_argument("--seed", type=int, default=1)
     met_p.add_argument("--max-time", type=float, default=600.0, metavar="SECONDS")
@@ -196,6 +212,79 @@ def build_parser() -> argparse.ArgumentParser:
         "(the control-plane-chaos CI gate)",
     )
     coord_p.add_argument("--out", default=None, metavar="PATH", help="also write the report to a file")
+
+    def add_scrape_run_args(p: argparse.ArgumentParser) -> None:
+        """Options shared by the scrape-backed verbs (watch, alerts)."""
+        p.add_argument("--system", default="intel_a100", choices=sorted(PRESETS))
+        p.add_argument(
+            "--job",
+            action="append",
+            default=None,
+            metavar="WORKLOAD[@START]",
+            help="workload name with optional start time, e.g. sort@0 bfs@3",
+        )
+        p.add_argument("--governor", default="default", choices=GOVERNORS)
+        p.add_argument(
+            "--seed", type=int, default=1, help="job seed; also seeds the chaos campaign"
+        )
+        p.add_argument(
+            "--budget", type=float, default=None, metavar="WATTS",
+            help="explicit global power budget (default: --budget-frac of ample)",
+        )
+        p.add_argument(
+            "--budget-frac", type=float, default=1.0, metavar="FRACTION",
+            help="budget as a fraction of the ample (never-throttling) budget",
+        )
+        p.add_argument(
+            "--max-time", type=float, default=20.0, metavar="SECONDS",
+            help="per-job simulation horizon",
+        )
+        p.add_argument(
+            "--chaos", choices=("none", "standard", "uplink"), default="none",
+            help="control-plane fault campaign: the full coordinated mix, or "
+            "the alert gate's single sustained uplink partition",
+        )
+        p.add_argument(
+            "--html", default=None, metavar="PATH",
+            help="also export the static HTML dashboard",
+        )
+
+    watch_p = sub.add_parser(
+        "watch",
+        help="scrape a coordinated fleet into the time-series store and "
+        "render ASCII strip charts",
+    )
+    add_scrape_run_args(watch_p)
+    watch_p.add_argument(
+        "--series", action="append", default=None, metavar="NAME",
+        help="series to chart (repeatable; default: the standard watch set)",
+    )
+    watch_p.add_argument(
+        "--width", type=int, default=72, help="characters per sparkline"
+    )
+    watch_p.add_argument(
+        "--list-series", action="store_true",
+        help="print the scrape series catalogue and exit",
+    )
+
+    alerts_p = sub.add_parser(
+        "alerts",
+        help="evaluate the fleet SLO alert pack over a coordinated run "
+        "(burn rates, staleness, anomalies on the simulated clock)",
+    )
+    add_scrape_run_args(alerts_p)
+    alerts_p.add_argument(
+        "--json", action="store_true",
+        help="machine-readable rules + event stream instead of the table",
+    )
+    alerts_p.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the alerts JSON to a file",
+    )
+    alerts_p.add_argument(
+        "--gate", action="store_true",
+        help="exit 1 if any page-severity alert fired (the alert-gate CI job)",
+    )
 
     camp_p = sub.add_parser(
         "campaign", help="journaled, crash-resumable runs of the paper protocol"
@@ -427,10 +516,40 @@ def _opt(value, fmt: str) -> str:
     return "-"
 
 
+def _require_one_target(args) -> None:
+    """``trace``/``metrics`` take a --workload XOR a fleet of --job specs."""
+    if bool(args.workload) == bool(args.job):
+        raise ReproError(
+            f"repro {args.command}: pass exactly one of --workload (single run) "
+            "or --job (coordinated fleet, repeatable)"
+        )
+
+
+def _run_coordinated_observed(args):
+    """One scraped, metrics-enabled coordinated run for trace/metrics --job."""
+    from repro.cluster import ClusterSimulator
+    from repro.coordinator.fleet import run_coordinated_fleet
+
+    sim = ClusterSimulator(args.system, _parse_jobs(args.job, args.seed, args.max_time))
+    return run_coordinated_fleet(sim, args.governor, obs=True, tsdb=True)
+
+
 def _cmd_trace(args) -> int:
     from repro.obs.exporters import render_chrome_trace, write_text
     from repro.obs.report import slowest_cycles
 
+    _require_one_target(args)
+    if args.job:
+        from repro.obs.exporters import render_chrome_counter_trace
+
+        result = _run_coordinated_observed(args)
+        write_text(args.out, render_chrome_counter_trace(result.tsdb))
+        print(
+            f"wrote {len(result.tsdb)} counter track(s) over "
+            f"{result.tick_times_s.size} control tick(s) to {args.out} — "
+            "open in chrome://tracing or https://ui.perfetto.dev"
+        )
+        return 0
     result = _run_observed(args)
     write_text(
         args.out,
@@ -483,6 +602,24 @@ def _cmd_metrics(args) -> int:
     from repro.obs.report import attribute_decisions
     from repro.sim.trace import TimeSeries
 
+    _require_one_target(args)
+    if args.job:
+        result = _run_coordinated_observed(args)
+        registry = result.metrics_rollup()
+        if registry is None:
+            raise ReproError("coordinated run returned no metrics rollup")
+        if args.format == "json":
+            import json
+
+            dump = json.dumps(registry_to_dict(registry), indent=2, sort_keys=True) + "\n"
+        else:
+            dump = render_prometheus(registry)
+        if args.out:
+            write_text(args.out, dump)
+            print(f"wrote {len(registry)} metric(s) to {args.out}")
+        else:
+            print(dump, end="" if dump.endswith("\n") else "\n")
+        return 0
     result = _run_observed(args)
     registry = result.metrics
     if registry is None:
@@ -537,15 +674,158 @@ def _cmd_suite(args) -> int:
     return 0
 
 
-def _cmd_fleet(args) -> int:
-    from repro.cluster import ClusterJob, ClusterSimulator, NodeFailureModel, compare_fleets
+def _parse_jobs(specs, seed: int, max_time_s: Optional[float] = None):
+    """``WORKLOAD[@START]`` specs to :class:`ClusterJob`\\ s (shared syntax
+    of every fleet-shaped verb)."""
+    from repro.cluster import ClusterJob
 
     jobs = []
-    for i, spec in enumerate(args.job):
+    for i, spec in enumerate(specs):
         name, _, start = spec.partition("@")
         jobs.append(
-            ClusterJob(f"job{i}-{name}", name, float(start) if start else 0.0, seed=args.seed + i)
+            ClusterJob(
+                f"job{i}-{name}",
+                name,
+                float(start) if start else 0.0,
+                seed=seed + i,
+                max_time_s=max_time_s,
+            )
         )
+    return jobs
+
+
+def _run_scraped(args, *, with_alerts: bool):
+    """One scraped coordinated run shared by ``watch`` and ``alerts``."""
+    from repro.experiments.coordination import run_coordination
+    from repro.obs.scrape import default_fleet_rules
+
+    if not args.job:
+        raise ReproError("at least one --job is required")
+    chaos = {"none": False, "standard": True, "uplink": "uplink"}[args.chaos]
+    result, score = run_coordination(
+        args.system,
+        _parse_jobs(args.job, args.seed, args.max_time),
+        args.governor,
+        seed=args.seed,
+        budget_frac=args.budget_frac,
+        budget_w=args.budget,
+        chaos=chaos,
+        tsdb=True,
+        alert_rules=default_fleet_rules if with_alerts else None,
+    )
+    if result.tsdb is None:
+        raise ReproError("scraped run returned no time-series store")
+    return result, score
+
+
+def _write_dashboard(args, result) -> None:
+    if not args.html:
+        return
+    from repro.obs.dashboard import render_dashboard_html
+    from repro.obs.exporters import write_text
+
+    write_text(
+        args.html,
+        render_dashboard_html(
+            result.tsdb,
+            result.alerts,
+            title=f"{args.system} / {args.governor} (seed {args.seed}, "
+            f"chaos {args.chaos})",
+        ),
+    )
+    print(f"wrote dashboard to {args.html}")
+
+
+def _cmd_watch(args) -> int:
+    from repro.analysis.ascii_plot import tsdb_strip_chart
+    from repro.obs.scrape import DEFAULT_WATCH_SERIES, SERIES_CATALOGUE
+
+    if args.list_series:
+        print(
+            format_table(
+                ("series", "meaning"),
+                sorted(SERIES_CATALOGUE.items()),
+                title="scrape series catalogue",
+            )
+        )
+        return 0
+    result, _ = _run_scraped(args, with_alerts=False)
+    names = args.series or DEFAULT_WATCH_SERIES
+    print(
+        f"{args.system} / {args.governor}: {result.n_nodes} node(s), "
+        f"budget {result.config.budget_w:.0f} W, chaos {args.chaos} "
+        f"(seed {args.seed})"
+    )
+    print()
+    print(tsdb_strip_chart(result.tsdb, names, width=args.width))
+    _write_dashboard(args, result)
+    return 0
+
+
+def _cmd_alerts(args) -> int:
+    import json
+
+    result, _ = _run_scraped(args, with_alerts=True)
+    engine = result.alerts
+    if engine is None:
+        raise ReproError("alert-enabled run returned no alert engine")
+    if args.json:
+        report = json.dumps(engine.to_dict(), indent=2, sort_keys=True)
+        print(report)
+    else:
+        rows = [
+            (
+                f"{ev.time_s:.2f}",
+                ev.rule,
+                "{" + ",".join(f"{k}={v}" for k, v in ev.labels) + "}"
+                if ev.labels
+                else "-",
+                ev.severity,
+                ev.state,
+                ev.detail,
+            )
+            for ev in engine.events
+        ]
+        pages = engine.ever_fired("page")
+        warns = engine.ever_fired("warn")
+        title = (
+            f"alert transitions ({len(pages)} page(s), {len(warns)} warn(s) "
+            f"fired; {len(engine.firing())} still firing)"
+        )
+        if rows:
+            report = format_table(
+                ("t (s)", "rule", "labels", "severity", "state", "detail"),
+                rows,
+                title=title,
+            )
+        else:
+            report = f"{title}\nno alert transitions"
+        print(report)
+    if args.out:
+        from repro.obs.exporters import write_text
+
+        write_text(
+            args.out, json.dumps(engine.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote alerts JSON to {args.out}")
+    _write_dashboard(args, result)
+    if args.gate:
+        pages = engine.ever_fired("page")
+        if pages:
+            for ev in pages:
+                print(
+                    f"GATE: page {ev.rule} fired at t={ev.time_s:.2f}s ({ev.detail})",
+                    file=sys.stderr,
+                )
+            return 1
+        print("gate: no page-severity alert fired")
+    return 0
+
+
+def _cmd_fleet(args) -> int:
+    from repro.cluster import ClusterSimulator, NodeFailureModel, compare_fleets
+
+    jobs = _parse_jobs(args.job, args.seed)
     model = None
     if args.mtbf is not None:
         model = NodeFailureModel(
@@ -608,7 +888,6 @@ def _cmd_fleet(args) -> int:
 def _cmd_coordinate(args) -> int:
     import json
 
-    from repro.cluster import ClusterJob
     from repro.errors import ExperimentError
     from repro.experiments.coordination import (
         assert_coordination_safe,
@@ -617,18 +896,7 @@ def _cmd_coordinate(args) -> int:
         run_coordination,
     )
 
-    jobs = []
-    for i, spec in enumerate(args.job):
-        name, _, start = spec.partition("@")
-        jobs.append(
-            ClusterJob(
-                f"job{i}-{name}",
-                name,
-                float(start) if start else 0.0,
-                seed=args.seed + i,
-                max_time_s=args.max_time,
-            )
-        )
+    jobs = _parse_jobs(args.job, args.seed, args.max_time)
     _, score = run_coordination(
         args.system,
         jobs,
@@ -910,6 +1178,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_fleet(args)
         if args.command == "coordinate":
             return _cmd_coordinate(args)
+        if args.command == "watch":
+            return _cmd_watch(args)
+        if args.command == "alerts":
+            return _cmd_alerts(args)
         if args.command == "campaign":
             return _cmd_campaign(args)
         if args.command == "lint":

@@ -37,6 +37,7 @@ from repro.hw.presets import SystemPreset, get_preset
 from repro.obs.aggregate import merge_registries
 from repro.obs.config import ObsConfig
 from repro.obs.registry import MetricsRegistry
+from repro.obs.tsdb import TimeSeriesDB, merge_tsdbs
 from repro.parallel.pool import map_parallel
 from repro.parallel.retry import RetryPolicy
 from repro.runtime.session import make_governor, run_application
@@ -71,10 +72,17 @@ class JobOutcome:
     #: The job run's metrics registry (observability-enabled fleets only).
     #: Registries are plain-Python and pickle across the pool boundary.
     metrics: Optional[MetricsRegistry] = None
+    #: The job run's scraped TSDB (``tsdb=True`` fleets only).
+    tsdb: Optional[TimeSeriesDB] = None
 
 
 def _run_job(
-    preset_name: str, job: ClusterJob, governor_name: str, dt_s: float, obs: bool = False
+    preset_name: str,
+    job: ClusterJob,
+    governor_name: str,
+    dt_s: float,
+    obs: bool = False,
+    tsdb: bool = False,
 ) -> JobOutcome:
     """Pool worker: simulate one job and slim the result.
 
@@ -95,7 +103,11 @@ def _run_job(
         dt_s=dt_s,
         max_time_s=job.max_time_s if job.max_time_s is not None else _DEFAULT_JOB_HORIZON_S,
         per_core_channels=False,
-        obs=ObsConfig(enabled=True, spans=False) if obs else None,
+        obs=(
+            ObsConfig(enabled=True, metrics=obs, spans=False, tsdb=tsdb)
+            if (obs or tsdb)
+            else None
+        ),
     )
     trace = result.traces["total_w"].resample(GRID_S)
     return JobOutcome(
@@ -107,6 +119,7 @@ def _run_job(
         power_times_s=trace.times,
         power_values_w=trace.values,
         metrics=result.metrics,
+        tsdb=result.tsdb,
     )
 
 
@@ -279,6 +292,44 @@ class FleetResult:
         """Fleet-wide merged registry (empty unless run with ``obs=True``)."""
         return merge_registries(o.metrics for o in self.outcomes)
 
+    def node_tsdbs(self) -> Dict[int, TimeSeriesDB]:
+        """Per-node TSDB rollup: node id → merged store of its jobs' series.
+
+        Empty unless the fleet ran with ``tsdb=True``. Each job's series
+        get ``{job, node}`` labels injected before merging, so series from
+        different jobs stay disjoint and the fold is worker-count-invariant.
+        """
+        per_node: Dict[int, List[TimeSeriesDB]] = {}
+        for outcome in self.outcomes:
+            if outcome.tsdb is None:
+                continue
+            placement = self.placements.get(outcome.job.name)
+            node_id = placement.node_id if placement is not None else -1
+            labelled = outcome.tsdb.relabeled(
+                {"job": outcome.job.name, "node": str(node_id)}
+            )
+            per_node.setdefault(node_id, []).append(labelled)
+        out: Dict[int, TimeSeriesDB] = {}
+        for node_id, dbs in sorted(per_node.items()):
+            merged = merge_tsdbs(dbs)
+            if merged is not None:
+                out[node_id] = merged
+        return out
+
+    def tsdb_rollup(self) -> TimeSeriesDB:
+        """Fleet-wide merged TSDB, plus the aggregate power series.
+
+        Per-job series carry ``{job, node}`` labels; the shared grid's
+        aggregate power lands on ``repro.ts.fleet.power_w`` so `repro
+        watch` has a fleet-level trajectory even for uncoordinated runs.
+        """
+        merged = merge_tsdbs(self.node_tsdbs().values())
+        if merged is None:
+            merged = TimeSeriesDB()
+        for t_s, power_w in zip(self.grid_times_s, self.aggregate_power_w):
+            merged.record("repro.ts.fleet.power_w", float(t_s), float(power_w))
+        return merged
+
 
 class ClusterSimulator:
     """A fleet of identical nodes, one scheduled job each.
@@ -342,6 +393,7 @@ class ClusterSimulator:
         retry: Optional[RetryPolicy] = None,
         failure_model: Optional[NodeFailureModel] = None,
         obs: bool = False,
+        tsdb: bool = False,
     ) -> FleetResult:
         """Run every job under ``governor_name`` and aggregate.
 
@@ -353,8 +405,10 @@ class ClusterSimulator:
         node deaths: interrupted jobs requeue FIFO onto surviving nodes and
         the result carries the failure accounting.  ``obs`` collects each
         job's metrics registry (see :meth:`FleetResult.node_metrics` and
-        :meth:`FleetResult.metrics_rollup`); simulated physics are
-        unaffected (observability is passive by construction).
+        :meth:`FleetResult.metrics_rollup`); ``tsdb`` additionally scrapes
+        each job's time series (see :meth:`FleetResult.node_tsdbs` and
+        :meth:`FleetResult.tsdb_rollup`). Simulated physics are
+        unaffected either way (observability is passive by construction).
         """
         outcomes: List[JobOutcome] = map_parallel(
             _run_job,
@@ -365,6 +419,7 @@ class ClusterSimulator:
                     "governor_name": governor_name,
                     "dt_s": dt_s,
                     "obs": obs,
+                    "tsdb": tsdb,
                 }
                 for job in self.jobs
             ],

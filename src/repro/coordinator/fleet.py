@@ -33,7 +33,7 @@ actually feeds back into uncore frequency.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -44,8 +44,12 @@ from repro.coordinator.core import BudgetCoordinator
 from repro.coordinator.journal import GrantJournal
 from repro.coordinator.lease import NodeLeaseState
 from repro.errors import CoordinatorError
+from repro.faults.incidents import Incident, IncidentLog
 from repro.faults.plan import FaultPlan
+from repro.obs.aggregate import merge_registries
+from repro.obs.alerts import AlertEngine, AlertRule
 from repro.obs.registry import MetricsRegistry
+from repro.obs.tsdb import TimeSeriesDB
 from repro.sim.clock import SimClock
 
 __all__ = [
@@ -143,6 +147,12 @@ class CoordinatedFleetResult:
         default_factory=list
     )
     metrics: Optional[MetricsRegistry] = None
+    #: Scraped control-loop (+ per-job) time series (``tsdb=True`` runs).
+    tsdb: Optional[TimeSeriesDB] = field(repr=False, default=None)
+    #: Alert engine with its full event stream (``alert_rules`` runs).
+    alerts: Optional[AlertEngine] = field(repr=False, default=None)
+    #: Incident log of the run (alert transitions mirror in here).
+    incidents: List[Incident] = field(repr=False, default_factory=list)
 
     # ------------------------------------------------------------ invariant
     @property
@@ -230,7 +240,21 @@ class CoordinatedFleetResult:
             "rejected_replays": {
                 str(node): count for node, count in sorted(self.rejected_replays.items())
             },
+            "alerts": self.alerts.to_dict() if self.alerts is not None else None,
         }
+
+    def metrics_rollup(self) -> MetricsRegistry:
+        """Coordinator counters merged with the demand fleet's rollup.
+
+        The one registry `repro metrics` renders for a coordinated run:
+        per-job daemon metrics (when the demand pass collected them) plus
+        the control-plane counters, associatively merged.
+        """
+        return merge_registries(
+            reg
+            for reg in (self.metrics, self.fleet.metrics_rollup())
+            if reg is not None
+        )
 
 
 def _desired_caps(demand: np.ndarray) -> np.ndarray:
@@ -334,6 +358,9 @@ def run_coordinated_fleet(
     dt_s: float = 0.01,
     n_workers: Optional[int] = None,
     obs: bool = False,
+    tsdb: bool = False,
+    alert_rules: Optional[Sequence[AlertRule]] = None,
+    incident_log: Optional[IncidentLog] = None,
     demand_fleet: Optional[FleetResult] = None,
 ) -> CoordinatedFleetResult:
     """Run ``sim`` under the budget coordinator.
@@ -345,10 +372,23 @@ def run_coordinated_fleet(
     the golden bit-identity check pins.  ``demand_fleet`` short-circuits
     the demand pass with an existing uncoordinated result (it must come
     from the same simulator and governor).
+
+    ``tsdb`` scrapes the control loop into a
+    :class:`~repro.obs.tsdb.TimeSeriesDB` (per-tick fleet rollups, per-node
+    caps and lease ages, delivered heartbeats, coordinator health) on top
+    of the demand fleet's per-job series. ``alert_rules`` (implies
+    ``tsdb``) evaluates an :class:`~repro.obs.alerts.AlertEngine` over the
+    store once per coordinator epoch on simulated time; transitions land on
+    the result's ``alerts``/``incidents`` (via ``incident_log`` when
+    given). Both are passive: the granted caps, delivered power and every
+    scored quantity are bit-identical with and without scraping.
     """
+    tsdb = tsdb or alert_rules is not None
     fleet = demand_fleet
     if fleet is None:
-        fleet = sim.run_fleet(governor_name, dt_s=dt_s, n_workers=n_workers, obs=obs)
+        fleet = sim.run_fleet(
+            governor_name, dt_s=dt_s, n_workers=n_workers, obs=obs, tsdb=tsdb
+        )
     elif fleet.governor != governor_name or fleet.preset_name != sim.preset.name:
         raise CoordinatorError(
             f"demand fleet ran {fleet.governor!r} on {fleet.preset_name!r}, "
@@ -382,6 +422,13 @@ def run_coordinated_fleet(
     node_cap = np.empty_like(demand)
     granted_sum = np.empty(n_ticks)
 
+    # Scrape store + alert engine (both purely passive observers).
+    db: Optional[TimeSeriesDB] = fleet.tsdb_rollup() if tsdb else None
+    log = incident_log if incident_log is not None else IncidentLog()
+    engine: Optional[AlertEngine] = None
+    if alert_rules is not None and db is not None:
+        engine = AlertEngine(db, alert_rules, incidents=log)
+
     for tick in range(n_ticks):
         now = clock.now
         # 1. Control-plane life events: a due crash wipes the coordinator;
@@ -404,7 +451,16 @@ def run_coordinated_fleet(
                     now,
                 )
         # 3. The coordinator folds in whatever the fabric delivered.
-        coordinator.receive(plane.deliver_heartbeats(now), now)
+        delivered_hbs = plane.deliver_heartbeats(now)
+        coordinator.receive(delivered_hbs, now)
+        if db is not None:
+            for hb in delivered_hbs:
+                db.record(
+                    "repro.ts.fleet.node_heartbeat_w",
+                    now,
+                    hb.demand_w,
+                    {"node": str(hb.node_id)},
+                )
         # 4. Epoch boundary: arbitrate and transmit grants.
         if tick % epoch_every == 0:
             for lease in coordinator.arbitrate(now):
@@ -418,6 +474,57 @@ def run_coordinated_fleet(
         for node in range(n_nodes):
             node_cap[node, tick] = nodes[node].effective_cap_w(now)
         granted_sum[tick] = coordinator.granted_sum_w()
+        # 7. Scrape + alert evaluation (pure observation of steps 1-6).
+        if db is not None:
+            if tick == 0:
+                db.record("repro.ts.fleet.budget_w", now, config.budget_w)
+            for node in range(n_nodes):
+                label = {"node": str(node)}
+                db.record(
+                    "repro.ts.fleet.node_demand_w", now, float(demand[node, tick]), label
+                )
+                db.record(
+                    "repro.ts.fleet.node_cap_w", now, float(node_cap[node, tick]), label
+                )
+                lease = nodes[node].current
+                if lease is not None and now < lease.expires_s:
+                    db.record(
+                        "repro.ts.fleet.node_lease_age_s",
+                        now,
+                        max(0.0, now - lease.granted_s),
+                        label,
+                    )
+                    db.record(
+                        "repro.ts.fleet.node_lease_remaining_s",
+                        now,
+                        lease.expires_s - now,
+                        label,
+                    )
+            db.record("repro.ts.fleet.demand_w", now, float(demand[:, tick].sum()))
+            db.record("repro.ts.fleet.granted_w", now, float(granted_sum[tick]))
+            db.record(
+                "repro.ts.fleet.delivered_w",
+                now,
+                float(np.minimum(demand[:, tick], node_cap[:, tick]).sum()),
+            )
+            db.record(
+                "repro.ts.fleet.headroom_w",
+                now,
+                float(config.budget_w - granted_sum[tick]),
+            )
+            if tick % epoch_every == 0:
+                db.record(
+                    "repro.ts.coordinator.down",
+                    now,
+                    1.0 if coordinator.is_down(now) else 0.0,
+                )
+                db.record(
+                    "repro.ts.coordinator.quarantine",
+                    now,
+                    1.0 if coordinator.in_quarantine(now) else 0.0,
+                )
+            if engine is not None and (tick % epoch_every == 0 or tick == n_ticks - 1):
+                engine.evaluate(now)
         if tick + 1 < n_ticks:
             clock.advance(1)
 
@@ -449,4 +556,7 @@ def run_coordinated_fleet(
     ]
     if obs:
         result.metrics = _record_metrics(result)
+    result.tsdb = db
+    result.alerts = engine
+    result.incidents = list(log)
     return result

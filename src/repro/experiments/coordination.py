@@ -25,7 +25,7 @@ either accounting, fails the job.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -39,7 +39,11 @@ from repro.coordinator.fleet import (
 )
 from repro.coordinator.journal import GrantJournal
 from repro.errors import ExperimentError
-from repro.faults.plan import FaultPlan, coordinated_campaign
+from repro.faults.plan import FaultPlan, coordinated_campaign, uplink_campaign
+from repro.obs.alerts import AlertRule
+
+#: ``alert_rules`` accepts a ready pack or a ``budget_w -> pack`` factory.
+RuleSpec = Union[Sequence[AlertRule], Callable[[float], Sequence[AlertRule]]]
 
 __all__ = [
     "CoordinationScore",
@@ -273,28 +277,40 @@ def run_coordination(
     seed: int = 1,
     budget_frac: float = 0.85,
     budget_w: Optional[float] = None,
-    chaos: bool = True,
+    chaos: Union[bool, str] = True,
     plan: Optional[FaultPlan] = None,
     n_workers: Optional[int] = None,
     dt_s: float = 0.01,
     journal_path: Optional[str] = None,
     obs: bool = True,
+    tsdb: bool = False,
+    alert_rules: Optional[RuleSpec] = None,
 ) -> Tuple[CoordinatedFleetResult, CoordinationScore]:
     """Run a schedule under the coordinator and score it.
 
     ``budget_frac`` scales the *ample* (never-throttling) budget — 1.0
     reproduces the uncoordinated fleet bit-for-bit in the zero-fault case,
     smaller values force real arbitration; an explicit ``budget_w`` wins
-    over the fraction.  With ``chaos`` (and no explicit ``plan``) the
-    :func:`coordinated_campaign` for ``seed`` runs against the fleet's
-    own horizon.
+    over the fraction.  With ``chaos`` (and no explicit ``plan``) a
+    seeded campaign runs against the fleet's own horizon: ``True`` (or
+    ``"coordinated"``) picks :func:`coordinated_campaign`, ``"uplink"``
+    the alert gate's :func:`~repro.faults.plan.uplink_campaign`.
+
+    ``tsdb`` scrapes the demand pass and control loop into the result's
+    :class:`~repro.obs.tsdb.TimeSeriesDB`; ``alert_rules`` (implies
+    ``tsdb``) evaluates an alert pack on the simulated clock.  Because
+    the budget is usually resolved *inside* this function, ``alert_rules``
+    may be a callable ``budget_w -> rules`` — pass
+    :func:`~repro.obs.scrape.default_fleet_rules` itself for the standard
+    SLO pack against the resolved budget.
     """
     if not (0.0 < budget_frac <= 1.0):
         raise ExperimentError(
             f"budget_frac must be in (0, 1], got {budget_frac!r}"
         )
+    tsdb = tsdb or alert_rules is not None
     sim = ClusterSimulator(preset, jobs)
-    fleet = sim.run_fleet(governor, dt_s=dt_s, n_workers=n_workers, obs=obs)
+    fleet = sim.run_fleet(governor, dt_s=dt_s, n_workers=n_workers, obs=obs, tsdb=tsdb)
     floor = safe_floor_w(fleet.idle_node_power_w)
     ample = ample_budget_w(fleet, sim.n_nodes, floor)
     if budget_w is None:
@@ -303,8 +319,15 @@ def run_coordination(
     else:
         budget = budget_w
     if plan is None and chaos:
+        if chaos not in (True, "coordinated", "uplink"):
+            raise ExperimentError(
+                f"chaos must be a bool, 'coordinated' or 'uplink', got {chaos!r}"
+            )
+        factory = uplink_campaign if chaos == "uplink" else coordinated_campaign
         horizon = float(fleet.grid_times_s[-1])
-        plan = coordinated_campaign(seed, horizon_s=horizon, n_nodes=sim.n_nodes)
+        plan = factory(seed, horizon_s=horizon, n_nodes=sim.n_nodes)
+    if callable(alert_rules):
+        alert_rules = alert_rules(budget)
     journal = GrantJournal(journal_path)
     result = run_coordinated_fleet(
         sim,
@@ -315,6 +338,8 @@ def run_coordination(
         demand_fleet=fleet,
         n_workers=n_workers,
         obs=obs,
+        tsdb=tsdb,
+        alert_rules=alert_rules,
     )
     journal.close()
     return result, score_coordination(result, journal)

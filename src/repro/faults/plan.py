@@ -104,6 +104,7 @@ __all__ = [
     "standard_campaign",
     "silent_campaign",
     "coordinated_campaign",
+    "uplink_campaign",
 ]
 
 #: Valid fault kinds per device.
@@ -455,3 +456,32 @@ def coordinated_campaign(
         FaultSpec("control", "grant_replay", at(0.90), round(horizon_s * 0.05, 3), count=3, target=0),
     )
     return FaultPlan(specs, seed=seed, name="coordinated")
+
+
+def uplink_campaign(
+    seed: int = 1, *, horizon_s: float = 60.0, n_nodes: int = 3
+) -> FaultPlan:
+    """A single sustained one-way uplink partition, for the alert gate.
+
+    One node goes silent toward the coordinator for 40 % of the horizon
+    (anchored at 30 % with ±1 % seed jitter) while its workload keeps
+    running.  The partition comfortably outlives the lease duration *and*
+    the alerting burn-rate window, so the coordinator provably reclaims
+    the node's headroom (its cap decays to the safe floor) and the
+    ``repro.alert.fleet.node_starved`` page-severity burn-rate alert MUST
+    fire — which is exactly what the CI ``alert-gate`` job asserts.  The
+    same gate's zero-fault leg asserts the page stays silent.
+    """
+    if n_nodes < 1:
+        raise FaultInjectionError(f"n_nodes must be >= 1, got {n_nodes!r}")
+    rng = spawn_generator(seed)
+    start = round(float((0.30 + rng.uniform(-0.01, 0.01)) * horizon_s), 3)
+    spec = FaultSpec(
+        "control",
+        "partition_uplink",
+        start,
+        round(horizon_s * 0.40, 3),
+        count=None,
+        target=1 % n_nodes,
+    )
+    return FaultPlan((spec,), seed=seed, name="uplink")

@@ -44,6 +44,7 @@ from repro.guard.breaker import CircuitBreaker
 from repro.guard.config import GuardConfig
 from repro.hw.presets import SystemPreset
 from repro.obs.registry import MetricsRegistry
+from repro.obs.tsdb import TimeSeriesDB
 from repro.telemetry.msr import (
     COUNTER_WIDTH_BITS,
     MSR_UNCORE_RATIO_LIMIT,
@@ -167,6 +168,7 @@ class TelemetryGuard:
         self.verify_failure_count = 0
         self._hub: Optional["TelemetryHub"] = None
         self._metrics: Optional[MetricsRegistry] = None
+        self._tsdb: Optional[TimeSeriesDB] = None
         self._pcm = _PCMChannel()
         self._msr = _MSRChannel()
         self._rapl_energy: Dict[str, _EnergyChannel] = {}
@@ -194,6 +196,14 @@ class TelemetryGuard:
         self._metrics = registry
         for device, breaker in self.breakers.items():
             registry.gauge(BREAKER_GAUGE_NAMES[device]).set(breaker.gauge_value)
+
+    def attach_tsdb(self, tsdb: TimeSeriesDB) -> None:
+        """Scrape breaker-state / quarantine series into a TSDB."""
+        if self._tsdb is not None:
+            raise TelemetryError("guard already has a TSDB attached")
+        self._tsdb = tsdb
+        for device in GUARD_DEVICES:
+            self._scrape_breaker(device)
 
     @property
     def breaker_trip_count(self) -> int:
@@ -550,6 +560,7 @@ class TelemetryGuard:
             if self._metrics is not None:
                 self._metrics.counter("repro.guard.probes").inc()
                 self._metrics.gauge(BREAKER_GAUGE_NAMES[device]).set(breaker.gauge_value)
+            self._scrape_breaker(device)
 
     def _record_clean(self, device: str) -> None:
         self.reads_by_device[device] += 1
@@ -562,6 +573,7 @@ class TelemetryGuard:
                 outcome="closed",
                 detail="half-open probe validated clean",
             )
+            self._scrape_breaker(device)
         if self._metrics is not None:
             self._metrics.gauge(BREAKER_GAUGE_NAMES[device]).set(breaker.gauge_value)
 
@@ -578,11 +590,20 @@ class TelemetryGuard:
                 self._metrics.histogram(
                     "repro.guard.holdover_age_seconds", HOLDOVER_AGE_BOUNDS
                 ).observe(self.now_s - last_good_time_s)
+        if self._tsdb is not None:
+            self._tsdb.record(
+                "repro.ts.guard.quarantines",
+                self.now_s,
+                float(self.quarantines_by_device[device]),
+                {"device": device},
+            )
         breaker = self.breakers[device]
         if breaker.record_failure(self.now_s):
             self._log_trip(device, breaker)
-        elif self._metrics is not None:
-            self._metrics.gauge(BREAKER_GAUGE_NAMES[device]).set(breaker.gauge_value)
+        else:
+            if self._metrics is not None:
+                self._metrics.gauge(BREAKER_GAUGE_NAMES[device]).set(breaker.gauge_value)
+            self._scrape_breaker(device)
 
     def _log_trip(self, device: str, breaker: CircuitBreaker) -> None:
         probe_at = breaker.probe_at_s
@@ -591,6 +612,17 @@ class TelemetryGuard:
         if self._metrics is not None:
             self._metrics.counter("repro.guard.breaker_trips").inc()
             self._metrics.gauge(BREAKER_GAUGE_NAMES[device]).set(breaker.gauge_value)
+        self._scrape_breaker(device)
+
+    def _scrape_breaker(self, device: str) -> None:
+        """Record one breaker-state step on the attached TSDB (if any)."""
+        if self._tsdb is not None:
+            self._tsdb.record(
+                "repro.ts.guard.breaker_state",
+                self.now_s,
+                self.breakers[device].gauge_value,
+                {"device": device},
+            )
 
     def _cross_check(self, domain: str, implied_w: float) -> Optional[Tuple[str, str]]:
         cfg = self.config

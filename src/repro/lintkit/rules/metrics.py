@@ -17,6 +17,14 @@ outlaws every *dynamic* construction (f-string, concatenation, ``%``,
 runtime validator still covers them, and tables like
 ``ACCESS_COUNTER_NAMES`` are the sanctioned way to map dynamic inputs
 onto the closed name set.
+
+The same grammar (and the same cardinality argument) covers the
+time-series store and the alert engine: ``tsdb.series(...)`` /
+``tsdb.record(...)`` names key ring buffers that must meet their
+siblings in cross-worker merges, and alert-rule names/series references
+(:class:`~repro.obs.alerts.ThresholdRule` and friends) land verbatim in
+the incident log and the alerts JSON artifact.  Varying dimensions
+belong in labels (``{"node": "3"}``), never in names.
 """
 
 from __future__ import annotations
@@ -41,6 +49,21 @@ _REGISTRY_RECEIVERS = ("registry", "metrics")
 #: Receiver name fragments that identify a span tracer.
 _TRACER_RECEIVERS = ("tracer",)
 
+#: Time-series store write path (first argument is the series name).
+_TSDB_METHODS = frozenset({"series", "record"})
+
+#: Receiver name fragments that identify a time-series store.
+_TSDB_RECEIVERS = ("tsdb", "db")
+
+#: Alert-rule constructors; receiver-less, so matched by name alone.
+_ALERT_RULE_CTORS = frozenset(
+    {"ThresholdRule", "BurnRateRule", "AbsenceRule", "AnomalyRule"}
+)
+
+#: Every name-bearing alert-rule parameter: the rule's own name, the
+#: series it targets, and (burn rate) the threshold staircase series.
+_ALERT_NAME_PARAMS = ("name", "series", "threshold_series")
+
 
 def _receiver_hint(func: ast.AST) -> Optional[str]:
     """The receiver identifier of a method call (``obs.tracer.begin`` →
@@ -58,6 +81,19 @@ def _name_argument(call: ast.Call) -> Optional[ast.expr]:
         if kw.arg == "name":
             return kw.value
     return None
+
+
+def _alert_name_arguments(call: ast.Call) -> Iterator[ast.expr]:
+    """Every name-bearing argument of an alert-rule constructor.
+
+    Positionally ``(name, series, ...)``; ``threshold_series`` is
+    keyword-only in every rule that has it.
+    """
+    for arg in call.args[:2]:
+        yield arg
+    for kw in call.keywords:
+        if kw.arg in _ALERT_NAME_PARAMS:
+            yield kw.value
 
 
 def _dynamic_form(node: ast.expr) -> Optional[str]:
@@ -83,16 +119,24 @@ class MetricNameRule(Rule):
     )
 
     def check(self, ctx: LintContext) -> Iterator[Violation]:
-        """Yield a violation for every suspect instrument/span name."""
+        """Yield a violation for every suspect instrument/span/series name."""
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
             method = last_segment(node.func)
+            if method in _ALERT_RULE_CTORS:
+                # Receiver-less constructors: every name-bearing argument
+                # (rule name, target series, threshold series) is checked.
+                for arg in _alert_name_arguments(node):
+                    yield from self._check_name(ctx, f"{method}(...)", arg)
+                continue
             receiver = (_receiver_hint(node.func) or "").lower()
             if method in _REGISTRY_METHODS:
                 hints = _REGISTRY_RECEIVERS
             elif method in _TRACER_METHODS:
                 hints = _TRACER_RECEIVERS
+            elif method in _TSDB_METHODS:
+                hints = _TSDB_RECEIVERS
             else:
                 continue
             if not any(hint in receiver for hint in hints):
@@ -100,21 +144,27 @@ class MetricNameRule(Rule):
             arg = _name_argument(node)
             if arg is None:
                 continue
-            form = _dynamic_form(arg)
-            if form is not None:
+            yield from self._check_name(ctx, f".{method}()", arg)
+
+    def _check_name(
+        self, ctx: LintContext, where: str, arg: ast.expr
+    ) -> Iterator[Violation]:
+        """One name expression: outlaw dynamic builds, grammar-check literals."""
+        form = _dynamic_form(arg)
+        if form is not None:
+            yield self.hit(
+                ctx,
+                arg,
+                f"metric/span/series name for {where} is built with {form}; "
+                f"dynamic names mint unbounded series — use a static "
+                f"literal and put the varying part in an attribute or label",
+            )
+        elif isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            if not METRIC_NAME_RE.match(arg.value):
                 yield self.hit(
                     ctx,
                     arg,
-                    f"metric/span name for .{method}() is built with {form}; "
-                    f"dynamic names mint unbounded series — use a static "
-                    f"literal and put the varying part in an attribute",
+                    f"metric/span/series name {arg.value!r} breaks the lowercase "
+                    f"dotted grammar {METRIC_NAME_RE.pattern!r} "
+                    f"(e.g. 'repro.daemon.cycles')",
                 )
-            elif isinstance(arg, ast.Constant) and isinstance(arg.value, str):
-                if not METRIC_NAME_RE.match(arg.value):
-                    yield self.hit(
-                        ctx,
-                        arg,
-                        f"metric/span name {arg.value!r} breaks the lowercase "
-                        f"dotted grammar {METRIC_NAME_RE.pattern!r} "
-                        f"(e.g. 'repro.daemon.cycles')",
-                    )

@@ -26,16 +26,31 @@ golden-trace suite).
 from __future__ import annotations
 
 from repro.obs.aggregate import merge_registries
+from repro.obs.alerts import (
+    SEV_PAGE,
+    SEV_WARN,
+    AbsenceRule,
+    AlertEngine,
+    AlertEvent,
+    AlertRule,
+    AnomalyRule,
+    BurnRateRule,
+    ThresholdRule,
+)
 from repro.obs.config import Observability, ObsConfig
+from repro.obs.dashboard import render_dashboard_html
 from repro.obs.exporters import (
     registry_to_dict,
+    render_chrome_counter_trace,
     render_chrome_trace,
     render_jsonl,
     render_prometheus,
 )
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.report import CauseAttribution, attribute_decisions, slowest_cycles
+from repro.obs.scrape import DEFAULT_WATCH_SERIES, SERIES_CATALOGUE, default_fleet_rules
 from repro.obs.spans import Span, SpanTracer
+from repro.obs.tsdb import Bucket, Series, TimeSeriesDB, merge_tsdbs
 
 __all__ = [
     "ObsConfig",
@@ -46,11 +61,29 @@ __all__ = [
     "Histogram",
     "Span",
     "SpanTracer",
+    "Bucket",
+    "Series",
+    "TimeSeriesDB",
+    "merge_tsdbs",
+    "SEV_WARN",
+    "SEV_PAGE",
+    "AlertEvent",
+    "AlertRule",
+    "ThresholdRule",
+    "BurnRateRule",
+    "AbsenceRule",
+    "AnomalyRule",
+    "AlertEngine",
+    "SERIES_CATALOGUE",
+    "DEFAULT_WATCH_SERIES",
+    "default_fleet_rules",
     "merge_registries",
     "render_prometheus",
     "render_chrome_trace",
+    "render_chrome_counter_trace",
     "render_jsonl",
     "registry_to_dict",
+    "render_dashboard_html",
     "CauseAttribution",
     "attribute_decisions",
     "slowest_cycles",

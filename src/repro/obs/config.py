@@ -15,6 +15,7 @@ from typing import Optional, Union
 
 from repro.obs.registry import MetricsRegistry
 from repro.obs.spans import SpanTracer
+from repro.obs.tsdb import TimeSeriesDB
 
 __all__ = ["ObsConfig", "Observability"]
 
@@ -31,11 +32,16 @@ class ObsConfig:
         Collect counters/gauges/histograms (requires ``enabled``).
     spans:
         Record decision-cycle spans (requires ``enabled``).
+    tsdb:
+        Scrape time series into a :class:`~repro.obs.tsdb.TimeSeriesDB`
+        (requires ``enabled``; off by default so existing runs stay
+        bit-identical).
     """
 
     enabled: bool = False
     metrics: bool = True
     spans: bool = True
+    tsdb: bool = False
 
 
 class Observability:
@@ -47,19 +53,24 @@ class Observability:
     ``ObsConfig``, an ``Observability`` or ``None``.
     """
 
-    __slots__ = ("config", "registry", "tracer", "enabled")
+    __slots__ = ("config", "registry", "tracer", "tsdb", "enabled")
 
     def __init__(
         self,
         config: ObsConfig,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[SpanTracer] = None,
+        tsdb: Optional[TimeSeriesDB] = None,
     ) -> None:
         self.config = config
         self.registry = registry
         self.tracer = tracer
+        self.tsdb = tsdb
         #: Hot-path guard: True only when something is actually collecting.
-        self.enabled = bool(config.enabled and (registry is not None or tracer is not None))
+        self.enabled = bool(
+            config.enabled
+            and (registry is not None or tracer is not None or tsdb is not None)
+        )
 
     @staticmethod
     def disabled() -> "Observability":
@@ -75,6 +86,7 @@ class Observability:
             config,
             registry=MetricsRegistry() if config.metrics else None,
             tracer=SpanTracer() if config.spans else None,
+            tsdb=TimeSeriesDB() if config.tsdb else None,
         )
 
     @classmethod

@@ -1,0 +1,192 @@
+"""Self-contained static HTML dashboard for a TSDB + alert stream.
+
+One ``.html`` file, zero external references (inline CSS, inline SVG), so
+a CI job can upload it as an artifact and a browser renders it offline.
+Everything is emitted in sorted order and floats are formatted through a
+single helper, so the same run always produces byte-identical HTML (the
+dashboard is a golden-diffable artefact like every other exporter).
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.obs.alerts import AlertEngine
+from repro.obs.tsdb import Series, TimeSeriesDB
+
+__all__ = ["render_dashboard_html", "series_points"]
+
+_SVG_W = 640
+_SVG_H = 96
+_PAD = 4
+
+
+def _fmt(value: float) -> str:
+    """Canonical float rendering (%.6g keeps the HTML diffable)."""
+    return f"{value:.6g}"
+
+
+def series_points(series: Series) -> List[Tuple[float, float]]:
+    """The plottable trajectory: bucket last-values (coarse history, oldest
+    first) followed by the raw ring.  Shared by the HTML dashboard and the
+    ``repro watch`` ASCII strip charts."""
+    points: List[Tuple[float, float]] = []
+    for level in range(len(series._levels) - 1, -1, -1):
+        for bucket in series.buckets(level):
+            points.append((bucket.last_t_s, bucket.last))
+    points.extend(series.samples_between(float("-inf"), float("inf")))
+    points.sort(key=lambda p: p[0])
+    return points
+
+
+def _sparkline_svg(points: List[Tuple[float, float]]) -> str:
+    """A staircase polyline of ``points`` in a fixed-size inline SVG."""
+    if not points:
+        return "<svg class='spark' viewBox='0 0 640 96'></svg>"
+    t0, t1 = points[0][0], points[-1][0]
+    vs = [v for _, v in points]
+    v0, v1 = min(vs), max(vs)
+    t_span = (t1 - t0) or 1.0
+    v_span = (v1 - v0) or 1.0
+    w = _SVG_W - 2 * _PAD
+    h = _SVG_H - 2 * _PAD
+
+    def x(t: float) -> str:
+        return _fmt(_PAD + w * (t - t0) / t_span)
+
+    def y(v: float) -> str:
+        return _fmt(_PAD + h * (1.0 - (v - v0) / v_span))
+
+    # Right-continuous staircase: hold each value until the next sample.
+    parts = [f"M{x(points[0][0])},{y(points[0][1])}"]
+    prev_v = points[0][1]
+    for t, v in points[1:]:
+        parts.append(f"H{x(t)}")
+        if v != prev_v:
+            parts.append(f"V{y(v)}")
+            prev_v = v
+    return (
+        f"<svg class='spark' viewBox='0 0 {_SVG_W} {_SVG_H}' "
+        f"preserveAspectRatio='none'>"
+        f"<path d='{' '.join(parts)}' fill='none' stroke='#2563eb' "
+        f"stroke-width='1.5'/></svg>"
+    )
+
+
+def _labels_text(labels: Tuple[Tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    return "{" + ", ".join(f"{k}={v}" for k, v in labels) + "}"
+
+
+def _series_section(series: Series) -> str:
+    points = series_points(series)
+    stats = series.summary()
+    latest = series.latest()
+    latest_text = (
+        f"last {_fmt(latest[1])} @ t={_fmt(latest[0])}s" if latest else "empty"
+    )
+    return (
+        "<div class='card'>"
+        f"<h3>{html.escape(series.name)}"
+        f"<span class='labels'>{html.escape(_labels_text(series.labels))}</span></h3>"
+        f"<p class='stats'>min {_fmt(stats['min'])} · max {_fmt(stats['max'])} · "
+        f"mean {_fmt(stats['sum'] / stats['count']) if stats['count'] else '0'} · "
+        f"n {int(stats['count'])} · {html.escape(latest_text)}</p>"
+        f"{_sparkline_svg(points)}"
+        "</div>"
+    )
+
+
+def _alerts_section(alerts: Dict[str, object]) -> str:
+    rows: List[str] = []
+    events = alerts.get("events", [])
+    if isinstance(events, list):
+        for event in events:
+            if not isinstance(event, dict):
+                continue
+            labels = event.get("labels", {})
+            labels_text = (
+                _labels_text(tuple(sorted(labels.items())))
+                if isinstance(labels, dict)
+                else ""
+            )
+            severity = str(event.get("severity", ""))
+            state = str(event.get("state", ""))
+            rows.append(
+                "<tr class='"
+                + html.escape(f"sev-{severity} st-{state}")
+                + "'>"
+                f"<td>{_fmt(float(event.get('time_s', 0.0)))}</td>"  # type: ignore[arg-type]
+                f"<td>{html.escape(str(event.get('rule', '')))}"
+                f"<span class='labels'>{html.escape(labels_text)}</span></td>"
+                f"<td>{html.escape(severity)}</td>"
+                f"<td>{html.escape(state)}</td>"
+                f"<td>{html.escape(str(event.get('detail', '')))}</td>"
+                "</tr>"
+            )
+    firing = alerts.get("firing", [])
+    n_firing = len(firing) if isinstance(firing, list) else 0
+    head = (
+        f"<h2>Alerts <span class='stats'>{alerts.get('pages_fired', 0)} page(s) fired · "
+        f"{alerts.get('warns_fired', 0)} warn(s) fired · {n_firing} still firing</span></h2>"
+    )
+    if not rows:
+        return head + "<p class='stats'>No alert transitions.</p>"
+    return (
+        head
+        + "<table><thead><tr><th>t (s)</th><th>rule</th><th>severity</th>"
+        + "<th>state</th><th>detail</th></tr></thead><tbody>"
+        + "".join(rows)
+        + "</tbody></table>"
+    )
+
+
+_CSS = """
+body { font: 14px/1.45 system-ui, sans-serif; margin: 1.5em auto; max-width: 60em;
+       color: #111827; background: #f9fafb; }
+h1 { font-size: 1.3em; } h2 { font-size: 1.1em; margin-top: 1.4em; }
+h3 { font-size: 1em; margin: 0 0 .2em; font-family: ui-monospace, monospace; }
+.card { background: #fff; border: 1px solid #e5e7eb; border-radius: 6px;
+        padding: .7em .9em; margin: .6em 0; }
+.spark { width: 100%; height: 96px; background: #f3f4f6; border-radius: 4px; }
+.stats { color: #6b7280; font-size: .85em; }
+.labels { color: #6b7280; font-weight: normal; margin-left: .5em; }
+table { border-collapse: collapse; width: 100%; background: #fff; }
+th, td { border: 1px solid #e5e7eb; padding: .3em .5em; text-align: left;
+         font-size: .9em; }
+tr.sev-page.st-firing td { background: #fef2f2; }
+tr.sev-warn.st-firing td { background: #fffbeb; }
+tr.st-resolved td { background: #f0fdf4; }
+"""
+
+
+def render_dashboard_html(
+    tsdb: TimeSeriesDB,
+    alerts: Optional[Union[AlertEngine, Dict[str, object]]] = None,
+    *,
+    title: str = "repro fleet dashboard",
+) -> str:
+    """Render a TSDB (and optional alert stream) as one static HTML page."""
+    alert_dict: Optional[Dict[str, object]]
+    if isinstance(alerts, AlertEngine):
+        alert_dict = alerts.to_dict()
+    else:
+        alert_dict = alerts
+    parts: List[str] = [
+        "<!DOCTYPE html>",
+        "<html lang='en'><head><meta charset='utf-8'>",
+        f"<title>{html.escape(title)}</title>",
+        f"<style>{_CSS}</style>",
+        "</head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+        f"<p class='stats'>{len(tsdb)} series · simulated-time axis</p>",
+    ]
+    if alert_dict is not None:
+        parts.append(_alerts_section(alert_dict))
+    parts.append("<h2>Series</h2>")
+    for series in tsdb:
+        parts.append(_series_section(series))
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"

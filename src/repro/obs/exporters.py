@@ -14,10 +14,12 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.spans import Span
+from repro.obs.tsdb import TimeSeriesDB
 
 __all__ = [
     "render_prometheus",
     "render_chrome_trace",
+    "render_chrome_counter_trace",
     "render_jsonl",
     "registry_to_dict",
     "write_text",
@@ -129,6 +131,44 @@ def render_chrome_trace(
         },
     ]
     events.extend(_span_event(s, pid, tid) for s in spans)
+    return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"}, sort_keys=True)
+
+
+def render_chrome_counter_trace(tsdb: TimeSeriesDB) -> str:
+    """Render a TSDB's raw samples as Chrome counter (``"ph": "C"``) events.
+
+    Each distinct label-set becomes its own trace process (Perfetto groups
+    counter tracks by ``(pid, name)``), so a fleet run renders one row of
+    counters per node. Only the raw ring is emitted — the downsampled
+    history has no per-sample timestamps — which matches how the viewer is
+    used: inspect the recent window, read the rollups from `repro watch`.
+    """
+    label_sets = sorted({series.labels for series in tsdb})
+    pid_of = {labels: pid for pid, labels in enumerate(label_sets)}
+    events: List[JsonDict] = []
+    for labels, pid in pid_of.items():
+        pretty = ",".join(f"{k}={v}" for k, v in labels) or "fleet"
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"repro {pretty}"},
+            }
+        )
+    for series in tsdb:
+        pid = pid_of[series.labels]
+        for t_s, value in series.samples_between(float("-inf"), float("inf")):
+            events.append(
+                {
+                    "name": series.name,
+                    "ph": "C",
+                    "ts": t_s * 1e6,
+                    "pid": pid,
+                    "args": {"value": value},
+                }
+            )
     return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"}, sort_keys=True)
 
 

@@ -1,0 +1,142 @@
+"""Series catalogue + default alert-rule pack for fleet scraping.
+
+The scrape surface is deliberately a *closed set*: every time-series name
+the runtime can ever record is a static lowercase-dotted literal at its
+call site (RL006-auditable), and this module is the one place that lists
+them all with their meanings. Per-node / per-device cardinality lives in
+labels (``{"node": "3"}``, ``{"device": "msr"}``), never in names.
+
+:func:`default_fleet_rules` is the SLO pack `repro alerts` evaluates over
+a coordinated fleet: the budget-overshoot pages are derived from the
+paper's never-exceed regime (physical overshoot cannot happen, so the
+page watches *starvation* — demand persistently above the coordinator's
+granted sum — and the defence-in-depth delivered-over-budget threshold),
+plus staleness and anomaly warns for silent nodes and demand excursions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.obs.alerts import (
+    SEV_PAGE,
+    SEV_WARN,
+    AbsenceRule,
+    AlertRule,
+    AnomalyRule,
+    BurnRateRule,
+    ThresholdRule,
+)
+
+__all__ = ["SERIES_CATALOGUE", "DEFAULT_WATCH_SERIES", "default_fleet_rules"]
+
+#: Every series name the runtime scrapes, with meaning and label keys.
+#: (Names here are documentation; the record sites use the same literals.)
+SERIES_CATALOGUE: Dict[str, str] = {
+    # --- per-daemon (single run / per fleet job; labels: {job, node} after rollup)
+    "repro.ts.daemon.target_uncore_ghz": "uncore target the governor actuated, GHz (staircase)",
+    "repro.ts.daemon.invocation_s": "software-governor invocation time per cycle, seconds",
+    "repro.ts.daemon.monitor_power_w": "monitoring power carried by the node until the next decision, watts",
+    "repro.ts.daemon.cycle_energy_j": "telemetry energy charged to the cycle, joules",
+    "repro.ts.daemon.decision_cause": "cumulative decisions per cause; labels {cause}",
+    "repro.ts.daemon.actuation_latency_s": "cumulative modelled frequency-switch latency charged, seconds",
+    "repro.ts.supervisor.degraded": "1 while the supervisor holds the daemon in fail-safe, else 0",
+    "repro.ts.guard.breaker_state": "per-device breaker state (0 closed / 1 open / 2 half-open); labels {device}",
+    "repro.ts.guard.quarantines": "cumulative guard quarantine entries; labels {device}",
+    # --- plain (uncoordinated) fleet
+    "repro.ts.fleet.power_w": "aggregate fleet power on the shared accounting grid, watts",
+    # --- coordinated fleet: rollups (one sample per control tick)
+    "repro.ts.fleet.demand_w": "sum of node demand, watts",
+    "repro.ts.fleet.granted_w": "coordinator's granted lease sum, watts",
+    "repro.ts.fleet.delivered_w": "sum of node caps actually in force, watts",
+    "repro.ts.fleet.budget_w": "cluster power budget, watts (constant staircase)",
+    "repro.ts.fleet.headroom_w": "budget minus pessimistic granted sum, watts",
+    # --- coordinated fleet: per node (labels {node})
+    "repro.ts.fleet.node_demand_w": "node's instantaneous demand, watts",
+    "repro.ts.fleet.node_cap_w": "cap in force at the node (lease or decayed floor), watts",
+    "repro.ts.fleet.node_lease_age_s": "age of the node's newest lease, seconds",
+    "repro.ts.fleet.node_lease_remaining_s": "time until the node's lease expires, seconds",
+    "repro.ts.fleet.node_heartbeat_w": "demand reported by each heartbeat the coordinator received",
+    # --- coordinated fleet: coordinator health (one sample per epoch)
+    "repro.ts.coordinator.down": "1 while the coordinator process is crashed, else 0",
+    "repro.ts.coordinator.quarantine": "1 while a restarted coordinator is in its quarantine window, else 0",
+}
+
+#: What `repro watch` renders when no --series filter is given.
+DEFAULT_WATCH_SERIES: List[str] = [
+    "repro.ts.fleet.demand_w",
+    "repro.ts.fleet.granted_w",
+    "repro.ts.fleet.delivered_w",
+    "repro.ts.fleet.headroom_w",
+    "repro.ts.fleet.node_cap_w",
+    "repro.ts.coordinator.down",
+]
+
+
+def default_fleet_rules(budget_w: float, *, heartbeat_s: float = 0.5) -> List[AlertRule]:
+    """The standard SLO pack for a coordinated fleet run.
+
+    Pages
+    -----
+    * ``repro.alert.fleet.node_starved`` — burn-rate, per node: a node's
+      demand exceeded the cap in force at that node for more than half of
+      the rolling window. Under the never-exceed invariant the fleet
+      cannot physically overshoot, so sustained starvation (a partitioned
+      or dead coordinator decaying a live node to its floor while demand
+      stands) *is* the budget emergency. Per-node on purpose: the fleet
+      aggregate hides one starved node behind the remaining-peak slack in
+      everyone else's desired caps.
+    * ``repro.alert.fleet.demand_over_granted`` — burn-rate at the fleet
+      level: total demand above the coordinator's granted sum, the
+      everything-is-on-fire variant of the same signal.
+    * ``repro.alert.fleet.delivered_over_budget`` — threshold
+      defence-in-depth: caps actually in force summed above the budget.
+      Must never fire while the invariant holds.
+
+    Warns
+    -----
+    * ``repro.alert.node.heartbeat_stale`` — a node's heartbeats stopped
+      arriving (uplink partition or node crash).
+    * ``repro.alert.node.demand_anomaly`` — EWMA z-score excursion in a
+      node's demand (phase change, oscillating governor).
+    """
+    window_s = max(5.0, 10.0 * heartbeat_s)
+    return [
+        BurnRateRule(
+            "repro.alert.fleet.node_starved",
+            "repro.ts.fleet.node_demand_w",
+            ">",
+            window_s=window_s,
+            burn_frac=0.5,
+            threshold_series="repro.ts.fleet.node_cap_w",
+            severity=SEV_PAGE,
+        ),
+        BurnRateRule(
+            "repro.alert.fleet.demand_over_granted",
+            "repro.ts.fleet.demand_w",
+            ">",
+            window_s=window_s,
+            burn_frac=0.5,
+            threshold_series="repro.ts.fleet.granted_w",
+            severity=SEV_PAGE,
+        ),
+        ThresholdRule(
+            "repro.alert.fleet.delivered_over_budget",
+            "repro.ts.fleet.delivered_w",
+            ">",
+            budget_w,
+            severity=SEV_PAGE,
+        ),
+        AbsenceRule(
+            "repro.alert.node.heartbeat_stale",
+            "repro.ts.fleet.node_heartbeat_w",
+            stale_after_s=4.0 * heartbeat_s,
+            severity=SEV_WARN,
+        ),
+        AnomalyRule(
+            "repro.alert.node.demand_anomaly",
+            "repro.ts.fleet.node_demand_w",
+            z_threshold=6.0,
+            severity=SEV_WARN,
+        ),
+    ]

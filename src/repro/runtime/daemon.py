@@ -78,6 +78,8 @@ class MonitorDaemon:
         # resumes at the actuation step instead of re-running the policy
         # (which would double-count its observations).
         self._pending_decision: Optional[Decision] = None
+        #: Cumulative decisions per cause, backing the decision-cause series.
+        self._cause_counts: Dict[str, int] = {}
         #: Per-cycle invocation times (meter time totals), for Table 2.
         self.invocation_times_s: List[float] = []
         #: Total monitoring energy charged, joules.
@@ -244,6 +246,30 @@ class MonitorDaemon:
                 self.hub.count_accesses(
                     {k: v - counts_base.get(k, 0) for k, v in meter.counts.items()}
                 )
+        tsdb = obs.tsdb if obs.enabled else None
+        if tsdb is not None:
+            t_s = now_s + meter.time_s
+            if decision.target_ghz is not None:
+                tsdb.record("repro.ts.daemon.target_uncore_ghz", t_s, decision.target_ghz)
+            if not gov.hardware:
+                tsdb.record("repro.ts.daemon.invocation_s", t_s, invocation_s)
+                tsdb.record(
+                    "repro.ts.daemon.monitor_power_w", t_s, self.node.monitor_power_w
+                )
+            tsdb.record("repro.ts.daemon.cycle_energy_j", t_s, cycle_energy_j)
+            cause_n = self._cause_counts.get(decision.reason, 0) + 1
+            self._cause_counts[decision.reason] = cause_n
+            tsdb.record(
+                "repro.ts.daemon.decision_cause",
+                t_s,
+                float(cause_n),
+                {"cause": decision.reason},
+            )
+            tsdb.record(
+                "repro.ts.daemon.actuation_latency_s",
+                t_s,
+                self.hub.backend.latency_charged_s,
+            )
         if tracer is not None and cycle_id is not None:
             attrs: Dict[str, object] = {
                 "reason": decision.reason,

@@ -38,6 +38,7 @@ from repro.hw.presets import SystemPreset, get_preset
 from repro.obs.config import Observability, ObsConfig
 from repro.obs.registry import MetricsRegistry
 from repro.obs.spans import Span
+from repro.obs.tsdb import TimeSeriesDB
 from repro.runtime.daemon import MonitorDaemon
 from repro.runtime.supervisor import SupervisedDaemon, SupervisorConfig
 from repro.sim.clock import SimClock
@@ -121,6 +122,8 @@ class RunResult:
     missed_deadlines: int = 0
     #: Final metrics registry of an observability-enabled run (else None).
     metrics: Optional[MetricsRegistry] = field(repr=False, default=None)
+    #: Scraped time-series store of a tsdb-enabled run (else None).
+    tsdb: Optional[TimeSeriesDB] = field(repr=False, default=None)
     #: Decision-cycle spans of an observability-enabled run (else empty).
     spans: List[Span] = field(repr=False, default_factory=list)
     #: Actuations routed through the control backend.
@@ -334,6 +337,8 @@ def run_application(
     if guard:
         telemetry_guard = TelemetryGuard(preset, guard_config, log=log, seed=seed)
         hub.install_guard(telemetry_guard)
+        if obs_ctx.enabled and obs_ctx.tsdb is not None:
+            telemetry_guard.attach_tsdb(obs_ctx.tsdb)
 
     runtimes = []
     daemon: Optional[MonitorDaemon] = None
@@ -416,6 +421,7 @@ def run_application(
         rearm_count=supervisor.rearm_count if supervisor is not None else 0,
         missed_deadlines=supervisor.missed_deadlines if supervisor is not None else 0,
         metrics=obs_ctx.registry if obs_ctx.enabled else None,
+        tsdb=obs_ctx.tsdb if obs_ctx.enabled else None,
         spans=list(obs_ctx.tracer.spans) if obs_ctx.enabled and obs_ctx.tracer is not None else [],
         actuation_switches=hub.backend.switch_count,
         actuation_latency_s=hub.backend.latency_charged_s,

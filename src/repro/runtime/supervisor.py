@@ -269,6 +269,7 @@ class SupervisedDaemon:
         self.degraded = True
         self.failsafe_count += 1
         self._count("repro.supervisor.failsafes")
+        self._scrape_degraded(now_s, 1.0)
         cfg = self.config
         exhausted = cfg.max_rearms is not None and self.rearm_count >= cfg.max_rearms
         if cfg.rearm_cooldown_s is None or exhausted:
@@ -296,6 +297,7 @@ class SupervisedDaemon:
         self.daemon.governor.on_rearm()
         self._supervised_cycle(now_s)
         if not self.degraded:
+            self._scrape_degraded(now_s, 0.0)
             self._log(
                 now_s,
                 device="daemon",
@@ -313,6 +315,12 @@ class SupervisedDaemon:
         obs = self.daemon.obs
         if obs.enabled and obs.registry is not None:
             obs.registry.counter(name).inc()
+
+    def _scrape_degraded(self, now_s: float, value: float) -> None:
+        """Record a fail-safe/re-arm edge on the daemon's TSDB (if any)."""
+        obs = self.daemon.obs
+        if obs.enabled and obs.tsdb is not None:
+            obs.tsdb.record("repro.ts.supervisor.degraded", now_s, value)
 
     def _log(self, time_s: float, *, device: str, fault: str, action: str, outcome: str,
              fault_id: Optional[int] = None, detail: str = "") -> None:

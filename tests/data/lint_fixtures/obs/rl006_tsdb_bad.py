@@ -1,0 +1,25 @@
+"""RL006 fixture: dynamic/grammar-breaking TSDB series and alert-rule names."""
+
+
+def scrape(tsdb, db, node, now_s, value):
+    tsdb.record(f"repro.ts.node.{node}.power_w", now_s, value)
+    db.series("repro.ts." + str(node), {"node": str(node)})
+    tsdb.record("repro.ts.%d.cap_w" % node, now_s, value)
+    db.record("FleetPower", now_s, value)
+    tsdb.series(name="repro.Fleet.demand")
+
+
+def rules(node):
+    return [
+        ThresholdRule(f"repro.alert.node{node}.hot", "repro.ts.fleet.power_w", ">", 100.0),
+        BurnRateRule("repro.alert.burn", "repro.ts." + str(node), ">", window_s=5.0, burn_frac=0.5, threshold=1.0),
+        AbsenceRule("repro.alert.stale", "NodeHeartbeat", stale_after_s=2.0),
+        BurnRateRule(
+            "repro.alert.starved",
+            "repro.ts.fleet.node_demand_w",
+            ">",
+            window_s=5.0,
+            burn_frac=0.5,
+            threshold_series="Granted Watts",
+        ),
+    ]

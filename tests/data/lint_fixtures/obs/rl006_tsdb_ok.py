@@ -1,0 +1,37 @@
+"""RL006 clean fixture: static TSDB/alert names; varying parts live in labels."""
+
+SERIES = {"demand": "repro.ts.fleet.node_demand_w"}
+
+
+def scrape(tsdb, node, now_s, value):
+    # Cardinality goes into labels, never the name.
+    tsdb.record("repro.ts.fleet.node_demand_w", now_s, value, {"node": str(node)})
+    tsdb.series("repro.ts.fleet.power_w")
+    # Dynamic inputs map onto a closed name table or a bound variable —
+    # the runtime validator still covers both.
+    tsdb.record(SERIES["demand"], now_s, value)
+    name = "repro.ts.daemon.cycle_energy_j"
+    tsdb.record(name, now_s, value)
+    # Same method names on unrelated receivers are not series calls.
+    tape.record("Session Audio", now_s)
+
+
+def rules(budget_w, threshold_name):
+    return [
+        ThresholdRule("repro.alert.fleet.over_budget", "repro.ts.fleet.power_w", ">", budget_w),
+        AnomalyRule("repro.alert.node.demand_anomaly", "repro.ts.fleet.node_demand_w", z_threshold=6.0),
+        BurnRateRule(
+            "repro.alert.fleet.node_starved",
+            "repro.ts.fleet.node_demand_w",
+            ">",
+            window_s=5.0,
+            burn_frac=0.5,
+            threshold_series=threshold_name,
+        ),
+    ]
+
+
+class tape:
+    @staticmethod
+    def record(title, t):
+        return None

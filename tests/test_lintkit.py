@@ -178,6 +178,28 @@ class TestRL006MetricNames:
         # Variables, name tables and unrelated receivers all pass.
         assert run_on("obs/rl006_ok.py") == []
 
+    def test_tsdb_and_alert_rule_names_fire_every_form(self):
+        violations = run_on("obs/rl006_tsdb_bad.py")
+        assert codes_and_lines(violations) == [
+            ("RL006", 5),   # f-string tsdb.record series name
+            ("RL006", 6),   # + concatenation in db.series
+            ("RL006", 7),   # %-formatting in tsdb.record
+            ("RL006", 8),   # db.record literal breaking the grammar
+            ("RL006", 9),   # name= kwarg literal with uppercase segment
+            ("RL006", 14),  # f-string ThresholdRule name
+            ("RL006", 15),  # concatenated BurnRateRule target series
+            ("RL006", 16),  # AbsenceRule series literal breaking the grammar
+            ("RL006", 23),  # threshold_series= literal breaking the grammar
+        ]
+        messages = " ".join(v.message for v in violations)
+        assert "unbounded series" in messages
+        assert "lowercase dotted grammar" in messages
+
+    def test_tsdb_clean_fixture_is_silent(self):
+        # Labels carry the cardinality; tables/variables are sanctioned;
+        # .record on a non-store receiver is not a series call.
+        assert run_on("obs/rl006_tsdb_ok.py") == []
+
 
 class TestRL007GuardBypass:
     def test_bad_fixture_fires_every_form(self):

@@ -1,0 +1,312 @@
+"""Time-series store invariants: staircase reads, lossless downsampling,
+associative merges, and worker-count-invariant fleet rollups.
+
+The merge/pickle byte-equality tests pin the property the fleet scrape
+path depends on: any merge tree over the same per-worker stores must
+produce an identical pickled state, so `map_parallel` worker count can
+never leak into a scraped run's artifacts.
+"""
+
+import pickle
+
+import pytest
+
+from repro.cluster.job import ClusterJob
+from repro.cluster.simulator import ClusterSimulator
+from repro.errors import ObsError
+from repro.obs.tsdb import (
+    Series,
+    TimeSeriesDB,
+    canonical_state_bytes as state_bytes,
+    merge_tsdbs,
+)
+
+
+def small_series(name="repro.ts.test.value", labels=(), **overrides):
+    """A series with aggressive downsampling so tests exercise folding."""
+    kwargs = dict(capacity=8, resolution_s=0.5, factor=2, levels=3, level_capacity=4)
+    kwargs.update(overrides)
+    return Series(name, labels, **kwargs)
+
+
+class TestSeriesBasics:
+    def test_staircase_value_at(self):
+        s = small_series()
+        for t, v in [(0.0, 1.0), (1.0, 2.0), (3.0, 5.0)]:
+            s.record(t, v)
+        assert s.value_at(-0.5) is None
+        assert s.value_at(0.0) == 1.0
+        assert s.value_at(0.99) == 1.0
+        assert s.value_at(1.0) == 2.0
+        assert s.value_at(2.9) == 2.0
+        assert s.value_at(100.0) == 5.0
+        assert s.latest() == (3.0, 5.0)
+
+    def test_time_never_rewinds(self):
+        s = small_series()
+        s.record(2.0, 1.0)
+        with pytest.raises(ObsError, match="never rewinds"):
+            s.record(1.5, 1.0)
+
+    def test_equal_timestamps_keep_insertion_order(self):
+        s = small_series()
+        s.record(1.0, 3.0)
+        s.record(1.0, 7.0)
+        assert s.samples_between(1.0, 1.0) == [(1.0, 3.0), (1.0, 7.0)]
+        # Staircase read returns the newest of the equal-time samples.
+        assert s.value_at(1.0) == 7.0
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ObsError, match="capacity"):
+            Series("repro.ts.test.value", capacity=1)
+        with pytest.raises(ObsError, match="geometry"):
+            Series("repro.ts.test.value", resolution_s=0.0)
+        with pytest.raises(ObsError, match="geometry"):
+            Series("repro.ts.test.value", factor=1)
+
+    def test_invalid_name_and_label_keys_rejected(self):
+        with pytest.raises(Exception):
+            Series("NotDotted")
+        db = TimeSeriesDB()
+        with pytest.raises(ObsError, match="label key"):
+            db.series("repro.ts.test.value", {"9bad": "x"})
+
+
+class TestDownsampling:
+    def test_buckets_preserve_window_stats_at_boundaries(self):
+        # capacity 4, level-0 width 2.0s: recording past each window
+        # boundary folds exactly the windowed samples into one bucket.
+        s = Series(
+            "repro.ts.test.value",
+            capacity=4,
+            resolution_s=1.0,
+            factor=2,
+            levels=2,
+            level_capacity=8,
+        )
+        samples = [
+            (0.0, 4.0),
+            (0.5, 1.0),
+            (1.0, 9.0),
+            (1.5, 2.0),
+            (2.0, 3.0),
+            (2.5, 7.0),
+            (3.0, 5.0),
+            (3.5, 8.0),
+            (4.0, 6.0),
+        ]
+        for t, v in samples:
+            s.record(t, v)
+        buckets = s.buckets(0)
+        assert [b.t0_s for b in buckets] == [0.0, 2.0]
+        first, second = buckets
+        assert (first.min, first.max, first.sum, first.count) == (1.0, 9.0, 16.0, 4)
+        assert (first.last_t_s, first.last) == (1.5, 2.0)
+        assert (second.min, second.max, second.sum, second.count) == (3.0, 8.0, 23.0, 4)
+        # The raw ring holds only the unfolded tail.
+        assert s.samples_after(3.5) == [(4.0, 6.0)]
+        assert len(s) == len(samples)
+
+    def test_summary_exact_after_heavy_folding(self):
+        s = small_series()
+        values = [0.25 * i for i in range(200)]
+        for i, v in enumerate(values):
+            s.record(0.05 * i, v)
+        # Folding happened (the ring only holds the unfolded tail window).
+        assert s.raw_count < 200
+        assert sum(b.count for b in s.buckets(0) + s.buckets(1) + s.buckets(2)) > 0
+        assert len(s) == 200
+        summary = s.summary()
+        # Dyadic values: the exact-Fraction accumulator must reproduce the
+        # true sum bit-for-bit regardless of how folding grouped samples.
+        assert summary == {
+            "min": 0.0,
+            "max": 0.25 * 199,
+            "sum": float(sum(values)),
+            "count": 200.0,
+        }
+
+    def test_value_at_answers_from_buckets_below_raw_window(self):
+        s = small_series()
+        for i in range(100):
+            s.record(0.1 * i, float(i))
+        # Early samples have long since folded out of the raw ring, but the
+        # staircase read still answers from the buckets that swallowed them
+        # (the newest bucket ending at or before the query time).
+        assert min(s.samples_between(0.0, 100.0))[0] > 2.0  # raw window starts late
+        assert s.value_at(2.0) is not None
+
+    def test_bucket_alignment(self):
+        s = small_series()
+        for i in range(200):
+            s.record(0.05 * i, float(i % 13))
+        for level in range(3):
+            width = s.level_width_s(level)
+            for bucket in s.buckets(level):
+                assert bucket.t0_s == (bucket.t0_s // width) * width
+                assert bucket.count >= 1
+                assert bucket.min <= bucket.max
+
+    def test_empty_summary(self):
+        s = small_series()
+        assert s.summary() == {"min": 0.0, "max": 0.0, "sum": 0.0, "count": 0.0}
+
+
+def build_chunks(n_chunks=3, n_samples=120):
+    """Round-robin split of one sample stream into per-"worker" series."""
+    chunks = [small_series() for _ in range(n_chunks)]
+    for i in range(n_samples):
+        chunks[i % n_chunks].record(0.05 * i, 0.125 * (i % 17) - 1.0)
+    return chunks
+
+
+class TestSeriesMerge:
+    def test_merge_tree_shape_cannot_leak_into_bytes(self):
+        a1, b1, c1 = build_chunks()
+        left = a1.merge(b1).merge(c1)
+        a2, b2, c2 = build_chunks()
+        right = a2.merge(b2.merge(c2))
+        a3, b3, c3 = build_chunks()
+        rotated = c3.merge(a3).merge(b3)
+        assert state_bytes(left) == state_bytes(right) == state_bytes(rotated)
+
+    def test_merge_preserves_every_sample(self):
+        chunks = build_chunks()
+        merged = chunks[0].merge(chunks[1]).merge(chunks[2])
+        assert len(merged) == 120
+        reference = small_series()
+        for i in range(120):
+            reference.record(0.05 * i, 0.125 * (i % 17) - 1.0)
+        assert merged.summary() == reference.summary()
+
+    def test_merge_matches_single_writer(self):
+        # A merge of round-robin chunks is byte-identical to one series
+        # that saw the whole stream — the n_workers=1 vs n baseline.
+        chunks = build_chunks()
+        merged = chunks[0].merge(chunks[1]).merge(chunks[2])
+        solo = small_series()
+        for i in range(120):
+            solo.record(0.05 * i, 0.125 * (i % 17) - 1.0)
+        assert state_bytes(merged) == state_bytes(solo)
+
+    def test_identity_and_geometry_mismatches_rejected(self):
+        s = small_series()
+        with pytest.raises(ObsError, match="cannot merge"):
+            s.merge(small_series(name="repro.ts.test.other"))
+        with pytest.raises(ObsError, match="cannot merge"):
+            s.merge(small_series(labels=(("node", "1"),)))
+        with pytest.raises(ObsError, match="geometry"):
+            s.merge(small_series(capacity=16))
+
+    def test_pickle_roundtrip_is_byte_stable(self):
+        chunks = build_chunks()
+        merged = chunks[0].merge(chunks[1]).merge(chunks[2])
+        clone = pickle.loads(pickle.dumps(merged))
+        assert state_bytes(clone) == state_bytes(merged)
+
+
+class TestTimeSeriesDB:
+    def test_series_accessor_is_idempotent(self):
+        db = TimeSeriesDB()
+        s1 = db.series("repro.ts.test.value", {"node": "0"})
+        s2 = db.series("repro.ts.test.value", {"node": "0"})
+        assert s1 is s2
+        assert db.get("repro.ts.test.value", {"node": "0"}) is s1
+        assert db.get("repro.ts.test.value", {"node": "1"}) is None
+
+    def test_query_names_contains(self):
+        db = TimeSeriesDB()
+        db.record("repro.ts.test.b", 0.0, 1.0, {"node": "1"})
+        db.record("repro.ts.test.b", 0.0, 1.0, {"node": "0"})
+        db.record("repro.ts.test.a", 0.0, 1.0)
+        assert db.names() == ["repro.ts.test.a", "repro.ts.test.b"]
+        assert [s.labels for s in db.query("repro.ts.test.b")] == [
+            (("node", "0"),),
+            (("node", "1"),),
+        ]
+        assert "repro.ts.test.a" in db
+        assert "repro.ts.test.missing" not in db
+        assert len(db) == 3
+
+    def test_relabeled_injects_identity_labels(self):
+        db = TimeSeriesDB()
+        db.record("repro.ts.test.value", 1.0, 2.0, {"device": "msr"})
+        out = db.relabeled({"job": "j0", "node": "3", "device": "clobbered"})
+        (series,) = out.query("repro.ts.test.value")
+        # A series' own labels win on key clashes.
+        assert dict(series.labels) == {"device": "msr", "job": "j0", "node": "3"}
+        assert series.latest() == (1.0, 2.0)
+
+    def test_db_merge_tree_shape_cannot_leak_into_bytes(self):
+        def build(parity):
+            db = TimeSeriesDB(capacity=8, resolution_s=0.5, factor=2, levels=3, level_capacity=4)
+            for i in range(parity, 90, 3):
+                db.record("repro.ts.test.value", 0.1 * i, float(i), {"node": str(i % 2)})
+                db.record("repro.ts.test.other", 0.1 * i, float(-i))
+            return db
+
+        left = build(0).merge(build(1)).merge(build(2))
+        inner = build(1).merge(build(2))
+        right = build(0).merge(inner)
+        assert state_bytes(left) == state_bytes(right)
+
+    def test_db_merge_geometry_mismatch_rejected(self):
+        with pytest.raises(ObsError, match="geometry"):
+            TimeSeriesDB().merge(TimeSeriesDB(capacity=8))
+
+    def test_merge_tsdbs_skips_nones(self):
+        assert merge_tsdbs([]) is None
+        assert merge_tsdbs([None, None]) is None
+        db = TimeSeriesDB()
+        db.record("repro.ts.test.value", 0.0, 1.0)
+        merged = merge_tsdbs([None, db, None])
+        assert merged is not None and "repro.ts.test.value" in merged
+
+
+# ---------------------------------------------------------------------------
+# Fleet integration: worker-count invariance + scrape passivity.
+# ---------------------------------------------------------------------------
+
+FLEET_JOBS = [
+    ClusterJob("j0-sort", "sort", 0.0, seed=1, max_time_s=6.0),
+    ClusterJob("j1-bfs", "bfs", 1.0, seed=2, max_time_s=6.0),
+    ClusterJob("j2-gemm", "gemm", 0.5, seed=3, max_time_s=6.0),
+    ClusterJob("j3-kmeans", "kmeans", 1.5, seed=4, max_time_s=6.0),
+]
+
+
+@pytest.fixture(scope="module")
+def scraped_fleets():
+    """The same four-job fleet scraped under 1, 2 and 4 pool workers."""
+    runs = {}
+    for n_workers in (1, 2, 4):
+        sim = ClusterSimulator("intel_a100", FLEET_JOBS)
+        runs[n_workers] = sim.run_fleet("default", n_workers=n_workers, tsdb=True)
+    return runs
+
+
+class TestFleetWorkerInvariance:
+    def test_rollup_bytes_identical_across_worker_counts(self, scraped_fleets):
+        rollups = {
+            n: state_bytes(fleet.tsdb_rollup()) for n, fleet in scraped_fleets.items()
+        }
+        assert rollups[1] == rollups[2] == rollups[4]
+
+    def test_rollup_carries_labelled_job_series(self, scraped_fleets):
+        db = scraped_fleets[1].tsdb_rollup()
+        assert "repro.ts.fleet.power_w" in db
+        energy = db.query("repro.ts.daemon.cycle_energy_j")
+        jobs = {dict(s.labels).get("job") for s in energy}
+        assert jobs == {job.name for job in FLEET_JOBS}
+        for series in energy:
+            assert set(dict(series.labels)) == {"job", "node"}
+
+    def test_scraping_is_passive(self, scraped_fleets):
+        sim = ClusterSimulator("intel_a100", FLEET_JOBS)
+        plain = sim.run_fleet("default", n_workers=2, tsdb=False)
+        scraped = scraped_fleets[2]
+        assert plain.grid_times_s.tobytes() == scraped.grid_times_s.tobytes()
+        assert plain.aggregate_power_w.tobytes() == scraped.aggregate_power_w.tobytes()
+        for a, b in zip(plain.outcomes, scraped.outcomes):
+            assert a.job.name == b.job.name
+            assert a.runtime_s == b.runtime_s
